@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) examples/paper_reproduction.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/custom_farm.py
+	$(PYTHON) examples/fraud_detection.py
+	$(PYTHON) examples/extended_study.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks build dist *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

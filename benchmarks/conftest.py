@@ -1,0 +1,36 @@
+"""Benchmark fixtures.
+
+The paper-scale study runs once per benchmark session; each benchmark file
+re-computes one table or figure from its dataset (that computation is what
+``benchmark`` times) and prints the measured rows next to the published
+values.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import HoneypotExperiment
+from repro.core.results import ExperimentResults
+
+
+@pytest.fixture(scope="session")
+def paper_experiment() -> HoneypotExperiment:
+    """A completed paper-scale experiment (shared by all benchmarks)."""
+    experiment = HoneypotExperiment.paper_scale()
+    experiment.run()
+    return experiment
+
+
+@pytest.fixture(scope="session")
+def paper_results(paper_experiment) -> ExperimentResults:
+    """Analysis results over the paper-scale dataset."""
+    return ExperimentResults(dataset=paper_experiment.artifacts.dataset)
+
+
+@pytest.fixture(scope="session")
+def paper_dataset(paper_experiment):
+    """The paper-scale crawled dataset."""
+    return paper_experiment.artifacts.dataset

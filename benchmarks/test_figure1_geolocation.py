@@ -1,0 +1,60 @@
+"""Benchmark F1 — paper Figure 1: geolocation of likers per campaign.
+
+Regenerates the per-campaign country distribution over the paper's six
+buckets (US, IN, EG, TR, FR, Other) and checks its key shapes: targeted FB
+campaigns deliver from the target, worldwide collapses onto India, and
+SocialFormula ships Turkish profiles regardless of the order's region.
+"""
+
+from repro.analysis.demographics import country_distribution
+from repro.core import paperdata
+from repro.util.tables import render_table
+
+
+def compute_all(dataset):
+    return {
+        campaign_id: country_distribution(dataset, campaign_id)
+        for campaign_id in dataset.campaign_ids()
+        if not dataset.campaign(campaign_id).inactive
+    }
+
+
+def test_figure1(benchmark, paper_dataset):
+    buckets = benchmark(compute_all, paper_dataset)
+
+    order = ["US", "IN", "EG", "TR", "FR", "Other"]
+    printable = [
+        [campaign_id] + [f"{b.fractions.get(c, 0) * 100:.0f}%" for c in order]
+        for campaign_id, b in buckets.items()
+    ]
+    print()
+    print(render_table(
+        ["Campaign"] + order, printable,
+        title="Figure 1: liker geolocation (percent of campaign's likers)",
+    ))
+
+    # Targeted FB campaigns: likes come from the targeted country
+    # (paper: 87-99.8%).
+    for campaign_id, target in (
+        ("FB-USA", "US"), ("FB-FRA", "FR"), ("FB-IND", "IN"), ("FB-EGY", "EG"),
+    ):
+        top, share = buckets[campaign_id].top_country()
+        assert top == target, campaign_id
+        assert share >= paperdata.FB_TARGETED_SHARE_MIN, campaign_id
+
+    # Worldwide FB campaign collapses onto India (paper: 96%).
+    top, share = buckets["FB-ALL"].top_country()
+    assert top == "IN"
+    assert share >= 0.85
+
+    # SocialFormula is Turkish for both orders, including USA.
+    for campaign_id in ("SF-ALL", "SF-USA"):
+        top, share = buckets[campaign_id].top_country()
+        assert top == "TR"
+        assert share >= 0.9
+
+    # The compliant farms serve US profiles on US orders.
+    for campaign_id in ("BL-USA", "AL-USA", "MS-USA"):
+        top, share = buckets[campaign_id].top_country()
+        assert top == "US"
+        assert share >= 0.75

@@ -1,0 +1,67 @@
+"""Benchmark F3 — paper Figure 3: friendship relations between likers.
+
+Regenerates the structure of the observed liker graphs, per provider group,
+for both panels: (a) direct friendships only, (b) direct plus mutual-friend
+relations.  Checks the paper's reading: BoostLikes forms one dense,
+well-connected community; SocialFormula shows isolated pairs and triplets;
+adding mutual friends reveals much wider farm structure.
+"""
+
+from repro.analysis.social import group_graph_stats
+from repro.util.tables import render_table
+
+
+def compute_both(dataset):
+    return (
+        group_graph_stats(dataset, include_mutual=False),
+        group_graph_stats(dataset, include_mutual=True),
+    )
+
+
+def _print(rows, label):
+    print()
+    print(render_table(
+        ["Provider", "Nodes", "Edges", "Components", "Pairs", "Triplets",
+         "Largest", "Connected"],
+        [
+            [r.provider, r.n_nodes_with_edges, r.n_edges, r.n_components,
+             r.n_pair_components, r.n_triplet_components, r.largest_component,
+             f"{r.connected_fraction * 100:.0f}%"]
+            for r in rows
+        ],
+        title=f"Figure 3 ({label})",
+    ))
+
+
+def test_figure3(benchmark, paper_dataset):
+    direct_rows, mutual_rows = benchmark(compute_both, paper_dataset)
+    _print(direct_rows, "a: direct relations")
+    _print(mutual_rows, "b: direct + mutual-friend relations")
+
+    direct = {r.provider: r for r in direct_rows}
+    mutual = {r.provider: r for r in mutual_rows}
+
+    # BoostLikes: one dominant connected component with many edges.
+    bl = direct["BoostLikes.com"]
+    assert bl.largest_component >= 0.6 * bl.n_nodes_with_edges
+    assert bl.n_edges > 100
+
+    # SocialFormula (panel a): pairs and triplets, no big component.
+    sf = direct["SocialFormula.com"]
+    assert sf.n_pair_components + sf.n_triplet_components >= 3
+    assert sf.largest_component <= 10
+
+    # Facebook likers: barely any direct structure (paper: 6 edges).
+    fb = direct["Facebook.com"]
+    assert fb.n_edges < 40
+
+    # Panel b: mutual friends reveal wider structure for every farm group.
+    for provider in ("SocialFormula.com", "AuthenticLikes.com", "BoostLikes.com"):
+        assert mutual[provider].n_edges > direct[provider].n_edges, provider
+        assert (
+            mutual[provider].connected_fraction
+            >= direct[provider].connected_fraction
+        ), provider
+
+    # The 2-hop view connects a large share of SF likers (paper Figure 3b).
+    assert mutual["SocialFormula.com"].connected_fraction > 0.25

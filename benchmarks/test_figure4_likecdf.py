@@ -1,0 +1,81 @@
+"""Benchmark F4 — paper Figure 4: per-liker page-like count distributions.
+
+Regenerates the CDFs of how many pages each campaign's likers like, against
+the 2000-user random baseline.  Shape targets from Section 4.4: FB-campaign
+medians 600-1000, farm medians 1200-1800, BoostLikes-USA ~63, baseline ~34.
+"""
+
+import numpy as np
+
+from repro.analysis.likes import (
+    baseline_like_counts,
+    like_count_cdfs,
+    like_count_summary,
+)
+from repro.core import paperdata
+from repro.util.tables import render_table
+
+
+def test_figure4(benchmark, paper_dataset):
+    curves = benchmark(like_count_cdfs, paper_dataset)
+
+    summaries = {row.campaign_id: row for row in like_count_summary(paper_dataset)}
+    baseline_median = float(np.median(baseline_like_counts(paper_dataset)))
+
+    printable = []
+    for campaign_id, row in summaries.items():
+        lo, hi = (
+            paperdata.FIG4_MEDIAN_RANGE_FB
+            if campaign_id.startswith("FB")
+            else paperdata.FIG4_MEDIAN_RANGE_FARM
+        )
+        paper_hint = f"{lo}-{hi}"
+        if campaign_id == "BL-USA":
+            paper_hint = str(paperdata.FIG4_MEDIAN_BL_USA)
+        printable.append([
+            campaign_id, row.stats.count,
+            f"{row.stats.median:.0f}", paper_hint,
+            f"{row.median_ratio:.1f}x",
+        ])
+    printable.append([
+        "Facebook (baseline)", len(paper_dataset.baseline),
+        f"{baseline_median:.0f}", str(paperdata.FIG4_MEDIAN_BASELINE), "1.0x",
+    ])
+    print()
+    print(render_table(
+        ["Campaign", "Likers", "Median likes", "Paper", "x Baseline"],
+        printable,
+        title="Figure 4: page-like counts per liker (measured vs paper)",
+    ))
+
+    # CDF curves exist for every active campaign plus the baseline.
+    assert "Facebook" in curves
+    assert len(curves) == 12  # 11 active campaigns + baseline
+
+    # Baseline median near the paper's ~34.
+    assert 25 <= baseline_median <= 45
+
+    # FB campaign medians in (or near) the paper's 600-1000 band.
+    for campaign_id in ("FB-USA", "FB-IND", "FB-EGY", "FB-ALL"):
+        median = summaries[campaign_id].stats.median
+        assert 450 <= median <= 1200, (campaign_id, median)
+
+    # Farm medians in the paper's 1200-1800 band...
+    for campaign_id in ("SF-ALL", "SF-USA", "AL-ALL", "AL-USA", "MS-USA"):
+        median = summaries[campaign_id].stats.median
+        assert 1000 <= median <= 2000, (campaign_id, median)
+
+    # ...except BoostLikes-USA, whose median is near-organic (paper: 63).
+    bl_median = summaries["BL-USA"].stats.median
+    assert 30 <= bl_median <= 150
+
+    # Every campaign (except BL-USA) likes >= 10x the baseline.
+    for campaign_id, row in summaries.items():
+        if campaign_id == "BL-USA":
+            continue
+        assert row.median_ratio > 10, campaign_id
+
+    # CDFs are proper: monotone, ending at 1.
+    for name, (xs, ys) in curves.items():
+        assert xs == sorted(xs), name
+        assert ys[-1] == 1.0, name

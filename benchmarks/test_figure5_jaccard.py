@@ -1,0 +1,63 @@
+"""Benchmark F5 — paper Figure 5: Jaccard similarity matrices.
+
+Regenerates both 13x13 matrices — page-like similarity and liker
+similarity — and checks the block structure the paper reads off them:
+FB-IND/EGY/ALL cluster; SF's two campaigns share profiles; AL and MS share
+an operator; FB campaigns overlap noticeably with farm page sets.
+"""
+
+from repro.analysis.similarity import jaccard_matrices
+from repro.util.tables import render_matrix
+
+
+def test_figure5(benchmark, paper_dataset):
+    matrices = benchmark(jaccard_matrices, paper_dataset)
+
+    print()
+    print(render_matrix(
+        matrices.campaign_ids, matrices.page_similarity,
+        title="Figure 5a: page-like Jaccard similarity (x100)",
+    ))
+    print()
+    print(render_matrix(
+        matrices.campaign_ids, matrices.user_similarity,
+        title="Figure 5b: liker Jaccard similarity (x100)",
+    ))
+
+    page = matrices.page_value
+    user = matrices.user_value
+
+    # 5a block: the three cheap-market FB campaigns cluster together...
+    fb_block = min(page("FB-IND", "FB-EGY"), page("FB-IND", "FB-ALL"),
+                   page("FB-EGY", "FB-ALL"))
+    # ...above their similarity to any single farm campaign.
+    fb_vs_farms = max(
+        page("FB-IND", "AL-USA"), page("FB-EGY", "MS-USA"),
+        page("FB-ALL", "BL-USA"),
+    )
+    assert fb_block > fb_vs_farms
+
+    # 5a: same-farm campaign pairs are highly similar (same accounts).
+    assert page("SF-ALL", "SF-USA") > 90
+    assert page("AL-USA", "MS-USA") > fb_vs_farms
+
+    # 5a: the paper's "noticeable overlap" between ads and farms.
+    assert page("FB-IND", "SF-ALL") > 25
+
+    # 5b: account reuse shows up as liker overlap exactly where the paper
+    # found it — within SF and across the AL/MS operator.
+    assert user("SF-ALL", "SF-USA") > 1
+    assert user("AL-USA", "MS-USA") > 10
+    # FB-IND and FB-ALL share Indian click workers.
+    assert user("FB-IND", "FB-ALL") > 1
+
+    # ...and (almost) nowhere else.
+    assert user("FB-USA", "SF-ALL") < 1
+    assert user("BL-USA", "AL-USA") < 1
+    assert user("FB-EGY", "SF-USA") < 1
+
+    # Inactive campaigns are all-zero rows.
+    for other in matrices.campaign_ids:
+        if other not in ("BL-ALL", "MS-ALL"):
+            assert user("BL-ALL", other) == 0.0
+            assert page("MS-ALL", other) == 0.0

@@ -1,0 +1,62 @@
+"""Benchmark T1 — paper Table 1: campaign summary.
+
+Regenerates the campaign-summary table (likes garnered, monitoring windows,
+terminated accounts, inactive orders) and prints measured values beside the
+published row for every campaign.
+"""
+
+from repro.analysis.summary import table1
+from repro.core import paperdata
+from repro.util.tables import render_table
+
+
+def test_table1(benchmark, paper_dataset):
+    rows = benchmark(table1, paper_dataset)
+
+    printable = []
+    for row in rows:
+        paper_likes = paperdata.TABLE1_LIKES[row.campaign_id]
+        paper_terminated = paperdata.TABLE1_TERMINATED[row.campaign_id]
+        printable.append([
+            row.campaign_id, row.provider, row.location,
+            "-" if row.inactive else row.likes,
+            "-" if paper_likes is None else paper_likes,
+            "-" if row.inactive else row.terminated,
+            "-" if paper_terminated is None else paper_terminated,
+        ])
+    print()
+    print(render_table(
+        ["Campaign", "Provider", "Location",
+         "Likes", "Paper", "Term.", "Paper"],
+        printable,
+        title="Table 1: campaign summary (measured vs paper)",
+    ))
+
+    by_id = {row.campaign_id: row for row in rows}
+
+    # Inactive orders match the paper exactly.
+    assert by_id["BL-ALL"].inactive and by_id["MS-ALL"].inactive
+    assert not any(
+        row.inactive for row in rows
+        if row.campaign_id not in ("BL-ALL", "MS-ALL")
+    )
+
+    # Farm campaigns deliver the paper's counts (fulfillment calibration).
+    for campaign_id in ("BL-USA", "SF-ALL", "SF-USA", "AL-ALL", "AL-USA", "MS-USA"):
+        assert by_id[campaign_id].likes == paperdata.TABLE1_LIKES[campaign_id]
+
+    # Ad campaigns land within 35% of the paper's counts and keep ordering:
+    # cheap markets (IN/EG) >> expensive ones (US/FR).
+    for campaign_id in ("FB-USA", "FB-FRA", "FB-IND", "FB-EGY", "FB-ALL"):
+        expected = paperdata.TABLE1_LIKES[campaign_id]
+        assert 0.65 * expected <= by_id[campaign_id].likes <= 1.45 * expected, campaign_id
+    assert by_id["FB-EGY"].likes > by_id["FB-USA"].likes * 5
+    assert by_id["FB-IND"].likes > by_id["FB-FRA"].likes * 5
+
+    # Termination ordering: burst farms lose the most accounts, BoostLikes
+    # almost none (paper Section 5).
+    burst_terms = sum(
+        by_id[c].terminated for c in ("SF-ALL", "SF-USA", "AL-ALL", "AL-USA", "MS-USA")
+    )
+    assert burst_terms > 10 * max(by_id["BL-USA"].terminated, 1) / 2
+    assert by_id["BL-USA"].terminated <= 5

@@ -1,0 +1,59 @@
+"""Benchmark T2 — paper Table 2: gender/age statistics and KL divergence.
+
+Regenerates the demographics table and checks the paper's qualitative
+claims: FB-IND/EGY/ALL skew young and male with high KL divergence, while
+SocialFormula's profiles mimic the global population (KL ~= 0.04).
+"""
+
+from repro.analysis.demographics import table2
+from repro.core import paperdata
+from repro.osn.profile import AGE_BRACKETS
+from repro.util.tables import render_table
+
+
+def test_table2(benchmark, paper_dataset):
+    rows = benchmark(table2, paper_dataset)
+
+    printable = []
+    for row in rows:
+        paper_gender = paperdata.TABLE2_GENDER.get(row.campaign_id)
+        paper_kl = paperdata.TABLE2_KL.get(row.campaign_id)
+        printable.append([
+            row.campaign_id,
+            f"{row.female_pct:.0f}/{row.male_pct:.0f}",
+            "-" if paper_gender is None else f"{paper_gender[0]:.0f}/{paper_gender[1]:.0f}",
+            " ".join(f"{row.age_pct[b]:.0f}" for b in AGE_BRACKETS),
+            f"{row.kl_divergence:.2f}",
+            "-" if paper_kl is None else f"{paper_kl:.2f}",
+        ])
+    print()
+    print(render_table(
+        ["Campaign", "F/M", "Paper F/M", "Ages 13-17..55+", "KL", "Paper KL"],
+        printable,
+        title="Table 2: demographics (measured vs paper)",
+    ))
+
+    by_id = {row.campaign_id: row for row in rows}
+
+    # Male skew in the developing-market ad campaigns (paper: 93-94% male).
+    for campaign_id in ("FB-IND", "FB-ALL"):
+        assert by_id[campaign_id].male_pct > 85, campaign_id
+    assert by_id["FB-EGY"].male_pct > 75
+
+    # Young skew: 13-24 dominates every FB campaign (paper: 81-96%).
+    for campaign_id in ("FB-USA", "FB-IND", "FB-EGY", "FB-ALL"):
+        young = by_id[campaign_id].age_pct["13-17"] + by_id[campaign_id].age_pct["18-24"]
+        assert young > 75, campaign_id
+
+    # KL ordering: SocialFormula mimics the network; FB worldwide diverges.
+    assert by_id["SF-ALL"].kl_divergence < 0.15
+    assert by_id["SF-USA"].kl_divergence < 0.15
+    assert by_id["FB-IND"].kl_divergence > 0.5
+    assert by_id["FB-ALL"].kl_divergence > 0.5
+    assert by_id["SF-ALL"].kl_divergence < by_id["BL-USA"].kl_divergence
+    assert by_id["SF-ALL"].kl_divergence < by_id["FB-IND"].kl_divergence
+
+    # Global row matches the configured population (46/54, Table 2 bottom).
+    facebook = by_id["Facebook"]
+    assert abs(facebook.female_pct - 46) < 5
+    assert abs(facebook.age_pct["18-24"] - 32.3) < 5

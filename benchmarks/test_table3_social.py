@@ -1,0 +1,68 @@
+"""Benchmark T3 — paper Table 3: likers and friendships between likers.
+
+Regenerates per-provider liker counts, public-friend-list shares, declared
+friend-count statistics, and the observed liker-liker direct and 2-hop
+(mutual-friend) relation counts, including the ALMS overlap group.
+"""
+
+from repro.analysis.social import provider_social_stats
+from repro.core import paperdata
+from repro.util.tables import render_table
+
+
+def test_table3(benchmark, paper_dataset):
+    rows = benchmark(provider_social_stats, paper_dataset)
+
+    printable = []
+    for stats in rows:
+        paper = paperdata.TABLE3.get(stats.provider)
+        paper_median = paper[4] if paper else "-"
+        paper_friendships = paper[5] if paper else "-"
+        paper_two_hop = paper[6] if paper else "-"
+        printable.append([
+            stats.provider,
+            stats.n_likers,
+            paper[0] if paper else "-",
+            f"{stats.public_fraction * 100:.0f}%",
+            f"{stats.friend_count.median:.0f}",
+            paper_median,
+            stats.direct_friendships,
+            paper_friendships,
+            stats.two_hop_relations,
+            paper_two_hop,
+        ])
+    print()
+    print(render_table(
+        ["Provider", "Likers", "Paper", "Public", "MedFriends", "Paper",
+         "Edges", "Paper", "2-hop", "Paper"],
+        printable,
+        title="Table 3: likers and friendships (measured vs paper)",
+    ))
+
+    by_provider = {stats.provider: stats for stats in rows}
+
+    # ALMS overlap group exists and is sizeable (paper: 213 users).
+    alms = by_provider["ALMS"]
+    assert 100 <= alms.n_likers <= 350
+
+    # Friend-count ordering: BL 850 >> AL 343 > SF 155 > MS 68 (paper medians).
+    bl = by_provider["BoostLikes.com"]
+    al = by_provider["AuthenticLikes.com"]
+    sf = by_provider["SocialFormula.com"]
+    ms = by_provider["MammothSocials.com"]
+    assert bl.friend_count.median > al.friend_count.median > sf.friend_count.median
+    assert sf.friend_count.median > ms.friend_count.median
+
+    # BoostLikes: by far the most intra-liker friendships relative to size.
+    bl_density = bl.direct_friendships / bl.n_likers
+    for other in (sf, al, ms, by_provider["Facebook.com"]):
+        assert bl_density > 4 * (other.direct_friendships / other.n_likers + 1e-9)
+
+    # Privacy shape: FB likers hide friend lists the most; SF the least.
+    assert by_provider["Facebook.com"].public_fraction < 0.3
+    assert sf.public_fraction > 0.5
+
+    # Facebook likers: very few direct edges but some mutual-friend links.
+    fb = by_provider["Facebook.com"]
+    assert fb.direct_friendships < 40
+    assert fb.two_hop_relations > fb.direct_friendships

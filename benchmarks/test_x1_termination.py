@@ -1,0 +1,54 @@
+"""Benchmark X1 — paper Section 5: the month-later termination follow-up.
+
+Regenerates the per-provider terminated-account counts from the follow-up
+crawl.  Paper finding: one BoostLikes account terminated versus 9/20/44 for
+the burst farms and 11 across the Facebook campaigns — the "disposable
+nature of fake accounts on most like farms".
+"""
+
+from repro.analysis.summary import terminated_by_provider
+from repro.core import paperdata
+from repro.util.tables import render_table
+
+PAPER_TERMINATED_BY_PROVIDER = {
+    "Facebook.com": 11,
+    "BoostLikes.com": 1,
+    "SocialFormula.com": 20,
+    "AuthenticLikes.com": 44,
+    "MammothSocials.com": 9,
+}
+
+
+def test_termination_followup(benchmark, paper_dataset):
+    measured = benchmark(terminated_by_provider, paper_dataset)
+
+    print()
+    print(render_table(
+        ["Provider", "Terminated (measured)", "Terminated (paper)"],
+        [
+            [provider, measured.get(provider, 0), expected]
+            for provider, expected in PAPER_TERMINATED_BY_PROVIDER.items()
+        ],
+        title="Section 5 follow-up: terminated liker accounts per provider",
+    ))
+
+    # BoostLikes loses almost nothing (paper: 1 of 621).
+    assert measured.get("BoostLikes.com", 0) <= 4
+
+    # Every burst farm loses more than BoostLikes.
+    for provider in paperdata.BURST_PROVIDERS:
+        assert measured.get(provider, 0) > measured.get("BoostLikes.com", 0), provider
+
+    # AuthenticLikes is the biggest loser, as in the paper (44).
+    assert measured["AuthenticLikes.com"] == max(
+        measured.get(p, 0) for p in paperdata.BURST_PROVIDERS
+    )
+
+    # Facebook campaigns lose a handful of accounts (paper: 11 of 1769).
+    fb = measured.get("Facebook.com", 0)
+    assert 1 <= fb <= 40
+
+    # Orders of magnitude track the paper within ~3x.
+    for provider, expected in PAPER_TERMINATED_BY_PROVIDER.items():
+        value = measured.get(provider, 0)
+        assert expected / 3.5 <= max(value, 0.5) <= expected * 3.5, provider

@@ -1,0 +1,27 @@
+"""Benchmark X5 — the capstone: every published quantity, one verdict table.
+
+Computes the full paper-vs-measured comparison (61 quantities across
+Tables 1-3, Figure 4, and the termination follow-up) on the paper-scale
+run, prints the verdict table, and asserts that every quantity lands inside
+its tolerance band.
+"""
+
+from repro.core.comparison import full_comparison, render_comparison
+from repro.core.results import ExperimentResults
+
+
+def test_full_comparison(benchmark, paper_results: ExperimentResults):
+    rows = benchmark(full_comparison, paper_results)
+
+    print()
+    print(render_comparison(paper_results))
+
+    assert len(rows) >= 55
+    out_of_band = [row for row in rows if not row.within_band]
+    assert not out_of_band, [
+        (row.quantity, row.paper_value, row.measured_value) for row in out_of_band
+    ]
+
+    # And the eight qualitative shape checks all hold at paper scale.
+    failing = [c for c in paper_results.shape_checks() if not c.passed]
+    assert not failing, [(c.name, c.detail) for c in failing]

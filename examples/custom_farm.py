@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Extending the simulator: define a brand-new like farm and measure it.
+
+The catalog's four farms are calibrated to the paper, but every mechanism is
+configuration: this example builds "DripLikes", a hypothetical farm that
+sits *between* the two modi operandi the paper found — it trickles likes
+like BoostLikes but uses cheap throwaway accounts like SocialFormula — and
+then runs the paper's analyses to see which signals still give it away.
+
+Usage:
+    python examples/custom_farm.py
+"""
+
+from repro.analysis.stats import max_count_in_window, summary_stats
+from repro.farms.accounts import FakeAccountFactory, FarmAccountConfig
+from repro.farms.base import REGION_USA
+from repro.farms.catalog import DeliveryStrategy, LikeFarmService
+from repro.farms.operator import FarmOperator
+from repro.farms.topology import FarmTopology, HubTopology, PairTripletTopology
+from repro.osn.network import SocialNetwork
+from repro.osn.population import PopulationConfig, WorldBuilder
+from repro.sim.engine import EventEngine
+from repro.util.distributions import Categorical, LogNormalCount
+from repro.util.rng import RngStream
+from repro.util.tables import render_table
+from repro.util.timeutil import DAY, HOUR
+
+
+def build_driplikes(network, factory, rng) -> LikeFarmService:
+    """A hybrid farm: cheap accounts, stealthy pacing."""
+    operator = FarmOperator(
+        "driplikes-op", network, factory, rng.child("op"), reuse_fraction=0.2
+    )
+    return LikeFarmService(
+        name="DripLikes.example",
+        operator=operator,
+        network=network,
+        account_config=FarmAccountConfig(
+            gender_female_share=0.35,
+            age=Categorical({"18-24": 60, "25-34": 30, "35-44": 10}),
+            background_friends=LogNormalCount(median=40, sigma=0.9, minimum=0),
+            page_like_count=LogNormalCount(median=900, sigma=0.6, minimum=30),
+            friend_list_public_rate=0.5,
+        ),
+        topology=FarmTopology(
+            pairs=PairTripletTopology(grouped_fraction=0.05),
+            hubs=HubTopology(hub_size=15, coverage=0.4),
+        ),
+        strategy=DeliveryStrategy(kind="trickle", duration_days=12.0),
+        rng=rng.child("svc"),
+    )
+
+
+def main() -> int:
+    rng = RngStream(7, "custom-farm")
+    network = SocialNetwork()
+    world = WorldBuilder(PopulationConfig.small()).build(network, rng.child("world"))
+    factory = FakeAccountFactory(network, world.universe)
+    engine = EventEngine()
+
+    farm = build_driplikes(network, factory, rng.child("farm"))
+    page = network.create_page("Virtual Electricity (DRIP)", category="honeypot")
+    order = farm.place_order(page.page_id, REGION_USA, target_likes=200,
+                             engine=engine, fulfillment=1.0)
+    engine.run_until(20 * DAY)
+
+    likers = network.page_liker_ids(page.page_id)
+    like_times = network.likes.page_like_times(page.page_id)
+    friend_counts = [network.declared_friend_count(u) for u in likers]
+    like_counts = [network.declared_like_count(u) for u in likers]
+
+    friends = summary_stats(friend_counts)
+    likes = summary_stats(like_counts)
+    burst = max_count_in_window(like_times, 2 * HOUR)
+
+    print(render_table(
+        ["Signal", "DripLikes.example", "Gives it away?"],
+        [
+            ["delivered likes", order.delivered_likes, "-"],
+            ["max likes in any 2h window",
+             f"{burst} ({burst / len(likers) * 100:.0f}%)",
+             "no (paced like BoostLikes)"],
+            ["median declared friends", f"{friends.median:.0f}",
+             "yes (throwaway accounts, ~40 vs organic ~130)"],
+            ["median declared page likes", f"{likes.median:.0f}",
+             "yes (~25x the organic baseline of ~34)"],
+        ],
+        title="Which of the paper's signals survive a hybrid farm?",
+    ))
+
+    print()
+    print("Takeaway: pacing alone does not hide a farm — the volume and")
+    print("account-quality signals from Sections 4.3-4.4 still fire, which is")
+    print("why the paper argues detectors should combine all of them.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

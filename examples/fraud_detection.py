@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Fake-like detection on honeypot data — the paper's proposed follow-up.
+
+Trains three detectors on one study's crawled features and evaluates them
+against the simulator's ground truth (which the paper did not have), then
+tests generalisation on a second, independently-seeded study:
+
+1. Interpretable threshold rules (like volume, bursts, targeting mismatch).
+2. A CopyCatch-style lockstep detector (after Beutel et al. [4]).
+3. A logistic-regression classifier over all features.
+
+The headline result reproduces the paper's conclusion: burst-farm likers
+are caught almost perfectly, while BoostLikes' stealthy likers largely
+evade every detector.
+
+Usage:
+    python examples/fraud_detection.py
+"""
+
+import numpy as np
+
+from repro.analysis.social import provider_membership
+from repro.core import HoneypotExperiment
+from repro.detection import (
+    FEATURE_NAMES,
+    GraphCommunityDetector,
+    LockstepDetector,
+    LogisticRegressionModel,
+    RuleBasedDetector,
+    build_feature_matrix,
+    combined_flags,
+    evaluate_flags,
+    extract_liker_features,
+    ground_truth_labels,
+)
+from repro.detection.evaluate import recall_by_provider
+from repro.util.tables import render_table
+
+
+def run_study(seed):
+    experiment = HoneypotExperiment.small(seed=seed)
+    results = experiment.run()
+    dataset = results.dataset
+    labels = ground_truth_labels(experiment.artifacts.network, dataset)
+    return dataset, labels
+
+
+def metrics_row(name, flagged, labels):
+    metrics = evaluate_flags(flagged, labels)
+    return [name, len(set(flagged)),
+            f"{metrics.precision:.3f}", f"{metrics.recall:.3f}", f"{metrics.f1:.3f}"]
+
+
+def main() -> int:
+    print("Training study (seed 1)...")
+    train_dataset, train_labels = run_study(seed=20140312)
+    print("Evaluation study (seed 2)...")
+    test_dataset, test_labels = run_study(seed=20141004)
+
+    rows = []
+
+    # 1. Threshold rules (no training needed)
+    rules = RuleBasedDetector()
+    test_features = extract_liker_features(test_dataset)
+    verdicts = rules.classify_all(test_features)
+    rule_flagged = [u for u, v in verdicts.items() if v.flagged]
+    rows.append(metrics_row("threshold rules", rule_flagged, test_labels))
+
+    # 2. Lockstep (CopyCatch-lite)
+    lockstep_flagged = LockstepDetector(min_group=3).flagged_users(test_dataset)
+    rows.append(metrics_row("lockstep (CopyCatch)", lockstep_flagged, test_labels))
+
+    # 2b. Graph communities (the sybil-detection angle)
+    graph_flagged = GraphCommunityDetector().flagged_users(test_dataset)
+    rows.append(metrics_row("graph communities", graph_flagged, test_labels))
+
+    # 3. Logistic regression trained on study 1, evaluated on study 2
+    train_matrix, train_ids = build_feature_matrix(
+        extract_liker_features(train_dataset)
+    )
+    train_y = np.array([1 if train_labels[u] else 0 for u in train_ids])
+    model = LogisticRegressionModel().fit(train_matrix, train_y)
+    test_matrix, test_ids = build_feature_matrix(test_features)
+    predictions = model.predict(test_matrix)
+    model_flagged = [u for u, p in zip(test_ids, predictions) if p == 1]
+    rows.append(metrics_row("logistic regression", model_flagged, test_labels))
+
+    print()
+    print(render_table(
+        ["Detector", "#Flagged", "Precision", "Recall", "F1"],
+        rows,
+        title="Detector performance on the held-out study",
+    ))
+
+    print()
+    print("Logistic-regression feature weights (|largest| first):")
+    for name, weight in model.feature_importance(list(FEATURE_NAMES)):
+        print(f"  {name:22s} {weight:+.3f}")
+
+    print()
+    membership = provider_membership(test_dataset)
+    recalls = recall_by_provider(rule_flagged, test_labels, membership)
+    print(render_table(
+        ["Provider", "Rule-based recall"],
+        [[provider, f"{recall:.2f}"] for provider, recall in sorted(recalls.items())],
+        title="Recall by provider (the paper's stealth-farm caveat)",
+    ))
+    boostlikes = recalls.get("BoostLikes.com", 0.0)
+    burst = min(recalls.get("SocialFormula.com", 0),
+                recalls.get("AuthenticLikes.com", 0))
+    print()
+    if boostlikes < burst:
+        print("Reproduced: stealth-farm (BoostLikes) likes evade detection that")
+        print("catches burst farms — the paper's concluding challenge.")
+
+    # ...and the fix the paper points toward: exploit the social graph.
+    flags = combined_flags(test_dataset, rule_flagged)
+    combined_recalls = recall_by_provider(
+        flags["combined"], test_labels, membership
+    )
+    combined_bl = combined_recalls.get("BoostLikes.com", 0.0)
+    print()
+    print(f"Adding graph communities lifts BoostLikes recall "
+          f"{boostlikes:.2f} -> {combined_bl:.2f}: the graph patterns the "
+          "paper says detectors 'can and should exploit'.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Shim so `python setup.py develop` works on machines without the wheel
+package (pip's editable install path needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

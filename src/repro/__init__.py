@@ -1,0 +1,43 @@
+"""Reproduction of "Paying for Likes? Understanding Facebook Like Fraud
+Using Honeypots" (De Cristofaro, Friedman, Jourjon, Kaafar, Shafiq --
+IMC 2014) on a fully simulated substrate.
+
+The package layers cleanly:
+
+* :mod:`repro.osn` -- the simulated social network (users, pages, likes,
+  friendships, privacy, the public directory, termination sweeps).
+* :mod:`repro.ads` -- the page-like ads platform (targeting, per-country
+  click markets, budget pacing, click workers, insights reports).
+* :mod:`repro.farms` -- the four like farms with their two modi operandi
+  (burst bots vs stealthy trickle), account pools, and topologies.
+* :mod:`repro.honeypot` -- the paper's instrument: honeypot pages, the
+  2-hour crawler, profile crawling under privacy, dataset storage.
+* :mod:`repro.analysis` -- Section 4's analyses: every table and figure.
+* :mod:`repro.detection` -- the fraud-detection follow-up the paper calls
+  for, evaluated against simulator ground truth.
+* :mod:`repro.core` -- the experiment runner, published paper values, and
+  shape checks.
+
+Quickstart::
+
+    from repro import HoneypotExperiment
+    results = HoneypotExperiment.small().run()
+    print(results.passed_all())
+"""
+
+from repro.core.experiment import HoneypotExperiment
+from repro.core.results import ExperimentResults, ShapeCheck
+from repro.honeypot.storage import HoneypotDataset
+from repro.honeypot.study import HoneypotStudy, StudyConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentResults",
+    "HoneypotDataset",
+    "HoneypotExperiment",
+    "HoneypotStudy",
+    "ShapeCheck",
+    "StudyConfig",
+    "__version__",
+]

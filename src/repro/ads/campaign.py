@@ -1,0 +1,75 @@
+"""Ad campaign state.
+
+A page-like ad campaign with the paper's budget structure: a daily budget
+cap for a fixed number of days ($6/day for 15 days in every Facebook
+campaign the paper ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.ads.targeting import TargetingSpec
+from repro.osn.ids import PageId, UserId
+from repro.util.timeutil import DAY
+from repro.util.validation import check_positive, require
+
+
+@dataclass
+class AdCampaign:
+    """A running page-like ad campaign.
+
+    Attributes
+    ----------
+    page_id:
+        The promoted page.
+    targeting:
+        Audience filter.
+    daily_budget:
+        Spend cap per day in dollars.
+    duration_days:
+        How many days the campaign runs.
+    start_time:
+        Launch time in simulation minutes.
+    """
+
+    page_id: PageId
+    targeting: TargetingSpec
+    daily_budget: float
+    duration_days: int
+    start_time: int = 0
+    spend: float = 0.0
+    clicks: int = 0
+    likes_delivered: int = 0
+    liker_ids: List[UserId] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive(self.daily_budget, "daily_budget")
+        check_positive(self.duration_days, "duration_days")
+        require(self.start_time >= 0, "start_time must be >= 0")
+
+    @property
+    def end_time(self) -> int:
+        """The minute the campaign stops serving."""
+        return self.start_time + self.duration_days * DAY
+
+    @property
+    def total_budget(self) -> float:
+        """Total spend cap across the campaign's lifetime."""
+        return self.daily_budget * self.duration_days
+
+    def is_active(self, time: int) -> bool:
+        """Whether the campaign serves ads at ``time``."""
+        return self.start_time <= time < self.end_time
+
+    def record_click(self, cost: float) -> None:
+        """Charge one click against the campaign."""
+        require(cost >= 0, "click cost must be >= 0")
+        self.spend += cost
+        self.clicks += 1
+
+    def record_like(self, user_id: UserId) -> None:
+        """Credit a delivered page like to the campaign."""
+        self.likes_delivered += 1
+        self.liker_ids.append(user_id)

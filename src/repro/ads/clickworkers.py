@@ -1,0 +1,212 @@
+"""The click-worker population.
+
+The paper's strongest ad-side finding is that even *legitimate* Facebook
+campaigns attracted profiles that behave nothing like typical users: likers
+liked a median of 600-1000 pages (baseline: ~34), skewed heavily young and
+male, and their liked-page sets overlapped with like-farm users'.  The
+accepted explanation (which the paper cites and our simulation adopts) is a
+population of professional click workers — real or well-masked accounts that
+click on ads and like pages indiscriminately, concentrated in cheap ad
+markets.
+
+This module generates per-country pools of such accounts.  Pools are lazy
+and persistent: the same workers serve every campaign that reaches their
+country, which is what produces the liker overlap between the FB-IND,
+FB-EGY, and FB-ALL campaigns (paper Figure 5b) and the page-set overlap with
+farm accounts (both populations like the same spam-job and popular pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.osn.ids import UserId
+from repro.osn.network import SocialNetwork
+from repro.osn.population import sample_age
+from repro.osn.profile import COHORT_CLICKWORKER, Gender
+from repro.osn.universe import CLICKWORKER_MIX, LikeMix, PageUniverse
+from repro.util.distributions import Categorical, LogNormalCount
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, check_positive, require
+
+#: Click workers skew very young (paper Table 2: FB-IND 52.7 % aged 13-17).
+CLICKWORKER_AGE_WEIGHTS = {
+    "13-17": 50.0,
+    "18-24": 44.0,
+    "25-34": 4.0,
+    "35-44": 1.0,
+    "45-54": 0.5,
+    "55+": 0.5,
+}
+
+#: Male share of click workers by country (paper Table 2: FB-IND 93 % male).
+CLICKWORKER_MALE_SHARE = {
+    "IN": 0.95,
+    "EG": 0.85,
+    "TR": 0.65,
+    "ID": 0.80,
+    "PH": 0.70,
+}
+DEFAULT_MALE_SHARE = 0.50
+
+
+@dataclass
+class ClickWorkerConfig:
+    """Behavioural parameters of the click-worker population.
+
+    Attributes
+    ----------
+    page_like_count:
+        Total pages a worker likes (paper: FB-campaign likers' medians were
+        600-1000).
+    background_friends:
+        Declared friends outside the simulated world (paper Table 3: FB
+        likers had ~198 median friends).
+    friend_list_public_rate:
+        Paper Table 3: only 18 % of FB-campaign likers had public lists.
+    like_mix:
+        How a worker's explicit likes split across the page universe's
+        global/regional/spam segments (the spam share is what overlaps with
+        farm accounts in Figure 5a).
+    explicit_like_cap:
+        At most this many of a worker's likes are recorded against the
+        simulated page universe; the remainder becomes the profile's
+        background like count.  Keeps big like totals affordable in small
+        worlds while preserving set-overlap structure.
+    hub_ring_size / hub_coverage:
+        Workers are organised in rings that share a manager ("hub") account;
+        hubs create the sparse mutual-friend (2-hop) links between FB-campaign
+        likers seen in paper Table 3 / Figure 3b.
+    direct_edge_rate:
+        Expected direct worker-worker friendships per worker (paper saw only
+        6 direct edges among 1448 FB likers).
+    """
+
+    page_like_count: LogNormalCount = field(
+        default_factory=lambda: LogNormalCount(median=800, sigma=0.65, minimum=20)
+    )
+    background_friends: LogNormalCount = field(
+        default_factory=lambda: LogNormalCount(median=190, sigma=0.9, minimum=5, maximum=4500)
+    )
+    friend_list_public_rate: float = 0.16
+    like_mix: LikeMix = CLICKWORKER_MIX
+    explicit_like_cap: int = 120
+    hub_ring_size: int = 6
+    hub_coverage: float = 0.30
+    direct_edge_rate: float = 0.004
+    age: Categorical = field(default_factory=lambda: Categorical(CLICKWORKER_AGE_WEIGHTS))
+
+    def __post_init__(self) -> None:
+        check_fraction(self.friend_list_public_rate, "friend_list_public_rate")
+        check_positive(self.explicit_like_cap, "explicit_like_cap")
+        check_fraction(self.hub_coverage, "hub_coverage")
+        check_positive(self.hub_ring_size, "hub_ring_size")
+        require(self.direct_edge_rate >= 0, "direct_edge_rate must be >= 0")
+
+
+class ClickWorkerPopulation:
+    """Lazily-built per-country pools of click-worker accounts."""
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        universe: PageUniverse,
+        rng: RngStream,
+        config: ClickWorkerConfig = None,
+    ) -> None:
+        self._network = network
+        self._universe = universe
+        self._rng = rng
+        self.config = config if config is not None else ClickWorkerConfig()
+        self._pools: Dict[str, List[UserId]] = {}
+
+    def pool(self, country: str) -> List[UserId]:
+        """The current pool for ``country`` (possibly empty)."""
+        return list(self._pools.get(country, ()))
+
+    def ensure_pool(self, country: str, size: int) -> List[UserId]:
+        """Grow the ``country`` pool to at least ``size`` workers; return it."""
+        check_positive(size, "size")
+        pool = self._pools.setdefault(country, [])
+        if len(pool) < size:
+            new_workers = self._create_workers(country, size - len(pool))
+            self._wire_hubs(country, new_workers)
+            pool.extend(new_workers)
+        return list(pool)
+
+    def sample_worker(self, country: str, rng: RngStream, min_pool: int = 50) -> UserId:
+        """Draw a worker from the country pool, growing it lazily.
+
+        Sampling is with replacement across calls: the same worker serves
+        many jobs, so likers recur across campaigns.
+        """
+        pool = self.ensure_pool(country, min_pool)
+        return rng.choice(pool)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _create_workers(self, country: str, count: int) -> List[UserId]:
+        cfg = self.config
+        rng = self._rng.child(f"workers/{country}/{len(self._pools.get(country, []))}")
+        male_share = CLICKWORKER_MALE_SHARE.get(country, DEFAULT_MALE_SHARE)
+        workers: List[UserId] = []
+        for _ in range(count):
+            gender = Gender.MALE if rng.bernoulli(male_share) else Gender.FEMALE
+            profile = self._network.create_user(
+                gender=gender,
+                age=sample_age(rng, cfg.age),
+                country=country,
+                friend_list_public=rng.bernoulli(cfg.friend_list_public_rate),
+                searchable=False,
+                cohort=COHORT_CLICKWORKER,
+            )
+            profile.background_friend_count = cfg.background_friends.sample(rng)
+            self._assign_page_likes(profile.user_id, rng)
+            workers.append(profile.user_id)
+        self._wire_direct_edges(workers, rng)
+        return workers
+
+    def _assign_page_likes(self, user_id: UserId, rng: RngStream) -> None:
+        cfg = self.config
+        total = cfg.page_like_count.sample(rng)
+        explicit = min(total, cfg.explicit_like_cap)
+        country = self._network.user(user_id).country
+        chosen = self._universe.sample_likes(
+            rng, explicit, cfg.like_mix, country, spam_key="clickworker"
+        )
+        for page_id in chosen:
+            self._network.like_page(user_id, page_id, time=0)
+        self._network.user(user_id).background_like_count = total - len(chosen)
+
+    def _wire_hubs(self, country: str, workers: List[UserId]) -> None:
+        cfg = self.config
+        rng = self._rng.child(f"hubs/{country}/{len(workers)}")
+        ring_members = [w for w in workers if rng.bernoulli(cfg.hub_coverage)]
+        rings = [
+            ring_members[i : i + cfg.hub_ring_size]
+            for i in range(0, len(ring_members), cfg.hub_ring_size)
+        ]
+        male_share = CLICKWORKER_MALE_SHARE.get(country, DEFAULT_MALE_SHARE)
+        for ring in rings:
+            if len(ring) < 2:
+                continue
+            hub = self._network.create_user(
+                gender=Gender.MALE if rng.bernoulli(male_share) else Gender.FEMALE,
+                age=sample_age(rng, cfg.age),
+                country=country,
+                friend_list_public=False,
+                searchable=False,
+                cohort=COHORT_CLICKWORKER,
+            )
+            for worker in ring:
+                self._network.add_friendship(hub.user_id, worker)
+
+    def _wire_direct_edges(self, workers: List[UserId], rng: RngStream) -> None:
+        if len(workers) < 2:
+            return
+        expected_edges = self.config.direct_edge_rate * len(workers)
+        edge_count = rng.poisson(expected_edges)
+        for _ in range(edge_count):
+            a, b = rng.sample_without_replacement(workers, 2)
+            self._network.add_friendship(a, b)

@@ -1,0 +1,210 @@
+"""The ad-delivery engine.
+
+Turns a campaign's budget into scheduled click events on the simulation
+engine.  Each day the pacing optimiser splits the daily budget across the
+targeting's eligible markets (chasing cheap plentiful clicks, see
+:class:`repro.ads.costmodel.CostModel`), draws a Poisson number of clicks per
+market, spreads them over a diurnal curve, and resolves each click to either
+a click worker or an organic user who may then like the page.
+
+Conversion rates are asymmetric by design: the honeypot pages say "this is
+not a real page, so please do not like it", so ordinary users mostly don't —
+but click workers like indiscriminately.  This is the mechanism behind the
+paper's observation that even legitimate ad campaigns garner suspicious
+likes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ads.campaign import AdCampaign
+from repro.ads.clickworkers import ClickWorkerPopulation
+from repro.ads.costmodel import CostModel
+from repro.osn.ids import UserId
+from repro.osn.network import SocialNetwork
+from repro.sim.engine import EventEngine
+from repro.util.distributions import Categorical
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY, HOUR
+from repro.util.validation import check_fraction, require
+
+#: Ad-click propensity by age bracket for *organic* users.  Calibrated so
+#: the FB-USA / FB-FRA liker age mix skews as young as paper Table 2 shows.
+ORGANIC_CLICK_AGE_WEIGHTS = {
+    "13-17": 16.0,
+    "18-24": 4.0,
+    "25-34": 1.0,
+    "35-44": 0.5,
+    "45-54": 0.25,
+    "55+": 0.4,
+}
+
+#: Relative ad traffic by hour of day (mild evening peak).
+_DIURNAL_WEIGHTS = {hour: 1.0 + 0.6 * np.sin((hour - 14) / 24 * 2 * np.pi) for hour in range(24)}
+
+
+@dataclass
+class DeliveryConfig:
+    """Click-to-like conversion behaviour.
+
+    Attributes
+    ----------
+    clickworker_like_rate:
+        Probability a click worker who clicked the ad likes the page.
+    organic_like_rate:
+        Probability an ordinary user does.  Kept very low: the honeypot
+        explicitly asks users not to like it, and the paper concludes that
+        "a vast majority of the garnered likes are fake" — even the USA and
+        France campaigns' likers had page-like medians 20-30x the baseline.
+    min_worker_pool:
+        Minimum click-worker pool size per country (pools grow on demand).
+    worker_pool_headroom:
+        Pools are pre-sized to ``expected worker likes * headroom`` at launch.
+        Headroom > 1 keeps repeat draws (a worker clicking twice) from
+        throttling unique likers; smaller values increase cross-campaign
+        liker overlap.
+    """
+
+    clickworker_like_rate: float = 0.42
+    organic_like_rate: float = 0.02
+    min_worker_pool: int = 60
+    worker_pool_headroom: float = 3.0
+    organic_age_weights: Categorical = field(
+        default_factory=lambda: Categorical(ORGANIC_CLICK_AGE_WEIGHTS)
+    )
+
+    def __post_init__(self) -> None:
+        check_fraction(self.clickworker_like_rate, "clickworker_like_rate")
+        check_fraction(self.organic_like_rate, "organic_like_rate")
+        require(self.min_worker_pool > 0, "min_worker_pool must be > 0")
+        require(self.worker_pool_headroom >= 1.0, "worker_pool_headroom must be >= 1")
+
+
+class AdDeliveryEngine:
+    """Schedules and resolves ad clicks for any number of campaigns."""
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        cost_model: CostModel,
+        clickworkers: ClickWorkerPopulation,
+        rng: RngStream,
+        config: DeliveryConfig = None,
+    ) -> None:
+        self._network = network
+        self._cost_model = cost_model
+        self._clickworkers = clickworkers
+        self._rng = rng
+        self.config = config if config is not None else DeliveryConfig()
+        self._organic_by_country = self._index_organics()
+        self._diurnal = Categorical(_DIURNAL_WEIGHTS)
+        self._campaign_counter = 0
+
+    def launch(self, campaign: AdCampaign, engine: EventEngine) -> None:
+        """Schedule every click of ``campaign`` on the simulation engine."""
+        self._campaign_counter += 1
+        rng = self._rng.child(f"campaign/{self._campaign_counter}")
+        shares = self._cost_model.budget_shares(campaign.targeting)
+        self._presize_pools(campaign, shares)
+        for day in range(campaign.duration_days):
+            day_start = campaign.start_time + day * DAY
+            for country, share in shares.items():
+                market = self._cost_model.market(country)
+                expected_clicks = share * campaign.daily_budget / market.cpc
+                n_clicks = rng.poisson(expected_clicks)
+                for _ in range(n_clicks):
+                    time = day_start + self._sample_minute_of_day(rng)
+                    engine.schedule(
+                        time,
+                        self._click_handler(campaign, country, rng),
+                        label=f"ad-click:{country}",
+                    )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _presize_pools(self, campaign: AdCampaign, shares: Dict[str, float]) -> None:
+        """Grow worker pools to match expected demand before clicks land.
+
+        Without this, a small default pool saturates (every worker has
+        already liked the page) and unique likes stall far below what the
+        budget pays for.
+        """
+        for country, share in shares.items():
+            market = self._cost_model.market(country)
+            expected_clicks = share * campaign.total_budget / market.cpc
+            expected_worker_likes = (
+                expected_clicks
+                * market.clickworker_share
+                * self.config.clickworker_like_rate
+            )
+            target = int(np.ceil(expected_worker_likes * self.config.worker_pool_headroom))
+            if target >= 1:
+                self._clickworkers.ensure_pool(country, max(target, 1))
+
+    def _click_handler(self, campaign: AdCampaign, country: str, rng: RngStream):
+        def handle(time: int) -> None:
+            market = self._cost_model.market(country)
+            if campaign.spend + market.cpc > campaign.total_budget:
+                return  # daily pacing already bounds spend; this is the hard cap
+            campaign.record_click(market.cpc)
+            clicker = self._pick_clicker(country, market.clickworker_share, rng)
+            if clicker is None:
+                return
+            profile = self._network.user(clicker)
+            if profile.is_terminated:
+                return
+            like_rate = (
+                self.config.clickworker_like_rate
+                if profile.cohort == "clickworker"
+                else self.config.organic_like_rate
+            )
+            if rng.bernoulli(like_rate):
+                if self._network.like_page(clicker, campaign.page_id, time):
+                    campaign.record_like(clicker)
+
+        return handle
+
+    def _pick_clicker(self, country: str, worker_share: float, rng: RngStream) -> UserId:
+        if rng.bernoulli(worker_share):
+            return self._clickworkers.sample_worker(
+                country, rng, min_pool=self.config.min_worker_pool
+            )
+        return self._pick_organic(country, rng)
+
+    def _pick_organic(self, country: str, rng: RngStream) -> UserId:
+        candidates = self._organic_by_country.get(country)
+        if not candidates:
+            # No organic inventory in this country: the click still happened
+            # (billed) but came from an out-of-world user who cannot like.
+            return None
+        users, weights = candidates
+        index = rng.generator.choice(len(users), p=weights)
+        return users[int(index)]
+
+    def _index_organics(self) -> Dict[str, tuple]:
+        by_country: Dict[str, List[UserId]] = {}
+        for profile in self._network.all_users():
+            if profile.cohort == "organic":
+                by_country.setdefault(profile.country, []).append(profile.user_id)
+        indexed: Dict[str, tuple] = {}
+        age_weights = self.config.organic_age_weights
+        for country, users in by_country.items():
+            raw = np.array(
+                [
+                    age_weights.probability(self._network.user(u).age_bracket)
+                    for u in users
+                ]
+            )
+            total = raw.sum()
+            if total <= 0:
+                continue
+            indexed[country] = (users, raw / total)
+        return indexed
+
+    def _sample_minute_of_day(self, rng: RngStream) -> int:
+        hour = self._diurnal.sample(rng)
+        return int(hour) * HOUR + rng.randint(0, HOUR)

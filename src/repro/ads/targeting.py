@@ -1,0 +1,75 @@
+"""Ad targeting specifications.
+
+The paper's five Facebook campaigns targeted USA, France, India, Egypt, and
+"worldwide".  The spec supports the dimensions the 2014 ads manager exposed
+for page-like ads: location, age range, and gender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.osn.profile import Gender, UserProfile
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class TargetingSpec:
+    """Audience filter for an ad campaign.
+
+    Attributes
+    ----------
+    countries:
+        ISO-ish country codes; ``None`` means worldwide.
+    min_age / max_age:
+        Inclusive age bounds (platform minimum is 13).
+    genders:
+        Restrict to specific genders; ``None`` means all.
+    """
+
+    countries: Optional[Tuple[str, ...]] = None
+    min_age: int = 13
+    max_age: int = 120
+    genders: Optional[Tuple[Gender, ...]] = None
+
+    def __post_init__(self) -> None:
+        require(self.min_age >= 13, "min_age must be >= 13")
+        require(self.max_age >= self.min_age, "max_age must be >= min_age")
+        if self.countries is not None:
+            require(len(self.countries) > 0, "countries tuple must be non-empty or None")
+
+    @staticmethod
+    def worldwide() -> "TargetingSpec":
+        """The unrestricted audience."""
+        return TargetingSpec()
+
+    @staticmethod
+    def country(code: str) -> "TargetingSpec":
+        """A single-country audience."""
+        return TargetingSpec(countries=(code,))
+
+    @property
+    def is_worldwide(self) -> bool:
+        """True when no location restriction applies."""
+        return self.countries is None
+
+    def allows_country(self, country: str) -> bool:
+        """Whether users from ``country`` are in the audience."""
+        return self.countries is None or country in self.countries
+
+    def matches(self, profile: UserProfile) -> bool:
+        """Whether ``profile`` falls inside the targeted audience."""
+        if not self.allows_country(profile.country):
+            return False
+        if not (self.min_age <= profile.age <= self.max_age):
+            return False
+        if self.genders is not None and profile.gender not in self.genders:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable location label (used in reports)."""
+        if self.countries is None:
+            return "Worldwide"
+        return "+".join(self.countries)

@@ -1,0 +1,135 @@
+"""Location and demographics analysis (paper Section 4.1).
+
+Reproduces Figure 1 (liker geolocation per campaign, bucketed to the six
+countries the paper plots) and Table 2 (gender split, age-bracket
+distribution, and KL divergence against the global population).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.stats import kl_divergence_bits
+from repro.honeypot.storage import HoneypotDataset
+from repro.osn.profile import AGE_BRACKETS
+from repro.util.validation import require
+
+#: The countries the paper's Figure 1 shows individually; everything else
+#: falls into "Other".
+FIGURE1_COUNTRIES = ("US", "IN", "EG", "TR", "FR")
+
+OTHER_BUCKET = "Other"
+
+
+@dataclass(frozen=True)
+class CountryBuckets:
+    """A campaign's liker geolocation, bucketed as in Figure 1."""
+
+    campaign_id: str
+    fractions: Dict[str, float]  # country code (or "Other") -> fraction
+
+    def top_country(self) -> Tuple[str, float]:
+        """The dominant bucket and its share."""
+        require(len(self.fractions) > 0, "no fractions recorded")
+        country = max(self.fractions, key=lambda c: self.fractions[c])
+        return country, self.fractions[country]
+
+
+def country_distribution(
+    dataset: HoneypotDataset, campaign_id: str, countries: Tuple[str, ...] = FIGURE1_COUNTRIES
+) -> CountryBuckets:
+    """Figure 1: where a campaign's likers are located."""
+    likers = dataset.likers_of(campaign_id)
+    counts = Counter(liker.country for liker in likers)
+    total = sum(counts.values())
+    fractions: Dict[str, float] = {}
+    other = 0
+    for country, count in counts.items():
+        if country in countries:
+            fractions[country] = count / total if total else 0.0
+        else:
+            other += count
+    for country in countries:
+        fractions.setdefault(country, 0.0)
+    fractions[OTHER_BUCKET] = other / total if total else 0.0
+    return CountryBuckets(campaign_id=campaign_id, fractions=fractions)
+
+
+def gender_split(dataset: HoneypotDataset, campaign_id: str) -> Tuple[float, float]:
+    """(female %, male %) of a campaign's likers."""
+    likers = dataset.likers_of(campaign_id)
+    if not likers:
+        return (0.0, 0.0)
+    females = sum(1 for liker in likers if liker.gender == "F")
+    total = len(likers)
+    return (100.0 * females / total, 100.0 * (total - females) / total)
+
+
+def age_distribution(dataset: HoneypotDataset, campaign_id: str) -> Dict[str, float]:
+    """Age-bracket percentages of a campaign's likers, in bracket order."""
+    likers = dataset.likers_of(campaign_id)
+    counts = Counter(liker.age_bracket for liker in likers)
+    total = sum(counts.values())
+    return {
+        bracket: (100.0 * counts.get(bracket, 0) / total if total else 0.0)
+        for bracket in AGE_BRACKETS
+    }
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table 2."""
+
+    campaign_id: str
+    female_pct: float
+    male_pct: float
+    age_pct: Dict[str, float]
+    kl_divergence: float
+
+
+def global_age_pct(dataset: HoneypotDataset) -> Dict[str, float]:
+    """The global population's age-bracket percentages (Table 2 last row)."""
+    return {
+        bracket: 100.0 * dataset.global_age.get(bracket, 0.0)
+        for bracket in AGE_BRACKETS
+    }
+
+
+def table2(dataset: HoneypotDataset, skip_inactive: bool = True) -> List[Table2Row]:
+    """Table 2: demographics of likers per campaign plus the global row."""
+    reference = {
+        bracket: dataset.global_age.get(bracket, 0.0) for bracket in AGE_BRACKETS
+    }
+    rows: List[Table2Row] = []
+    for campaign_id in dataset.campaign_ids():
+        record = dataset.campaign(campaign_id)
+        if skip_inactive and record.inactive:
+            continue
+        female, male = gender_split(dataset, campaign_id)
+        ages = age_distribution(dataset, campaign_id)
+        divergence = kl_divergence_bits(
+            {bracket: pct / 100.0 for bracket, pct in ages.items()}, reference
+        )
+        rows.append(
+            Table2Row(
+                campaign_id=campaign_id,
+                female_pct=female,
+                male_pct=male,
+                age_pct=ages,
+                kl_divergence=divergence,
+            )
+        )
+    global_female = 100.0 * dataset.global_gender.get("F", 0.0)
+    global_male = 100.0 * dataset.global_gender.get("M", 0.0)
+    rows.append(
+        Table2Row(
+            campaign_id="Facebook",
+            female_pct=global_female,
+            male_pct=global_male,
+            age_pct=global_age_pct(dataset),
+            kl_divergence=0.0,
+        )
+    )
+    return rows

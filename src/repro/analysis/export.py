@@ -1,0 +1,154 @@
+"""CSV export of every table and figure.
+
+For users who want to re-plot the paper's artefacts with their own tooling:
+each function writes one tidy CSV; :func:`export_all` writes the full set
+into a directory and returns the paths.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.demographics import country_distribution, table2
+from repro.analysis.likes import baseline_like_counts, campaign_like_counts
+from repro.analysis.similarity import jaccard_matrices
+from repro.analysis.social import group_graph_stats, provider_social_stats
+from repro.analysis.summary import table1
+from repro.analysis.temporal import cumulative_series
+from repro.honeypot.storage import HoneypotDataset
+from repro.osn.profile import AGE_BRACKETS
+
+
+def _write(path: Path, header: List[str], rows: List[List]) -> Path:
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_table1(dataset: HoneypotDataset, path: Path) -> Path:
+    """Campaign summary -> CSV."""
+    rows = [
+        [r.campaign_id, r.provider, r.location, r.budget, r.duration_days,
+         round(r.monitored_days, 2), r.likes, r.terminated, r.inactive]
+        for r in table1(dataset)
+    ]
+    return _write(path, ["campaign_id", "provider", "location", "budget",
+                         "duration_days", "monitored_days", "likes",
+                         "terminated", "inactive"], rows)
+
+
+def export_table2(dataset: HoneypotDataset, path: Path) -> Path:
+    """Demographics table -> CSV."""
+    rows = []
+    for r in table2(dataset):
+        rows.append(
+            [r.campaign_id, round(r.female_pct, 2), round(r.male_pct, 2)]
+            + [round(r.age_pct[b], 2) for b in AGE_BRACKETS]
+            + [round(r.kl_divergence, 4)]
+        )
+    header = ["campaign_id", "female_pct", "male_pct", *AGE_BRACKETS, "kl_bits"]
+    return _write(path, header, rows)
+
+
+def export_table3(dataset: HoneypotDataset, path: Path) -> Path:
+    """Social statistics -> CSV."""
+    rows = [
+        [s.provider, s.n_likers, s.n_public_friend_lists,
+         round(s.friend_count.mean, 2), round(s.friend_count.std, 2),
+         s.friend_count.median, s.direct_friendships, s.two_hop_relations]
+        for s in provider_social_stats(dataset)
+    ]
+    return _write(path, ["provider", "likers", "public_friend_lists",
+                         "friends_mean", "friends_std", "friends_median",
+                         "direct_friendships", "two_hop_relations"], rows)
+
+
+def export_figure1(dataset: HoneypotDataset, path: Path) -> Path:
+    """Geolocation distributions -> tidy CSV (campaign, country, fraction)."""
+    rows = []
+    for campaign_id in dataset.campaign_ids():
+        buckets = country_distribution(dataset, campaign_id)
+        for country, fraction in buckets.fractions.items():
+            rows.append([campaign_id, country, round(fraction, 5)])
+    return _write(path, ["campaign_id", "country", "fraction"], rows)
+
+
+def export_figure2(dataset: HoneypotDataset, path: Path, horizon_days: float = 15.0) -> Path:
+    """Cumulative like series -> tidy CSV (campaign, day, cumulative)."""
+    rows = []
+    for campaign_id in dataset.campaign_ids():
+        days, counts = cumulative_series(dataset, campaign_id, horizon_days=horizon_days)
+        for day, count in zip(days, counts):
+            rows.append([campaign_id, round(day, 4), count])
+    return _write(path, ["campaign_id", "day", "cumulative_likes"], rows)
+
+
+def export_figure3(dataset: HoneypotDataset, path: Path) -> Path:
+    """Graph-structure census (both panels) -> CSV."""
+    rows = []
+    for panel, include_mutual in (("direct", False), ("mutual", True)):
+        for s in group_graph_stats(dataset, include_mutual=include_mutual):
+            rows.append([panel, s.provider, s.n_nodes_with_edges, s.n_edges,
+                         s.n_components, s.n_pair_components,
+                         s.n_triplet_components, s.largest_component,
+                         round(s.connected_fraction, 4)])
+    return _write(path, ["panel", "provider", "nodes", "edges", "components",
+                         "pairs", "triplets", "largest", "connected_fraction"],
+                  rows)
+
+
+def export_figure4(dataset: HoneypotDataset, path: Path) -> Path:
+    """Per-liker like counts -> tidy CSV (population, like_count)."""
+    rows = []
+    for campaign_id in dataset.campaign_ids():
+        for count in campaign_like_counts(dataset, campaign_id):
+            rows.append([campaign_id, count])
+    for count in baseline_like_counts(dataset):
+        rows.append(["baseline", count])
+    return _write(path, ["population", "like_count"], rows)
+
+
+def export_figure5(dataset: HoneypotDataset, page_path: Path, user_path: Path) -> List[Path]:
+    """Both Jaccard matrices -> two CSVs (long form)."""
+    matrices = jaccard_matrices(dataset)
+    ids = matrices.campaign_ids
+    paths = []
+    for matrix, path in (
+        (matrices.page_similarity, page_path),
+        (matrices.user_similarity, user_path),
+    ):
+        rows = [
+            [ids[i], ids[j], round(matrix[i][j], 3)]
+            for i in range(len(ids))
+            for j in range(len(ids))
+        ]
+        paths.append(_write(path, ["campaign_a", "campaign_b", "jaccard_x100"], rows))
+    return paths
+
+
+def export_all(dataset: HoneypotDataset, directory: Path) -> Dict[str, Path]:
+    """Write every table/figure CSV into ``directory``; returns name -> path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    outputs: Dict[str, Path] = {
+        "table1": export_table1(dataset, directory / "table1.csv"),
+        "table2": export_table2(dataset, directory / "table2.csv"),
+        "table3": export_table3(dataset, directory / "table3.csv"),
+        "figure1": export_figure1(dataset, directory / "figure1_geolocation.csv"),
+        "figure2": export_figure2(dataset, directory / "figure2_timeseries.csv"),
+        "figure3": export_figure3(dataset, directory / "figure3_graph.csv"),
+        "figure4": export_figure4(dataset, directory / "figure4_like_counts.csv"),
+    }
+    page_path, user_path = export_figure5(
+        dataset,
+        directory / "figure5_page_jaccard.csv",
+        directory / "figure5_user_jaccard.csv",
+    )
+    outputs["figure5_page"] = page_path
+    outputs["figure5_user"] = user_path
+    return outputs

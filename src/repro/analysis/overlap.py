@@ -1,0 +1,107 @@
+"""Cross-campaign liker overlap, in raw counts.
+
+The paper notes that "a few users liked pages in multiple campaigns" (the
+reason Table 3's liker counts differ from Table 1's like counts) and builds
+its Figure 5b on the resulting overlap.  This module reports the raw view:
+how many likers appear in 1, 2, 3+ campaigns, and the pairwise shared-liker
+count matrix that the Jaccard matrix normalises away.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from repro.honeypot.storage import HoneypotDataset
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class OverlapSummary:
+    """How likers distribute across campaigns."""
+
+    total_likes: int
+    unique_likers: int
+    multiplicity: Dict[int, int]  # campaigns-liked -> number of likers
+
+    @property
+    def repeat_likers(self) -> int:
+        """Likers observed on two or more honeypots."""
+        return sum(count for n, count in self.multiplicity.items() if n >= 2)
+
+    @property
+    def repeat_fraction(self) -> float:
+        """Share of likers seen on multiple honeypots."""
+        if self.unique_likers == 0:
+            return 0.0
+        return self.repeat_likers / self.unique_likers
+
+
+def overlap_summary(dataset: HoneypotDataset) -> OverlapSummary:
+    """Multiplicity distribution of likers across campaigns."""
+    multiplicity = Counter(
+        len(liker.campaign_ids) for liker in dataset.likers.values()
+    )
+    return OverlapSummary(
+        total_likes=dataset.total_likes,
+        unique_likers=len(dataset.likers),
+        multiplicity=dict(sorted(multiplicity.items())),
+    )
+
+
+def shared_liker_counts(dataset: HoneypotDataset) -> Dict[Tuple[str, str], int]:
+    """Raw shared-liker counts for every campaign pair (order-independent).
+
+    Only pairs with at least one shared liker are returned.
+    """
+    liker_sets = {
+        campaign_id: set(dataset.campaign(campaign_id).liker_ids)
+        for campaign_id in dataset.campaign_ids()
+    }
+    counts: Dict[Tuple[str, str], int] = {}
+    for a, b in combinations(dataset.campaign_ids(), 2):
+        shared = len(liker_sets[a] & liker_sets[b])
+        if shared:
+            counts[(a, b)] = shared
+    return counts
+
+
+def top_overlaps(
+    dataset: HoneypotDataset, limit: int = 10
+) -> List[Tuple[str, str, int]]:
+    """The most-overlapping campaign pairs, largest first."""
+    counts = shared_liker_counts(dataset)
+    ranked = sorted(counts.items(), key=lambda item: -item[1])
+    return [(a, b, n) for (a, b), n in ranked[:limit]]
+
+
+def render_overlap(dataset: HoneypotDataset) -> str:
+    """Text rendering of the multiplicity split and top shared pairs."""
+    summary = overlap_summary(dataset)
+    multiplicity_rows = [
+        [n_campaigns, count]
+        for n_campaigns, count in summary.multiplicity.items()
+    ]
+    blocks = [
+        render_table(
+            ["#Campaigns liked", "#Likers"],
+            multiplicity_rows,
+            title=(
+                f"Liker multiplicity: {summary.total_likes} likes from "
+                f"{summary.unique_likers} likers "
+                f"({summary.repeat_fraction * 100:.1f}% repeat)"
+            ),
+        )
+    ]
+    pair_rows = [[a, b, n] for a, b, n in top_overlaps(dataset)]
+    if pair_rows:
+        blocks.append(
+            render_table(
+                ["Campaign A", "Campaign B", "Shared likers"],
+                pair_rows,
+                title="Largest cross-campaign overlaps",
+            )
+        )
+    return "\n\n".join(blocks)

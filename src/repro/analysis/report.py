@@ -1,0 +1,202 @@
+"""Plain-text rendering of every table and figure.
+
+Each ``render_*`` function returns a string shaped like the corresponding
+paper artefact; :func:`full_report` concatenates all of them.  The benchmark
+harness prints these next to the published values.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.demographics import (
+    country_distribution,
+    table2,
+)
+from repro.analysis.economics import render_economics
+from repro.analysis.overlap import render_overlap
+from repro.analysis.likes import like_count_summary
+from repro.analysis.similarity import jaccard_matrices
+from repro.analysis.social import group_graph_stats, provider_social_stats
+from repro.analysis.summary import table1
+from repro.analysis.temporal import classify_strategy, cumulative_series, temporal_profile
+from repro.honeypot.storage import HoneypotDataset
+from repro.osn.profile import AGE_BRACKETS
+from repro.util.tables import render_matrix, render_percentage_bars, render_table
+
+
+def render_table1(dataset: HoneypotDataset) -> str:
+    """Table 1: campaign summary."""
+    headers = [
+        "Campaign", "Provider", "Location", "Budget",
+        "Duration", "Monitoring", "#Likes", "#Terminated",
+    ]
+    rows = []
+    for row in table1(dataset):
+        rows.append([
+            row.campaign_id,
+            row.provider,
+            row.location,
+            row.budget,
+            f"{row.duration_days:g} days",
+            "-" if row.inactive else f"{row.monitored_days:.0f} days",
+            "-" if row.inactive else row.likes,
+            "-" if row.inactive else row.terminated,
+        ])
+    return render_table(headers, rows, title="Table 1: campaign summary")
+
+
+def render_figure1(dataset: HoneypotDataset) -> str:
+    """Figure 1: liker geolocation per campaign."""
+    blocks: List[str] = ["Figure 1: geolocation of likers (per campaign)"]
+    for campaign_id in dataset.campaign_ids():
+        record = dataset.campaign(campaign_id)
+        if record.inactive:
+            continue
+        buckets = country_distribution(dataset, campaign_id)
+        blocks.append(render_percentage_bars(buckets.fractions, title=campaign_id))
+    return "\n\n".join(blocks)
+
+
+def render_table2(dataset: HoneypotDataset) -> str:
+    """Table 2: gender and age statistics of likers."""
+    headers = ["Campaign", "%F/%M"] + list(AGE_BRACKETS) + ["KL"]
+    rows = []
+    for row in table2(dataset):
+        cells = [row.campaign_id, f"{row.female_pct:.0f}/{row.male_pct:.0f}"]
+        cells.extend(f"{row.age_pct[bracket]:.1f}" for bracket in AGE_BRACKETS)
+        cells.append("-" if row.campaign_id == "Facebook" else f"{row.kl_divergence:.2f}")
+        rows.append(cells)
+    return render_table(headers, rows, title="Table 2: gender and age statistics")
+
+
+def render_figure2(dataset: HoneypotDataset, horizon_days: float = 15.0) -> str:
+    """Figure 2: cumulative likes per day (daily samples of the 2h series)."""
+    series = {}
+    xs: List[float] = []
+    for campaign_id in dataset.campaign_ids():
+        days, counts = cumulative_series(
+            dataset, campaign_id, horizon_days=horizon_days
+        )
+        daily = [counts[i] for i in range(0, len(counts), 12)]  # every 24h
+        xs = [days[i] for i in range(0, len(days), 12)]
+        series[campaign_id] = daily
+    headers = ["Day"] + list(series.keys())
+    rows = []
+    for i, day in enumerate(xs):
+        rows.append([f"{day:.0f}"] + [series[c][i] for c in series])
+    return render_table(headers, rows, title="Figure 2: cumulative likes over time")
+
+
+def render_strategy_classification(dataset: HoneypotDataset) -> str:
+    """The burst/trickle split the paper infers from Figure 2."""
+    headers = ["Campaign", "Likes", "Max 2h window", "Share", "Strategy"]
+    rows = []
+    for campaign_id in dataset.campaign_ids():
+        profile = temporal_profile(dataset, campaign_id)
+        rows.append([
+            campaign_id,
+            profile.total_likes,
+            profile.max_2h_likes,
+            f"{profile.max_2h_fraction * 100:.0f}%",
+            classify_strategy(profile),
+        ])
+    return render_table(headers, rows, title="Delivery strategy classification")
+
+
+def render_table3(dataset: HoneypotDataset) -> str:
+    """Table 3: likers and friendships between likers."""
+    headers = [
+        "Provider", "#Likers", "#Public lists", "Avg#Friends",
+        "Std", "Median", "#Friendships", "#2-hop",
+    ]
+    rows = []
+    for stats in provider_social_stats(dataset):
+        rows.append([
+            stats.provider,
+            stats.n_likers,
+            f"{stats.n_public_friend_lists} ({stats.public_fraction * 100:.1f}%)",
+            f"{stats.friend_count.mean:.0f}",
+            f"{stats.friend_count.std:.0f}",
+            f"{stats.friend_count.median:.0f}",
+            stats.direct_friendships,
+            stats.two_hop_relations,
+        ])
+    return render_table(headers, rows, title="Table 3: likers and friendships")
+
+
+def render_figure3(dataset: HoneypotDataset) -> str:
+    """Figure 3: component census of the liker graphs (direct and 2-hop)."""
+    blocks = []
+    for include_mutual, label in ((False, "direct"), (True, "direct + mutual")):
+        headers = [
+            "Provider", "Nodes w/ edges", "Edges", "Components",
+            "Pairs", "Triplets", "Largest", "Connected frac",
+        ]
+        rows = []
+        for stats in group_graph_stats(dataset, include_mutual=include_mutual):
+            rows.append([
+                stats.provider,
+                stats.n_nodes_with_edges,
+                stats.n_edges,
+                stats.n_components,
+                stats.n_pair_components,
+                stats.n_triplet_components,
+                stats.largest_component,
+                f"{stats.connected_fraction * 100:.0f}%",
+            ])
+        blocks.append(
+            render_table(headers, rows, title=f"Figure 3 ({label} relations)")
+        )
+    return "\n\n".join(blocks)
+
+
+def render_figure4(dataset: HoneypotDataset) -> str:
+    """Figure 4: page-like count medians per campaign vs baseline."""
+    headers = ["Campaign", "Likers", "Median likes", "Mean", "x Baseline"]
+    rows = []
+    for row in like_count_summary(dataset):
+        rows.append([
+            row.campaign_id,
+            row.stats.count,
+            f"{row.stats.median:.0f}",
+            f"{row.stats.mean:.0f}",
+            f"{row.median_ratio:.1f}x",
+        ])
+    baseline = like_count_summary(dataset)
+    baseline_median = baseline[0].baseline_median if baseline else 0.0
+    rows.append(["Facebook (baseline)", len(dataset.baseline), f"{baseline_median:.0f}", "-", "1.0x"])
+    return render_table(headers, rows, title="Figure 4: page-like counts per liker")
+
+
+def render_figure5(dataset: HoneypotDataset) -> str:
+    """Figure 5: the two Jaccard similarity matrices (x100)."""
+    matrices = jaccard_matrices(dataset)
+    page_block = render_matrix(
+        matrices.campaign_ids,
+        matrices.page_similarity,
+        title="Figure 5a: page-like Jaccard similarity (x100)",
+    )
+    user_block = render_matrix(
+        matrices.campaign_ids,
+        matrices.user_similarity,
+        title="Figure 5b: liker Jaccard similarity (x100)",
+    )
+    return page_block + "\n\n" + user_block
+
+
+def full_report(dataset: HoneypotDataset) -> str:
+    """All tables and figures, concatenated."""
+    return "\n\n".join([
+        render_table1(dataset),
+        render_figure1(dataset),
+        render_table2(dataset),
+        render_figure2(dataset),
+        render_strategy_classification(dataset),
+        render_table3(dataset),
+        render_figure3(dataset),
+        render_figure4(dataset),
+        render_figure5(dataset),
+        render_overlap(dataset),
+        render_economics(dataset),
+    ])

@@ -1,0 +1,97 @@
+"""Campaign summary (paper Table 1) and termination follow-up (Section 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.honeypot.storage import HoneypotDataset
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    campaign_id: str
+    provider: str
+    location: str
+    budget: str
+    duration_days: float
+    monitored_days: float
+    likes: int
+    terminated: int
+    inactive: bool
+
+
+def table1(dataset: HoneypotDataset) -> List[Table1Row]:
+    """Table 1 rows in campaign order."""
+    rows: List[Table1Row] = []
+    for campaign_id in dataset.campaign_ids():
+        record = dataset.campaign(campaign_id)
+        rows.append(
+            Table1Row(
+                campaign_id=campaign_id,
+                provider=record.provider,
+                location=record.location_label,
+                budget=record.budget_label,
+                duration_days=record.duration_days,
+                monitored_days=record.monitored_days,
+                likes=record.total_likes,
+                terminated=len(record.terminated_liker_ids),
+                inactive=record.inactive,
+            )
+        )
+    return rows
+
+
+def total_likes_by_kind(dataset: HoneypotDataset) -> Dict[str, int]:
+    """Total likes split by promotion kind (paper: 1,769 ads / 4,523 farms)."""
+    totals: Dict[str, int] = {}
+    for record in dataset.campaigns.values():
+        totals[record.kind] = totals.get(record.kind, 0) + record.total_likes
+    return totals
+
+
+def terminated_by_provider(dataset: HoneypotDataset) -> Dict[str, int]:
+    """Terminated liker accounts per provider (Section 5 follow-up).
+
+    A liker terminated after liking several pages of one provider counts
+    once per campaign, as in Table 1's per-campaign column; this aggregates
+    unique terminated accounts per provider.
+    """
+    seen: Dict[str, set] = {}
+    for record in dataset.campaigns.values():
+        seen.setdefault(record.provider, set()).update(record.terminated_liker_ids)
+    return {provider: len(ids) for provider, ids in seen.items()}
+
+
+def removed_likes_by_campaign(dataset: HoneypotDataset) -> Dict[str, int]:
+    """Likes purged from each honeypot by enforcement (Section 5 follow-up).
+
+    The paper proposes "longer observation of removed likes" as future
+    work; enforcement purges make delivered likes silently disappear from
+    the page counter, and this reports how many per campaign.
+    """
+    return {
+        campaign_id: record.removed_like_count
+        for campaign_id, record in dataset.campaigns.items()
+    }
+
+
+def paper_comparison(
+    dataset: HoneypotDataset, paper_likes: Dict[str, Optional[int]]
+) -> List[Dict]:
+    """Measured-vs-published like counts for EXPERIMENTS.md style output."""
+    rows = []
+    for campaign_id in dataset.campaign_ids():
+        record = dataset.campaign(campaign_id)
+        expected = paper_likes.get(campaign_id)
+        rows.append(
+            {
+                "campaign_id": campaign_id,
+                "measured": record.total_likes,
+                "paper": expected,
+                "ratio": (record.total_likes / expected) if expected else None,
+            }
+        )
+    return rows

@@ -1,0 +1,117 @@
+"""Temporal analysis (paper Section 4.2, Figure 2).
+
+Builds per-campaign cumulative like curves from the *monitor's
+observations* — the same two-hour-resolution view the paper had — and
+derives burstiness metrics that separate the two farm strategies: burst
+delivery (SocialFormula, AuthenticLikes, MammothSocials) versus the steady
+trickle of BoostLikes and the Facebook ad campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.stats import max_count_in_window
+from repro.honeypot.storage import HoneypotDataset
+from repro.util.timeutil import DAY, HOUR
+from repro.util.validation import check_positive, require
+
+STRATEGY_BURST = "burst"
+STRATEGY_TRICKLE = "trickle"
+STRATEGY_EMPTY = "empty"
+
+
+def cumulative_series(
+    dataset: HoneypotDataset,
+    campaign_id: str,
+    resolution: int = 2 * HOUR,
+    horizon_days: float = 15.0,
+) -> Tuple[List[float], List[int]]:
+    """Figure 2: (days, cumulative likes) sampled every ``resolution``.
+
+    The x axis is in days to match the paper's plots.
+    """
+    check_positive(resolution, "resolution")
+    check_positive(horizon_days, "horizon_days")
+    record = dataset.campaign(campaign_id)
+    times = sorted(obs.observed_at for obs in record.observations)
+    horizon = int(horizon_days * DAY)
+    xs: List[float] = []
+    ys: List[int] = []
+    count = 0
+    index = 0
+    tick = 0
+    while tick <= horizon:
+        while index < len(times) and times[index] <= tick:
+            count += 1
+            index += 1
+        xs.append(tick / DAY)
+        ys.append(count)
+        tick += resolution
+    return xs, ys
+
+
+@dataclass(frozen=True)
+class TemporalProfile:
+    """Burstiness summary of one campaign's like arrivals."""
+
+    campaign_id: str
+    total_likes: int
+    span_days: float  # first to last observed like
+    max_2h_likes: int  # largest 2-hour window
+    max_2h_fraction: float  # ... as a fraction of all likes
+    days_to_half: float  # how long until half the likes had arrived
+
+
+def temporal_profile(dataset: HoneypotDataset, campaign_id: str) -> TemporalProfile:
+    """Compute the burstiness profile of a campaign."""
+    record = dataset.campaign(campaign_id)
+    times = sorted(obs.observed_at for obs in record.observations)
+    if not times:
+        return TemporalProfile(
+            campaign_id=campaign_id,
+            total_likes=0,
+            span_days=0.0,
+            max_2h_likes=0,
+            max_2h_fraction=0.0,
+            days_to_half=0.0,
+        )
+    total = len(times)
+    max_2h = max_count_in_window(times, 2 * HOUR)
+    half_index = (total - 1) // 2
+    return TemporalProfile(
+        campaign_id=campaign_id,
+        total_likes=total,
+        span_days=(times[-1] - times[0]) / DAY,
+        max_2h_likes=max_2h,
+        max_2h_fraction=max_2h / total,
+        days_to_half=times[half_index] / DAY,
+    )
+
+
+def classify_strategy(
+    profile: TemporalProfile,
+    burst_fraction_threshold: float = 0.25,
+    min_burst_likes: int = 8,
+) -> str:
+    """Label a campaign's delivery as burst or trickle.
+
+    A campaign whose largest two-hour window holds more than
+    ``burst_fraction_threshold`` of all its likes — and at least
+    ``min_burst_likes`` in absolute terms — is a burst delivery; the paper's
+    burst farms compressed the bulk of an order into such windows while
+    BoostLikes and the ad campaigns never did.  The absolute floor prevents
+    tiny campaigns (FB-USA got 32 likes over two weeks) from being labelled
+    bursty on the strength of two likes in one crawl interval.
+    """
+    require(0 < burst_fraction_threshold < 1, "threshold must be in (0, 1)")
+    require(min_burst_likes >= 1, "min_burst_likes must be >= 1")
+    if profile.total_likes == 0:
+        return STRATEGY_EMPTY
+    if (
+        profile.max_2h_fraction > burst_fraction_threshold
+        and profile.max_2h_likes >= min_burst_likes
+    ):
+        return STRATEGY_BURST
+    return STRATEGY_TRICKLE

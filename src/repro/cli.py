@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Four subcommands covering the full workflow::
+
+    repro-study run      --scale 0.1 --seed 20140312 --out study.jsonl
+    repro-study report   study.jsonl            # render all tables/figures
+    repro-study export   study.jsonl --dir csv/ # CSVs for re-plotting
+    repro-study detect   study.jsonl            # rule-based screening
+
+``run`` executes the honeypot study and persists the crawled dataset;
+the other three work purely from a persisted dataset, so an expensive run
+can be analysed many times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.export import export_all
+from repro.analysis.report import full_report
+from repro.core.experiment import HoneypotExperiment
+from repro.core.results import ExperimentResults
+from repro.detection.features import extract_liker_features
+from repro.detection.rules import RuleBasedDetector
+from repro.honeypot.storage import HoneypotDataset
+from repro.honeypot.study import StudyConfig
+from repro.osn.population import PopulationConfig
+from repro.util.tables import render_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Honeypot like-fraud study: run, report, export, detect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the study and persist the dataset")
+    run.add_argument("--scale", type=float, default=0.1,
+                     help="campaign scale; 1.0 = paper scale (default 0.1)")
+    run.add_argument("--seed", type=int, default=20140312)
+    run.add_argument("--out", type=Path, default=Path("study.jsonl"))
+    run.add_argument("--report", action="store_true",
+                     help="also print the full text report")
+    run.add_argument("--population", type=int, default=None,
+                     help="organic world size (default: preset for the scale)")
+
+    report = sub.add_parser("report", help="render tables/figures from a dataset")
+    report.add_argument("dataset", type=Path)
+
+    export = sub.add_parser("export", help="write every table/figure as CSV")
+    export.add_argument("dataset", type=Path)
+    export.add_argument("--dir", type=Path, default=Path("export"))
+
+    detect = sub.add_parser("detect", help="rule-based fake-like screening")
+    detect.add_argument("dataset", type=Path)
+    detect.add_argument("--like-threshold", type=float, default=300.0,
+                        help="page-like count above which a liker is suspicious")
+    return parser
+
+
+def _config_for(args: argparse.Namespace) -> StudyConfig:
+    if abs(args.scale - 0.1) < 1e-9 and args.population is None:
+        config = StudyConfig.small(seed=args.seed)
+    else:
+        population = PopulationConfig()
+        if args.population is not None:
+            population = PopulationConfig(
+                n_users=args.population,
+                n_normal_pages=max(80, args.population // 3),
+                n_spam_pages=max(30, args.population // 10),
+            )
+        config = StudyConfig(seed=args.seed, scale=args.scale, population=population)
+    return config
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    experiment = HoneypotExperiment(_config_for(args))
+    results = experiment.run()
+    dataset = results.dataset
+    dataset.to_jsonl(args.out)
+    print(f"study complete: {dataset.total_likes} likes, "
+          f"{len(dataset.likers)} likers -> {args.out}")
+    if args.report:
+        print()
+        print(full_report(dataset))
+    failures = [c for c in results.shape_checks() if not c.passed]
+    for check in failures:
+        print(f"shape check FAILED: {check.name} ({check.detail})")
+    return 1 if failures else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    dataset = HoneypotDataset.from_jsonl(args.dataset)
+    print(full_report(dataset))
+    results = ExperimentResults(dataset=dataset)
+    print()
+    print("Shape checks:")
+    for check in results.shape_checks():
+        status = "PASS" if check.passed else "FAIL"
+        print(f"  [{status}] {check.name}: {check.detail}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    dataset = HoneypotDataset.from_jsonl(args.dataset)
+    outputs = export_all(dataset, args.dir)
+    for name, path in outputs.items():
+        print(f"{name}: {path}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    dataset = HoneypotDataset.from_jsonl(args.dataset)
+    detector = RuleBasedDetector(like_count_threshold=args.like_threshold)
+    features = extract_liker_features(dataset)
+    verdicts = detector.classify_all(features)
+    flagged = {u for u, v in verdicts.items() if v.flagged}
+
+    rows = []
+    for campaign_id in dataset.campaign_ids():
+        record = dataset.campaign(campaign_id)
+        liker_ids = set(record.liker_ids)
+        hits = len(liker_ids & flagged)
+        rows.append([
+            campaign_id, record.total_likes, hits,
+            f"{hits / record.total_likes * 100:.0f}%" if record.total_likes else "-",
+        ])
+    print(render_table(
+        ["Campaign", "Likes", "Flagged", "Share"],
+        rows,
+        title="Rule-based screening (no ground truth required)",
+    ))
+    total = len(dataset.likers)
+    print(f"\n{len(flagged)}/{total} likers flagged as likely fake.")
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "report": cmd_report,
+    "export": cmd_export,
+    "detect": cmd_detect,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    dataset_path = getattr(args, "dataset", None)
+    if dataset_path is not None and not Path(dataset_path).exists():
+        print(f"error: dataset file not found: {dataset_path}", file=sys.stderr)
+        return 2
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

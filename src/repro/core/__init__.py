@@ -1,0 +1,24 @@
+"""The paper's primary contribution, packaged: the comparative honeypot
+measurement methodology.
+
+:class:`repro.core.experiment.HoneypotExperiment` runs the full study
+(world -> promotions -> monitoring -> crawling -> analysis) and returns an
+:class:`repro.core.results.ExperimentResults` that exposes every table and
+figure plus shape comparisons against the published values in
+:mod:`repro.core.paperdata`.
+"""
+
+from repro.core.experiment import HoneypotExperiment
+from repro.core.results import ExperimentResults, ShapeCheck
+from repro.core.comparison import ComparisonRow, full_comparison, render_comparison
+from repro.core import paperdata
+
+__all__ = [
+    "ComparisonRow",
+    "ExperimentResults",
+    "HoneypotExperiment",
+    "ShapeCheck",
+    "full_comparison",
+    "paperdata",
+    "render_comparison",
+]

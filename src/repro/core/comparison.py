@@ -1,0 +1,177 @@
+"""Structured paper-vs-measured comparison.
+
+Generates, from one run's results, the same content as ``EXPERIMENTS.md``:
+for every published quantity, the measured value, the deviation, and a
+within-band verdict.  Exposed as data (for tests), as a rendered report
+(for humans), and through ``examples/paper_reproduction.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import paperdata
+from repro.core.results import ExperimentResults
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One published quantity against its measured counterpart."""
+
+    experiment: str  # e.g. "T1", "T3"
+    quantity: str  # e.g. "FB-IND likes"
+    paper_value: Optional[float]
+    measured_value: Optional[float]
+    tolerance_ratio: float  # acceptable measured/paper band, e.g. 2.0 = [1/2, 2x]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper, when both are defined and paper != 0."""
+        if self.paper_value in (None, 0) or self.measured_value is None:
+            return None
+        return self.measured_value / self.paper_value
+
+    @property
+    def within_band(self) -> bool:
+        """Whether the measured value sits inside the tolerance band."""
+        if self.paper_value is None:
+            return self.measured_value in (None, 0)
+        if self.ratio is None:
+            return self.measured_value == self.paper_value
+        return 1.0 / self.tolerance_ratio <= self.ratio <= self.tolerance_ratio
+
+
+def table1_rows(results: ExperimentResults) -> List[ComparisonRow]:
+    """Per-campaign like counts vs Table 1."""
+    rows: List[ComparisonRow] = []
+    for row in results.table1:
+        paper_likes = paperdata.TABLE1_LIKES[row.campaign_id]
+        rows.append(ComparisonRow(
+            experiment="T1",
+            quantity=f"{row.campaign_id} likes",
+            paper_value=paper_likes,
+            measured_value=None if row.inactive else row.likes,
+            tolerance_ratio=1.5,
+        ))
+    return rows
+
+
+def table2_rows(results: ExperimentResults) -> List[ComparisonRow]:
+    """Gender splits vs Table 2 (male share, the dominant signal)."""
+    rows: List[ComparisonRow] = []
+    measured = {r.campaign_id: r for r in results.table2}
+    for campaign_id, (_, male) in paperdata.TABLE2_GENDER.items():
+        row = measured.get(campaign_id)
+        rows.append(ComparisonRow(
+            experiment="T2",
+            quantity=f"{campaign_id} male %",
+            paper_value=float(male),
+            measured_value=row.male_pct if row else None,
+            tolerance_ratio=1.35,
+        ))
+    return rows
+
+
+def table3_rows(results: ExperimentResults) -> List[ComparisonRow]:
+    """Liker counts and friend medians vs Table 3."""
+    rows: List[ComparisonRow] = []
+    measured = {r.provider: r for r in results.table3}
+    for provider, values in paperdata.TABLE3.items():
+        paper_likers, _, _, _, paper_median, _, _ = values
+        stats = measured.get(provider)
+        rows.append(ComparisonRow(
+            experiment="T3",
+            quantity=f"{provider} likers",
+            paper_value=float(paper_likers),
+            measured_value=float(stats.n_likers) if stats else None,
+            tolerance_ratio=1.5,
+        ))
+        if provider != "ALMS":  # the paper's ALMS median is uncalibratable
+            rows.append(ComparisonRow(
+                experiment="T3",
+                quantity=f"{provider} median friends",
+                paper_value=float(paper_median),
+                measured_value=stats.friend_count.median if stats else None,
+                tolerance_ratio=1.6,
+            ))
+    return rows
+
+
+def figure4_rows(results: ExperimentResults) -> List[ComparisonRow]:
+    """Like-count medians vs Section 4.4."""
+    rows: List[ComparisonRow] = []
+    measured = {r.campaign_id: r for r in results.figure4}
+    for campaign_id, row in measured.items():
+        if campaign_id == "BL-USA":
+            paper_value = float(paperdata.FIG4_MEDIAN_BL_USA)
+        elif campaign_id.startswith("FB"):
+            lo, hi = paperdata.FIG4_MEDIAN_RANGE_FB
+            paper_value = (lo + hi) / 2
+        else:
+            lo, hi = paperdata.FIG4_MEDIAN_RANGE_FARM
+            paper_value = (lo + hi) / 2
+        rows.append(ComparisonRow(
+            experiment="F4",
+            quantity=f"{campaign_id} median likes",
+            paper_value=paper_value,
+            measured_value=row.stats.median,
+            tolerance_ratio=2.0,
+        ))
+    baseline = measured[next(iter(measured))].baseline_median if measured else None
+    rows.append(ComparisonRow(
+        experiment="F4",
+        quantity="baseline median likes",
+        paper_value=float(paperdata.FIG4_MEDIAN_BASELINE),
+        measured_value=baseline,
+        tolerance_ratio=1.5,
+    ))
+    return rows
+
+
+def termination_rows(results: ExperimentResults) -> List[ComparisonRow]:
+    """Terminated accounts per campaign vs Table 1's last column."""
+    rows: List[ComparisonRow] = []
+    for row in results.table1:
+        paper_value = paperdata.TABLE1_TERMINATED[row.campaign_id]
+        rows.append(ComparisonRow(
+            experiment="X1",
+            quantity=f"{row.campaign_id} terminated",
+            paper_value=None if paper_value is None else float(paper_value),
+            measured_value=None if row.inactive else float(row.terminated),
+            tolerance_ratio=4.0,  # small counts: order-of-magnitude check
+        ))
+    return rows
+
+
+def full_comparison(results: ExperimentResults) -> List[ComparisonRow]:
+    """Every comparison row, across all experiments."""
+    rows: List[ComparisonRow] = []
+    rows.extend(table1_rows(results))
+    rows.extend(table2_rows(results))
+    rows.extend(table3_rows(results))
+    rows.extend(figure4_rows(results))
+    rows.extend(termination_rows(results))
+    return rows
+
+
+def render_comparison(results: ExperimentResults) -> str:
+    """Human-readable paper-vs-measured report."""
+    rows = full_comparison(results)
+    printable = []
+    for row in rows:
+        printable.append([
+            row.experiment,
+            row.quantity,
+            "-" if row.paper_value is None else f"{row.paper_value:g}",
+            "-" if row.measured_value is None else f"{row.measured_value:g}",
+            "-" if row.ratio is None else f"{row.ratio:.2f}",
+            "ok" if row.within_band else "OUT OF BAND",
+        ])
+    within = sum(1 for row in rows if row.within_band)
+    return render_table(
+        ["Exp", "Quantity", "Paper", "Measured", "Ratio", "Verdict"],
+        printable,
+        title=f"Paper vs measured: {within}/{len(rows)} quantities within band",
+    )

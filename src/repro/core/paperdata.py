@@ -1,0 +1,106 @@
+"""Published values from the paper, as data.
+
+Used by the benchmark harness to print paper-vs-measured rows and by
+:class:`repro.core.results.ExperimentResults` for shape checks.  Sources are
+the paper's Tables 1-3 and the quantitative statements in Sections 4-5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Table 1 — campaign_id -> (likes, terminated); None for inactive orders.
+TABLE1_LIKES: Dict[str, Optional[int]] = {
+    "FB-USA": 32, "FB-FRA": 44, "FB-IND": 518, "FB-EGY": 691, "FB-ALL": 484,
+    "BL-ALL": None, "BL-USA": 621,
+    "SF-ALL": 984, "SF-USA": 738,
+    "AL-ALL": 755, "AL-USA": 1038,
+    "MS-ALL": None, "MS-USA": 317,
+}
+
+TABLE1_TERMINATED: Dict[str, Optional[int]] = {
+    "FB-USA": 0, "FB-FRA": 0, "FB-IND": 2, "FB-EGY": 6, "FB-ALL": 3,
+    "BL-ALL": None, "BL-USA": 1,
+    "SF-ALL": 11, "SF-USA": 9,
+    "AL-ALL": 8, "AL-USA": 36,
+    "MS-ALL": None, "MS-USA": 9,
+}
+
+#: Total likes as claimed in Section 3: 6,292 overall; 4,523 farm; 1,769 ads.
+#: NOTE: the paper is internally inconsistent — its Table 1 farm rows sum to
+#: 4,453 (total 6,222), 70 short of the Section 3 claim.  We reproduce the
+#: table, so TABLE1_TOTAL is the ground truth for comparisons.
+TOTAL_LIKES_CLAIMED = 6292
+TOTAL_FARM_LIKES_CLAIMED = 4523
+TOTAL_AD_LIKES = 1769
+TABLE1_TOTAL = 6222
+TABLE1_FARM_TOTAL = 4453
+
+#: Table 2 — campaign_id -> (female %, male %).
+TABLE2_GENDER: Dict[str, Tuple[float, float]] = {
+    "FB-USA": (54, 46), "FB-FRA": (46, 54), "FB-IND": (7, 93),
+    "FB-EGY": (18, 82), "FB-ALL": (6, 94),
+    "BL-USA": (53, 47),
+    "SF-ALL": (37, 63), "SF-USA": (37, 63),
+    "AL-ALL": (42, 58), "AL-USA": (31, 68),
+    "MS-USA": (26, 74),
+    "Facebook": (46, 54),
+}
+
+#: Table 2 — campaign_id -> age-bracket percentages (13-17 .. 55+).
+TABLE2_AGE: Dict[str, Tuple[float, ...]] = {
+    "FB-USA": (54.0, 27.0, 6.8, 6.8, 1.4, 4.1),
+    "FB-FRA": (60.8, 20.8, 8.7, 2.6, 5.2, 1.7),
+    "FB-IND": (52.7, 43.5, 2.3, 0.7, 0.5, 0.3),
+    "FB-EGY": (54.6, 34.4, 6.4, 2.9, 0.8, 0.8),
+    "FB-ALL": (51.3, 44.4, 2.1, 1.1, 0.5, 0.6),
+    "BL-USA": (34.2, 54.5, 8.8, 1.5, 0.7, 0.5),
+    "SF-ALL": (19.8, 33.3, 21.0, 15.2, 7.2, 2.8),
+    "SF-USA": (22.3, 34.6, 22.9, 11.6, 5.4, 2.9),
+    "AL-ALL": (15.8, 52.8, 13.4, 9.7, 5.2, 3.0),
+    "AL-USA": (7.2, 41.0, 35.0, 10.0, 3.5, 2.8),
+    "MS-USA": (8.6, 46.9, 34.5, 6.4, 1.9, 1.4),
+    "Facebook": (14.9, 32.3, 26.6, 13.2, 7.2, 5.9),
+}
+
+#: Table 2 — published KL divergences (campaign age vs global age).
+TABLE2_KL: Dict[str, float] = {
+    "FB-USA": 0.45, "FB-FRA": 0.54, "FB-IND": 1.12, "FB-EGY": 0.64,
+    "FB-ALL": 1.04, "BL-USA": 0.60, "SF-ALL": 0.04, "SF-USA": 0.04,
+    "AL-ALL": 0.12, "AL-USA": 0.09, "MS-USA": 0.17,
+}
+
+#: Table 3 — provider -> (likers, public lists, avg friends, std, median,
+#: friendships between likers, 2-hop relations).
+TABLE3: Dict[str, Tuple[int, int, int, int, int, int, int]] = {
+    "Facebook.com": (1448, 261, 315, 454, 198, 6, 169),
+    "BoostLikes.com": (621, 161, 1171, 1096, 850, 540, 2987),
+    "SocialFormula.com": (1644, 954, 246, 330, 155, 50, 1132),
+    "AuthenticLikes.com": (1597, 680, 719, 973, 343, 64, 1174),
+    "MammothSocials.com": (121, 62, 250, 585, 68, 4, 129),
+    "ALMS": (213, 101, 426, 961, 46, 27, 229),
+}
+
+#: Section 4.1 — FB-ALL received ~96 % of its likes from India.
+FB_ALL_INDIA_SHARE = 0.96
+
+#: Section 4.1 — targeted FB campaigns: 87-99.8 % of likes from the target.
+FB_TARGETED_SHARE_MIN = 0.87
+
+#: Section 4.4 — median page-like counts.
+FIG4_MEDIAN_RANGE_FB = (600, 1000)
+FIG4_MEDIAN_RANGE_FARM = (1200, 1800)
+FIG4_MEDIAN_BL_USA = 63
+FIG4_MEDIAN_BASELINE = 34
+
+#: Section 4.2 — AuthenticLikes delivered 700+ likes within 4 hours on day 2.
+AL_BURST_LIKES = 700
+AL_BURST_WINDOW_HOURS = 4
+
+#: Which campaigns the paper classifies as burst vs trickle deliveries.
+BURST_CAMPAIGNS = ("SF-ALL", "SF-USA", "AL-ALL", "AL-USA", "MS-USA")
+TRICKLE_CAMPAIGNS = ("FB-USA", "FB-FRA", "FB-IND", "FB-EGY", "FB-ALL", "BL-USA")
+
+#: Providers ordered by how bot-like the paper found their behaviour.
+BURST_PROVIDERS = ("SocialFormula.com", "AuthenticLikes.com", "MammothSocials.com")
+STEALTH_PROVIDERS = ("BoostLikes.com",)

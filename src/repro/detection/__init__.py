@@ -1,0 +1,59 @@
+"""Fake-like detection built on the study's findings (paper Section 5).
+
+The paper frames its measurements as inputs to fraud detection: "most fake
+likes exhibit some peculiar characteristics — including demographics, likes,
+temporal and social graph patterns — that can and should be exploited by
+like fraud detection algorithms."  This package implements that programme
+against the simulator's ground truth, which the paper itself lacked:
+
+* :mod:`repro.detection.features` — per-liker feature extraction from the
+  crawled dataset (like volume, friend counts, burst participation,
+  targeting mismatch, demographics).
+* :mod:`repro.detection.rules` — interpretable threshold rules.
+* :mod:`repro.detection.lockstep` — a CopyCatch-style lockstep detector
+  (groups liking the same pages inside the same time window), after
+  Beutel et al. [4], the technique the paper positions itself against.
+* :mod:`repro.detection.classifier` — a NumPy logistic-regression model.
+* :mod:`repro.detection.evaluate` — precision/recall/F1 against ground
+  truth, including the paper's headline caveat: stealth-farm (BoostLikes)
+  likes evade detectors that catch burst farms.
+"""
+
+from repro.detection.features import (
+    FEATURE_NAMES,
+    LikerFeatures,
+    build_feature_matrix,
+    extract_liker_features,
+)
+from repro.detection.rules import RuleBasedDetector, RuleVerdict
+from repro.detection.lockstep import LockstepDetector, LockstepGroup
+from repro.detection.classifier import LogisticRegressionModel, train_test_split
+from repro.detection.evaluate import DetectionMetrics, evaluate_flags, ground_truth_labels
+from repro.detection.thresholds import OperatingPoint, SweepResult, sweep_scores
+from repro.detection.graphrules import (
+    GraphCommunityDetector,
+    SuspiciousComponent,
+    combined_flags,
+)
+
+__all__ = [
+    "DetectionMetrics",
+    "FEATURE_NAMES",
+    "GraphCommunityDetector",
+    "LikerFeatures",
+    "SuspiciousComponent",
+    "combined_flags",
+    "LockstepDetector",
+    "LockstepGroup",
+    "LogisticRegressionModel",
+    "OperatingPoint",
+    "RuleBasedDetector",
+    "RuleVerdict",
+    "SweepResult",
+    "sweep_scores",
+    "build_feature_matrix",
+    "evaluate_flags",
+    "extract_liker_features",
+    "ground_truth_labels",
+    "train_test_split",
+]

@@ -1,0 +1,121 @@
+"""Detector evaluation against simulator ground truth.
+
+The paper could not evaluate detectors — it had no labels beyond its own
+honeypot construction.  The simulator knows every account's cohort, so
+detectors built on the crawled features can be scored properly, including
+the per-provider recall split that quantifies the paper's conclusion:
+burst-farm likes are easy to catch, BoostLikes-style likes are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro.honeypot.storage import HoneypotDataset
+from repro.osn.network import SocialNetwork
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Standard binary-detection metrics."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0 when nothing was flagged."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 0 when there are no positives."""
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct decisions."""
+        total = (
+            self.true_positives + self.false_positives
+            + self.true_negatives + self.false_negatives
+        )
+        correct = self.true_positives + self.true_negatives
+        return correct / total if total else 0.0
+
+
+def ground_truth_labels(
+    network: SocialNetwork, dataset: HoneypotDataset
+) -> Dict[int, bool]:
+    """liker id -> is the account fake (farm or click worker)?
+
+    This reads simulator ground truth; it exists precisely because the paper
+    could not have it.
+    """
+    labels: Dict[int, bool] = {}
+    for user_id in dataset.likers:
+        labels[user_id] = network.user(user_id).is_fake
+    return labels
+
+
+def evaluate_flags(
+    flagged: Iterable[int], labels: Dict[int, bool]
+) -> DetectionMetrics:
+    """Score a flagged-user set against ground-truth labels."""
+    require(len(labels) > 0, "labels must be non-empty")
+    flagged_set: Set[int] = set(flagged)
+    tp = fp = tn = fn = 0
+    for user_id, is_fake in labels.items():
+        if user_id in flagged_set:
+            if is_fake:
+                tp += 1
+            else:
+                fp += 1
+        else:
+            if is_fake:
+                fn += 1
+            else:
+                tn += 1
+    return DetectionMetrics(
+        true_positives=tp, false_positives=fp, true_negatives=tn, false_negatives=fn
+    )
+
+
+def recall_by_provider(
+    flagged: Iterable[int],
+    labels: Dict[int, bool],
+    provider_of: Dict[int, str],
+) -> Dict[str, float]:
+    """Recall restricted to each provider group's fake likers.
+
+    Quantifies the paper's stealth-farm caveat: expect high recall on
+    SocialFormula/AuthenticLikes and low recall on BoostLikes.
+    """
+    flagged_set = set(flagged)
+    caught: Dict[str, int] = {}
+    totals: Dict[str, int] = {}
+    for user_id, is_fake in labels.items():
+        if not is_fake:
+            continue
+        provider = provider_of.get(user_id)
+        if provider is None:
+            continue
+        totals[provider] = totals.get(provider, 0) + 1
+        if user_id in flagged_set:
+            caught[provider] = caught.get(provider, 0) + 1
+    return {
+        provider: caught.get(provider, 0) / total
+        for provider, total in totals.items()
+        if total > 0
+    }

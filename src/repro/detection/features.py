@@ -1,0 +1,119 @@
+"""Per-liker feature extraction.
+
+Features use only what the crawler observed (the
+:class:`repro.honeypot.storage.HoneypotDataset`), so a detector trained here
+could have been trained by the paper's authors.  Each feature traces to a
+finding:
+
+* ``like_count`` — Section 4.4: fake likers like 20-50x more pages.
+* ``friend_count`` / ``friend_list_private`` — Table 3: farm cohorts differ
+  sharply in declared friends and list privacy.
+* ``burst_share`` — Section 4.2: burst farms deliver inside 2-hour windows.
+* ``honeypots_liked`` — account reuse across campaigns (Figure 5b).
+* ``country_mismatch`` — Figure 1: SocialFormula shipped Turkish profiles
+  to a USA order.
+* ``is_young`` — Table 2: fraud cohorts skew 13-24.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import max_count_in_window
+from repro.honeypot.storage import HoneypotDataset
+from repro.util.timeutil import HOUR
+
+FEATURE_NAMES = (
+    "like_count",
+    "friend_count",
+    "friend_list_private",
+    "burst_share",
+    "honeypots_liked",
+    "country_mismatch",
+    "is_young",
+)
+
+#: Campaign target country by location label (for the mismatch feature).
+_LOCATION_COUNTRY = {
+    "USA": "US",
+    "USA only": "US",
+    "France": "FR",
+    "India": "IN",
+    "Egypt": "EG",
+}
+
+_YOUNG_BRACKETS = ("13-17", "18-24")
+
+
+@dataclass(frozen=True)
+class LikerFeatures:
+    """One liker's feature vector plus bookkeeping."""
+
+    user_id: int
+    values: Tuple[float, ...]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Feature name -> value."""
+        return dict(zip(FEATURE_NAMES, self.values))
+
+
+def _campaign_burst_shares(dataset: HoneypotDataset) -> Dict[str, float]:
+    """Max 2-hour-window share of likes, per campaign."""
+    shares: Dict[str, float] = {}
+    for campaign_id in dataset.campaign_ids():
+        record = dataset.campaign(campaign_id)
+        times = [obs.observed_at for obs in record.observations]
+        if not times:
+            shares[campaign_id] = 0.0
+            continue
+        shares[campaign_id] = max_count_in_window(times, 2 * HOUR) / len(times)
+    return shares
+
+
+def extract_liker_features(dataset: HoneypotDataset) -> List[LikerFeatures]:
+    """Build the feature vector of every crawled liker."""
+    burst_shares = _campaign_burst_shares(dataset)
+    features: List[LikerFeatures] = []
+    for liker in dataset.likers.values():
+        burst = max(
+            (burst_shares.get(cid, 0.0) for cid in liker.campaign_ids), default=0.0
+        )
+        mismatch = 0.0
+        for campaign_id in liker.campaign_ids:
+            target = _LOCATION_COUNTRY.get(dataset.campaign(campaign_id).location_label)
+            if target is not None and liker.country != target:
+                mismatch = 1.0
+        friend_count = (
+            float(liker.declared_friend_count)
+            if liker.declared_friend_count is not None
+            else 0.0
+        )
+        features.append(
+            LikerFeatures(
+                user_id=liker.user_id,
+                values=(
+                    float(liker.declared_like_count),
+                    friend_count,
+                    0.0 if liker.friend_list_public else 1.0,
+                    burst,
+                    float(len(liker.campaign_ids)),
+                    mismatch,
+                    1.0 if liker.age_bracket in _YOUNG_BRACKETS else 0.0,
+                ),
+            )
+        )
+    return features
+
+
+def build_feature_matrix(
+    features: List[LikerFeatures],
+) -> Tuple[np.ndarray, List[int]]:
+    """Stack features into an (n, d) matrix; returns (matrix, user ids)."""
+    if not features:
+        return np.zeros((0, len(FEATURE_NAMES))), []
+    matrix = np.array([f.values for f in features], dtype=float)
+    user_ids = [f.user_id for f in features]
+    return matrix, user_ids

@@ -1,0 +1,82 @@
+"""Threshold sweeps: precision/recall trade-off curves.
+
+A detector's operating point matters: the platform (high-precision, avoid
+terminating real users) and a researcher (high-recall census of fraud) want
+different thresholds.  This module sweeps a score over thresholds and
+reports the precision/recall curve plus standard summary points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.detection.evaluate import DetectionMetrics, evaluate_flags
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One threshold's detection metrics."""
+
+    threshold: float
+    metrics: DetectionMetrics
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full precision/recall sweep."""
+
+    points: List[OperatingPoint]
+
+    def best_f1(self) -> OperatingPoint:
+        """The operating point maximising F1."""
+        require(len(self.points) > 0, "sweep produced no points")
+        return max(self.points, key=lambda p: p.metrics.f1)
+
+    def precision_at_recall(self, min_recall: float) -> float:
+        """Best precision among points with recall >= ``min_recall``."""
+        eligible = [p.metrics.precision for p in self.points
+                    if p.metrics.recall >= min_recall]
+        return max(eligible, default=0.0)
+
+    def recall_at_precision(self, min_precision: float) -> float:
+        """Best recall among points with precision >= ``min_precision``."""
+        eligible = [p.metrics.recall for p in self.points
+                    if p.metrics.precision >= min_precision]
+        return max(eligible, default=0.0)
+
+    def curve(self) -> List[Tuple[float, float]]:
+        """(recall, precision) pairs in threshold order."""
+        return [(p.metrics.recall, p.metrics.precision) for p in self.points]
+
+
+def sweep_scores(
+    scores: Dict[int, float],
+    labels: Dict[int, bool],
+    thresholds: Sequence[float] = None,
+) -> SweepResult:
+    """Evaluate flagging ``score >= threshold`` over a grid of thresholds.
+
+    ``scores`` maps user id -> suspicion score (e.g. a classifier
+    probability); by default thresholds are the deciles of the observed
+    scores plus the extremes.
+    """
+    require(len(scores) > 0, "scores must be non-empty")
+    require(set(scores) <= set(labels), "every scored user needs a label")
+    if thresholds is None:
+        values = np.asarray(sorted(scores.values()))
+        deciles = np.quantile(values, np.linspace(0, 1, 11))
+        thresholds = sorted(set(float(t) for t in deciles))
+    points = []
+    for threshold in thresholds:
+        flagged = [user for user, score in scores.items() if score >= threshold]
+        points.append(
+            OperatingPoint(
+                threshold=float(threshold),
+                metrics=evaluate_flags(flagged, labels),
+            )
+        )
+    return SweepResult(points=points)

@@ -1,0 +1,159 @@
+"""Fake-account generation for like farms.
+
+Each farm brand has its own account recipe — demographics, declared friend
+counts, page-like volume, and friend-list privacy — calibrated against what
+the paper measured for that farm's likers (Tables 2 and 3).  Accounts also
+like a mix of spam-job pages (other customers of the fraud ecosystem) and
+popular normal pages "to mimic real users", which is what creates the
+page-set overlap across campaigns in the paper's Figure 5a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.farms.base import REGION_USA
+from repro.osn.ids import UserId
+from repro.osn.network import SocialNetwork
+from repro.osn.population import GLOBAL_AGE_WEIGHTS, sample_age
+from repro.osn.profile import COHORT_FARM_PREFIX, Gender
+from repro.osn.universe import FARM_MIX, LikeMix, PageUniverse
+from repro.util.distributions import Categorical, LogNormalCount
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, check_positive, require
+
+#: Country mix for worldwide farm orders (developing-market skew, some US).
+DEFAULT_WORLDWIDE_COUNTRIES = {
+    "US": 0.18,
+    "IN": 0.22,
+    "EG": 0.12,
+    "TR": 0.08,
+    "ID": 0.10,
+    "PH": 0.08,
+    "BR": 0.06,
+    "OTHER": 0.16,
+}
+
+#: Country mix for USA-targeted orders from farms that honour targeting.
+DEFAULT_USA_COUNTRIES = {"US": 0.93, "OTHER": 0.07}
+
+
+@dataclass
+class FarmAccountConfig:
+    """Recipe for one brand's fake accounts.
+
+    Attributes
+    ----------
+    gender_female_share:
+        Fraction of accounts presenting as female (paper Table 2).
+    age:
+        Age-bracket distribution of accounts (paper Table 2 rows).
+    honors_targeting:
+        Whether USA orders get US profiles.  SocialFormula ignored targeting
+        and delivered Turkish profiles regardless (paper Figure 1).
+    fixed_country:
+        If set, every account uses this country (SocialFormula -> ``TR``).
+    background_friends:
+        Declared friends outside the simulated world (paper Table 3 medians:
+        BoostLikes 850, AuthenticLikes 343, SocialFormula 155, Mammoth 68).
+    page_like_count:
+        Total pages liked (paper Section 4.4: farm medians 1200-1800, except
+        BoostLikes-USA at 63).
+    friend_list_public_rate:
+        Paper Table 3, "likers with public friend lists".
+    like_mix / explicit_like_cap:
+        How explicit likes split across the page universe's segments; see
+        :class:`repro.ads.clickworkers.ClickWorkerConfig` for the
+        explicit/background split rationale.
+    """
+
+    gender_female_share: float
+    age: Categorical
+    honors_targeting: bool = True
+    fixed_country: Optional[str] = None
+    usa_countries: Categorical = field(
+        default_factory=lambda: Categorical(DEFAULT_USA_COUNTRIES)
+    )
+    worldwide_countries: Categorical = field(
+        default_factory=lambda: Categorical(DEFAULT_WORLDWIDE_COUNTRIES)
+    )
+    background_friends: LogNormalCount = field(
+        default_factory=lambda: LogNormalCount(median=150, sigma=0.8, minimum=0, maximum=5000)
+    )
+    page_like_count: LogNormalCount = field(
+        default_factory=lambda: LogNormalCount(median=1500, sigma=0.5, minimum=10)
+    )
+    friend_list_public_rate: float = 0.5
+    like_mix: LikeMix = FARM_MIX
+    spam_key: Optional[str] = None
+    explicit_like_cap: int = 120
+
+    def __post_init__(self) -> None:
+        check_fraction(self.gender_female_share, "gender_female_share")
+        check_fraction(self.friend_list_public_rate, "friend_list_public_rate")
+        check_positive(self.explicit_like_cap, "explicit_like_cap")
+
+    def country_for_region(self, region: str, rng: RngStream) -> str:
+        """Which country a new account claims, given the order's region."""
+        if self.fixed_country is not None:
+            return self.fixed_country
+        if region == REGION_USA and self.honors_targeting:
+            return self.usa_countries.sample(rng)
+        return self.worldwide_countries.sample(rng)
+
+    @staticmethod
+    def near_global_age() -> Categorical:
+        """An age distribution close to the global network's (low KL)."""
+        return Categorical(GLOBAL_AGE_WEIGHTS)
+
+
+class FakeAccountFactory:
+    """Creates farm accounts and their page-like behaviour."""
+
+    def __init__(self, network: SocialNetwork, universe: PageUniverse) -> None:
+        self._network = network
+        self._universe = universe
+
+    def create_accounts(
+        self,
+        farm_name: str,
+        config: FarmAccountConfig,
+        region: str,
+        count: int,
+        rng: RngStream,
+        created_at: int = 0,
+    ) -> List[UserId]:
+        """Create ``count`` accounts for ``farm_name`` serving ``region``."""
+        require(count >= 0, "count must be >= 0")
+        accounts: List[UserId] = []
+        for _ in range(count):
+            gender = (
+                Gender.FEMALE if rng.bernoulli(config.gender_female_share) else Gender.MALE
+            )
+            profile = self._network.create_user(
+                gender=gender,
+                age=sample_age(rng, config.age),
+                country=config.country_for_region(region, rng),
+                friend_list_public=rng.bernoulli(config.friend_list_public_rate),
+                searchable=False,
+                cohort=f"{COHORT_FARM_PREFIX}{farm_name}",
+                created_at=created_at,
+            )
+            profile.background_friend_count = config.background_friends.sample(rng)
+            self._assign_page_likes(profile.user_id, config, rng)
+            accounts.append(profile.user_id)
+        return accounts
+
+    def _assign_page_likes(
+        self, user_id: UserId, config: FarmAccountConfig, rng: RngStream
+    ) -> None:
+        total = config.page_like_count.sample(rng)
+        explicit = min(total, config.explicit_like_cap)
+        country = self._network.user(user_id).country
+        chosen = self._universe.sample_likes(
+            rng, explicit, config.like_mix, country, spam_key=config.spam_key
+        )
+        for page_id in chosen:
+            self._network.like_page(user_id, page_id, time=0)
+        self._network.user(user_id).background_like_count = total - len(chosen)

@@ -1,0 +1,84 @@
+"""Order model shared by every like-farm service.
+
+An order is "N likes for page P from region R at price $X, delivered within
+D days" — the paper's Table 1 rows.  Orders are paid in advance; whether the
+farm actually delivers is the farm's business (two of the paper's eight
+orders were simply never fulfilled).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.osn.ids import PageId, UserId
+from repro.util.validation import check_positive, require
+
+#: Region labels used by farm storefronts (coarser than ad targeting).
+REGION_USA = "USA"
+REGION_WORLDWIDE = "Worldwide"
+_KNOWN_REGIONS = (REGION_USA, REGION_WORLDWIDE)
+
+
+class OrderStatus(enum.Enum):
+    """Lifecycle of a farm order."""
+
+    PLACED = "placed"
+    DELIVERING = "delivering"
+    COMPLETED = "completed"
+    INACTIVE = "inactive"  # paid but never fulfilled (BL-ALL, MS-ALL)
+
+
+@dataclass
+class FarmOrder:
+    """A purchase of likes from a farm.
+
+    Attributes
+    ----------
+    farm_name:
+        Storefront brand (not the operator — two brands may share one).
+    page_id:
+        The page to promote.
+    target_likes:
+        The advertised package size (1000 in every paper order).
+    region:
+        ``USA`` or ``Worldwide``.
+    price:
+        Dollars paid up front.
+    promised_days:
+        Advertised delivery window.
+    placed_at:
+        Simulation time of purchase.
+    """
+
+    farm_name: str
+    page_id: PageId
+    target_likes: int
+    region: str
+    price: float
+    promised_days: float
+    placed_at: int = 0
+    status: OrderStatus = OrderStatus.PLACED
+    scheduled_likes: int = 0
+    delivered_likes: int = 0
+    account_ids: List[UserId] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require(bool(self.farm_name), "farm_name must be non-empty")
+        check_positive(self.target_likes, "target_likes")
+        require(self.region in _KNOWN_REGIONS, f"unknown region {self.region!r}")
+        check_positive(self.price, "price")
+        check_positive(self.promised_days, "promised_days")
+        require(self.placed_at >= 0, "placed_at must be >= 0")
+
+    @property
+    def is_inactive(self) -> bool:
+        """True for paid-but-never-delivered orders."""
+        return self.status == OrderStatus.INACTIVE
+
+    def record_delivery(self) -> None:
+        """Count one like landing on the page."""
+        self.delivered_likes += 1
+        if self.delivered_likes >= self.scheduled_likes:
+            self.status = OrderStatus.COMPLETED

@@ -1,0 +1,103 @@
+"""Delivery schedulers: when each purchased like lands.
+
+Two strategies, matching the paper's Figure 2b:
+
+* :func:`burst_schedule` — the bot signature.  The order is delivered in a
+  handful of bursts, each compressed into a couple of hours (SocialFormula,
+  AuthenticLikes, MammothSocials).  The paper observed 700+ likes inside a
+  single 4-hour window.
+* :func:`trickle_schedule` — the stealth signature.  Likes spread over the
+  whole order window with mild day-to-day variation, "comparable to that
+  observed in the Facebook ads campaigns" (BoostLikes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.osn.ids import UserId
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY, HOUR
+from repro.util.validation import check_positive, require
+
+#: A delivery plan: (time, account) pairs, sorted by time.
+DeliveryPlan = List[Tuple[int, UserId]]
+
+
+def burst_schedule(
+    accounts: Sequence[UserId],
+    start: int,
+    rng: RngStream,
+    spread_days: float = 3.0,
+    n_bursts: int = 4,
+    burst_width: int = 2 * HOUR,
+    first_burst_delay: int = 4 * HOUR,
+) -> DeliveryPlan:
+    """Deliver ``accounts`` in ``n_bursts`` compressed windows.
+
+    Burst sizes are drawn from a Dirichlet split (one burst usually
+    dominates, like AuthenticLikes' 700-likes-in-4-hours spike); burst start
+    times are uniform in ``[start + first_burst_delay, start + spread_days]``.
+    """
+    require(start >= 0, "start must be >= 0")
+    check_positive(spread_days, "spread_days")
+    check_positive(n_bursts, "n_bursts")
+    check_positive(burst_width, "burst_width")
+    if not accounts:
+        return []
+    n_bursts = min(n_bursts, len(accounts))
+    split = rng.generator.dirichlet([0.7] * n_bursts)
+    sizes = np.floor(split * len(accounts)).astype(int)
+    for i in range(len(accounts) - int(sizes.sum())):
+        sizes[i % n_bursts] += 1
+    window = max(1, int(spread_days * DAY) - first_burst_delay - burst_width)
+    burst_starts = sorted(
+        start + first_burst_delay + rng.randint(0, window) for _ in range(n_bursts)
+    )
+    plan: DeliveryPlan = []
+    index = 0
+    for burst_start, size in zip(burst_starts, sizes):
+        for _ in range(int(size)):
+            plan.append((burst_start + rng.randint(0, burst_width), accounts[index]))
+            index += 1
+    plan.sort(key=lambda item: item[0])
+    return plan
+
+
+def trickle_schedule(
+    accounts: Sequence[UserId],
+    start: int,
+    rng: RngStream,
+    duration_days: float = 15.0,
+    daily_jitter: float = 0.35,
+) -> DeliveryPlan:
+    """Deliver ``accounts`` steadily across ``duration_days``.
+
+    Each day gets a share of the order proportional to ``1 + jitter`` noise,
+    and likes land at uniform times inside their day — producing the smooth
+    cumulative curve of the paper's BoostLikes-USA campaign.
+    """
+    require(start >= 0, "start must be >= 0")
+    check_positive(duration_days, "duration_days")
+    require(0.0 <= daily_jitter < 1.0, "daily_jitter must be in [0, 1)")
+    if not accounts:
+        return []
+    n_days = max(1, int(round(duration_days)))
+    weights = np.clip(
+        1.0 + rng.generator.uniform(-daily_jitter, daily_jitter, size=n_days), 0.05, None
+    )
+    weights = weights / weights.sum()
+    day_counts = np.floor(weights * len(accounts)).astype(int)
+    for i in range(len(accounts) - int(day_counts.sum())):
+        day_counts[i % n_days] += 1
+    plan: DeliveryPlan = []
+    index = 0
+    for day, count in enumerate(day_counts):
+        day_start = start + day * DAY
+        for _ in range(int(count)):
+            plan.append((day_start + rng.randint(0, DAY), accounts[index]))
+            index += 1
+    plan.sort(key=lambda item: item[0])
+    return plan

@@ -1,0 +1,166 @@
+"""Campaign specifications — the paper's Table 1 as configuration.
+
+A :class:`CampaignSpec` describes one promotion: either a Facebook ad
+campaign (daily budget, targeting) or a like-farm order (brand, region,
+package price).  :func:`paper_campaigns` returns the thirteen specs exactly
+as the paper ran them on 2014-03-12, including the published like counts and
+termination counts used for shape comparison, and the per-order fulfillment
+fractions that reproduce the farms' observed under/over-delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ads.targeting import TargetingSpec
+from repro.farms.base import REGION_USA, REGION_WORLDWIDE
+from repro.farms.catalog import (
+    AUTHENTICLIKES,
+    BOOSTLIKES,
+    MAMMOTHSOCIALS,
+    SOCIALFORMULA,
+)
+from repro.util.validation import check_positive, require
+
+KIND_FACEBOOK_ADS = "facebook_ads"
+KIND_LIKE_FARM = "like_farm"
+
+FACEBOOK_PROVIDER = "Facebook.com"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One promotion of one honeypot page.
+
+    Attributes
+    ----------
+    campaign_id:
+        Paper identifier, e.g. ``FB-IND`` or ``AL-USA``.
+    provider:
+        ``Facebook.com`` or a farm brand.
+    kind:
+        ``facebook_ads`` or ``like_farm``.
+    location_label:
+        Human-readable target location (Table 1's Location column).
+    budget_label:
+        Table 1's Budget column (``$6/day`` or a package price).
+    duration_days:
+        Advertised campaign/delivery duration.
+    daily_budget:
+        Ad campaigns only: dollars per day.
+    target_country:
+        Ad campaigns only: country code, or None for worldwide.
+    region:
+        Farm orders only: ``USA`` or ``Worldwide``.
+    target_likes:
+        Farm orders only: package size.
+    fulfillment:
+        Farm orders only: fraction of the package actually delivered (from
+        the paper's observations); None lets the farm draw its own.
+    paper_likes / paper_terminated / paper_monitoring_days:
+        Published values for comparison; None where Table 1 shows "-".
+    """
+
+    campaign_id: str
+    provider: str
+    kind: str
+    location_label: str
+    budget_label: str
+    duration_days: float
+    daily_budget: Optional[float] = None
+    target_country: Optional[str] = None
+    region: Optional[str] = None
+    target_likes: Optional[int] = None
+    fulfillment: Optional[float] = None
+    paper_likes: Optional[int] = None
+    paper_terminated: Optional[int] = None
+    paper_monitoring_days: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require(
+            self.kind in (KIND_FACEBOOK_ADS, KIND_LIKE_FARM),
+            f"unknown campaign kind {self.kind!r}",
+        )
+        check_positive(self.duration_days, "duration_days")
+        if self.kind == KIND_FACEBOOK_ADS:
+            require(self.daily_budget is not None, "ad campaigns need daily_budget")
+        else:
+            require(self.region is not None, "farm orders need a region")
+            require(self.target_likes is not None, "farm orders need target_likes")
+
+    @property
+    def is_facebook(self) -> bool:
+        """True for legitimate Facebook ad campaigns."""
+        return self.kind == KIND_FACEBOOK_ADS
+
+    def targeting(self) -> TargetingSpec:
+        """The ad-platform targeting spec (ad campaigns only)."""
+        require(self.is_facebook, "targeting() only applies to ad campaigns")
+        if self.target_country is None:
+            return TargetingSpec.worldwide()
+        return TargetingSpec.country(self.target_country)
+
+
+def _ad(campaign_id: str, location: str, country: Optional[str],
+        likes: int, terminated: int) -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=campaign_id,
+        provider=FACEBOOK_PROVIDER,
+        kind=KIND_FACEBOOK_ADS,
+        location_label=location,
+        budget_label="$6/day",
+        duration_days=15,
+        daily_budget=6.0,
+        target_country=country,
+        paper_likes=likes,
+        paper_terminated=terminated,
+        paper_monitoring_days=22,
+    )
+
+
+def _farm(campaign_id: str, provider: str, location: str, price: str,
+          duration: float, region: str,
+          outcome: Optional[Tuple[int, int, int]]) -> CampaignSpec:
+    likes, terminated, monitoring = outcome if outcome else (None, None, None)
+    return CampaignSpec(
+        campaign_id=campaign_id,
+        provider=provider,
+        kind=KIND_LIKE_FARM,
+        location_label=location,
+        budget_label=price,
+        duration_days=duration,
+        region=region,
+        target_likes=1000,
+        fulfillment=(likes / 1000.0) if likes is not None else None,
+        paper_likes=likes,
+        paper_terminated=terminated,
+        paper_monitoring_days=monitoring,
+    )
+
+
+def paper_campaigns() -> List[CampaignSpec]:
+    """The thirteen campaigns of the paper's Table 1, in table order."""
+    return [
+        _ad("FB-USA", "USA", "US", likes=32, terminated=0),
+        _ad("FB-FRA", "France", "FR", likes=44, terminated=0),
+        _ad("FB-IND", "India", "IN", likes=518, terminated=2),
+        _ad("FB-EGY", "Egypt", "EG", likes=691, terminated=6),
+        _ad("FB-ALL", "Worldwide", None, likes=484, terminated=3),
+        _farm("BL-ALL", BOOSTLIKES, "Worldwide", "$70.00", 15, REGION_WORLDWIDE,
+              outcome=None),
+        _farm("BL-USA", BOOSTLIKES, "USA only", "$190.00", 15, REGION_USA,
+              outcome=(621, 1, 22)),
+        _farm("SF-ALL", SOCIALFORMULA, "Worldwide", "$14.99", 3, REGION_WORLDWIDE,
+              outcome=(984, 11, 10)),
+        _farm("SF-USA", SOCIALFORMULA, "USA", "$69.99", 3, REGION_USA,
+              outcome=(738, 9, 10)),
+        _farm("AL-ALL", AUTHENTICLIKES, "Worldwide", "$49.95", 4, REGION_WORLDWIDE,
+              outcome=(755, 8, 12)),
+        _farm("AL-USA", AUTHENTICLIKES, "USA", "$59.95", 4, REGION_USA,
+              outcome=(1038, 36, 22)),
+        _farm("MS-ALL", MAMMOTHSOCIALS, "Worldwide", "$20.00", 3, REGION_WORLDWIDE,
+              outcome=None),
+        _farm("MS-USA", MAMMOTHSOCIALS, "USA only", "$95.00", 3, REGION_USA,
+              outcome=(317, 9, 12)),
+    ]

@@ -1,0 +1,100 @@
+"""Profile crawling under privacy constraints.
+
+The paper crawled likers' public profiles with Selenium, obtaining friend
+lists (where public) and liked-page lists, and got demographics from the
+page-insights reports.  The crawler here plays the same role against the
+simulated network: everything privacy-sensitive is fetched through the
+read-only :class:`repro.osn.api.PlatformAPI` (which enforces
+:class:`repro.osn.privacy.PrivacyPolicy` and counts requests), while
+demographics come from the insights reports, which see private attributes
+in aggregate (paper footnote 1).  The output is
+:class:`repro.honeypot.storage.LikerRecord` objects — the analysis layer's
+only view of likers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.honeypot.storage import BaselineRecord, LikerRecord
+from repro.osn.api import PlatformAPI
+from repro.osn.directory import PublicDirectory
+from repro.osn.ids import UserId
+from repro.osn.network import SocialNetwork
+from repro.util.rng import RngStream
+
+
+class ProfileCrawler:
+    """Crawls liker profiles and the random baseline sample."""
+
+    def __init__(self, network: SocialNetwork, api: Optional[PlatformAPI] = None) -> None:
+        self._network = network
+        self.api = api if api is not None else PlatformAPI(network)
+
+    def crawl_liker(self, user_id: UserId, campaign_ids: List[str]) -> LikerRecord:
+        """Crawl one liker's public profile.
+
+        Demographics come from the insights reports (always available in
+        aggregate); friend and like data go through the platform API, so
+        censoring is enforced at the API boundary, not here.
+        """
+        profile = self._network.user(user_id)  # demographics: insights view
+        visible_friends = self.api.get_friend_list(user_id)
+        declared = self.api.get_declared_friend_count(user_id)
+        liked_pages = self.api.get_page_likes(user_id)
+        declared_likes = self.api.get_declared_like_count(user_id)
+        return LikerRecord(
+            user_id=int(user_id),
+            gender=profile.gender.value,
+            age_bracket=profile.age_bracket,
+            country=profile.country,
+            friend_list_public=visible_friends is not None,
+            declared_friend_count=declared,
+            visible_friend_ids=visible_friends if visible_friends is not None else [],
+            liked_page_ids=liked_pages if liked_pages is not None else [],
+            declared_like_count=declared_likes if declared_likes is not None else 0,
+            campaign_ids=list(campaign_ids),
+        )
+
+    def crawl_likers(
+        self, liker_campaigns: Dict[UserId, List[str]]
+    ) -> Dict[int, LikerRecord]:
+        """Crawl every liker; ``liker_campaigns`` maps liker -> campaign ids."""
+        return {
+            int(user_id): self.crawl_liker(user_id, campaigns)
+            for user_id, campaigns in sorted(liker_campaigns.items())
+        }
+
+    def crawl_baseline(self, rng: RngStream, sample_size: int) -> List[BaselineRecord]:
+        """Sample the public directory and record page-like counts.
+
+        Reproduces the paper's baseline: "a random set of 2000 Facebook
+        users, extracted from an unbiased sample obtained by randomly
+        sampling Facebook public directory".
+        """
+        directory = PublicDirectory(self._network)
+        listed = directory.searchable_user_ids()
+        sample_size = min(sample_size, len(listed))
+        sample = directory.sample_users(rng, sample_size)
+        records: List[BaselineRecord] = []
+        for user_id in sample:
+            count = self.api.get_declared_like_count(user_id)
+            records.append(
+                BaselineRecord(
+                    user_id=int(user_id),
+                    declared_like_count=count if count is not None else 0,
+                )
+            )
+        return records
+
+    def recheck_terminations(self, user_ids: Iterable[UserId]) -> List[int]:
+        """The month-later follow-up: which likers' profiles are gone.
+
+        A profile that the API no longer serves is a terminated account —
+        exactly how the paper could tell (profile pages 404ed).
+        """
+        return sorted(
+            int(user_id)
+            for user_id in set(user_ids)
+            if self.api.get_profile(user_id) is None
+        )

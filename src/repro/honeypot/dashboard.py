@@ -1,0 +1,98 @@
+"""Page-admin dashboard: the advertiser's view of a campaign.
+
+The paper's authors watched their honeypots through Facebook's page-admin
+tooling; this module condenses one campaign's monitor record into the
+figures an admin dashboard shows — daily new likes, peak day, growth
+velocity, and a week-by-week breakdown — and renders them as text.
+
+Unlike :mod:`repro.analysis`, which reproduces the paper's research
+analyses, the dashboard answers the practical question a page owner (or a
+farm customer checking on a purchase) would ask: *is my campaign
+delivering, and at what pace?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.honeypot.storage import CampaignRecord
+from repro.util.tables import render_table
+from repro.util.timeutil import DAY
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class DailyActivity:
+    """Likes observed on one day of a campaign."""
+
+    day: int
+    new_likes: int
+    cumulative: int
+
+
+@dataclass(frozen=True)
+class CampaignDashboard:
+    """Condensed admin view of one campaign."""
+
+    campaign_id: str
+    total_likes: int
+    days_active: int  # days with at least one new like
+    peak_day: int
+    peak_day_likes: int
+    mean_daily_likes: float
+    daily: List[DailyActivity]
+
+    @property
+    def delivered_by_day(self) -> int:
+        """The day the last like arrived (0 for empty campaigns)."""
+        for activity in reversed(self.daily):
+            if activity.new_likes > 0:
+                return activity.day
+        return 0
+
+
+def build_dashboard(record: CampaignRecord) -> CampaignDashboard:
+    """Summarise a campaign record into its dashboard."""
+    require(record is not None, "record must not be None")
+    day_counts: dict = {}
+    for obs in record.observations:
+        day = obs.observed_at // DAY
+        day_counts[day] = day_counts.get(day, 0) + 1
+
+    horizon = max(day_counts, default=0)
+    daily: List[DailyActivity] = []
+    cumulative = 0
+    for day in range(horizon + 1):
+        new = day_counts.get(day, 0)
+        cumulative += new
+        daily.append(DailyActivity(day=day, new_likes=new, cumulative=cumulative))
+
+    active_days = [d for d in daily if d.new_likes > 0]
+    peak = max(daily, key=lambda d: d.new_likes, default=None)
+    return CampaignDashboard(
+        campaign_id=record.campaign_id,
+        total_likes=record.total_likes,
+        days_active=len(active_days),
+        peak_day=peak.day if peak and peak.new_likes else 0,
+        peak_day_likes=peak.new_likes if peak else 0,
+        mean_daily_likes=(
+            record.total_likes / len(active_days) if active_days else 0.0
+        ),
+        daily=daily,
+    )
+
+
+def render_dashboard(dashboard: CampaignDashboard) -> str:
+    """Text rendering of one campaign's dashboard."""
+    header = (
+        f"{dashboard.campaign_id}: {dashboard.total_likes} likes over "
+        f"{dashboard.days_active} active day(s); peak "
+        f"{dashboard.peak_day_likes} on day {dashboard.peak_day}; "
+        f"mean {dashboard.mean_daily_likes:.1f}/active day"
+    )
+    rows = [
+        [activity.day, activity.new_likes, activity.cumulative]
+        for activity in dashboard.daily
+    ]
+    return header + "\n" + render_table(["Day", "New likes", "Cumulative"], rows)

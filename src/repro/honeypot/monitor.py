@@ -1,0 +1,136 @@
+"""Honeypot page monitoring.
+
+"We monitored the liking activity on the honeypot pages by crawling them
+every 2 hours to check for new likes.  At the end of the campaigns, we
+reduced the monitoring frequency to once a day, and stopped monitoring when
+a page did not receive a like for more than a week."  — paper, Section 3.
+
+The monitor is the *observation* layer: everything the temporal analysis
+sees (paper Figure 2) is the sequence of snapshots it took, at the cadence
+it took them, not the ground-truth event times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.osn.api import PlatformAPI
+from repro.osn.ids import PageId, UserId
+from repro.osn.network import SocialNetwork
+from repro.sim.engine import EventEngine
+from repro.sim.process import RecurringProcess
+from repro.util.timeutil import CRAWL_INTERVAL, DAY, WEEK
+from repro.util.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """One crawl of one honeypot page."""
+
+    time: int
+    cumulative_likes: int
+    new_liker_ids: tuple
+
+
+@dataclass
+class MonitorPolicy:
+    """Polling cadence and stop rule.
+
+    Attributes
+    ----------
+    active_interval:
+        Poll interval while the campaign runs (paper: 2 hours).
+    idle_interval:
+        Poll interval after the campaign ends (paper: daily).
+    quiet_stop:
+        Stop once this long has passed with no new like (paper: a week).
+    """
+
+    active_interval: int = CRAWL_INTERVAL
+    idle_interval: int = DAY
+    quiet_stop: int = WEEK
+
+    def __post_init__(self) -> None:
+        check_positive(self.active_interval, "active_interval")
+        check_positive(self.idle_interval, "idle_interval")
+        check_positive(self.quiet_stop, "quiet_stop")
+
+
+class PageMonitor:
+    """Polls one page on the simulation engine and records snapshots."""
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        page_id: PageId,
+        campaign_end: int,
+        policy: Optional[MonitorPolicy] = None,
+        start: int = 0,
+        api: Optional[PlatformAPI] = None,
+    ) -> None:
+        require(campaign_end >= start, "campaign_end must be >= start")
+        self._network = network
+        self.api = api if api is not None else PlatformAPI(network)
+        self.page_id = page_id
+        self.campaign_end = campaign_end
+        self.policy = policy if policy is not None else MonitorPolicy()
+        self.start = start
+        self.snapshots: List[MonitorSnapshot] = []
+        self._seen: Set[UserId] = set()
+        self._last_new_like_time = start
+        self._process: Optional[RecurringProcess] = None
+
+    def attach(self, engine: EventEngine) -> None:
+        """Start polling on ``engine`` at the monitor's start time."""
+        require(self._process is None, "monitor already attached")
+        self._process = RecurringProcess(
+            engine,
+            action=self._poll,
+            interval_policy=self._next_interval,
+            label=f"monitor:{self.page_id}",
+        )
+        self._process.start(at=self.start)
+
+    @property
+    def stopped(self) -> bool:
+        """Whether monitoring has ended."""
+        return self._process is not None and self._process.stopped
+
+    @property
+    def monitored_days(self) -> float:
+        """How long the page was monitored, in days."""
+        if not self.snapshots:
+            return 0.0
+        return (self.snapshots[-1].time - self.start) / DAY
+
+    def observed_liker_ids(self) -> List[UserId]:
+        """Every liker seen across all snapshots, in first-seen order."""
+        ordered: List[UserId] = []
+        for snapshot in self.snapshots:
+            ordered.extend(snapshot.new_liker_ids)
+        return ordered
+
+    # -- internals ----------------------------------------------------------------
+
+    def _poll(self, time: int) -> None:
+        page = self.api.get_page(self.page_id)
+        new = tuple(u for u in page.liker_ids if u not in self._seen)
+        self._seen.update(new)
+        if new:
+            self._last_new_like_time = time
+        self.snapshots.append(
+            MonitorSnapshot(
+                time=time, cumulative_likes=page.like_count, new_liker_ids=new
+            )
+        )
+
+    def _next_interval(self, time: int) -> Optional[int]:
+        if time < self.campaign_end:
+            # The paper's quiet-week stop applied to the post-campaign daily
+            # phase; during the campaign the 2-hour cadence never pauses, so
+            # a slow-trickling ad campaign cannot lose its later likes.
+            return self.policy.active_interval
+        if time - self._last_new_like_time > self.policy.quiet_stop:
+            return None
+        return self.policy.idle_interval

@@ -1,0 +1,41 @@
+"""Honeypot page creation.
+
+Each of the paper's 13 pages was named "Virtual Electricity", kept empty,
+carried an explicit disclaimer, and — importantly for independence — was
+administered by a *different* owner account.
+"""
+
+from __future__ import annotations
+
+from repro.osn.network import SocialNetwork
+from repro.osn.page import CATEGORY_HONEYPOT, Page
+from repro.osn.profile import Gender
+
+HONEYPOT_NAME = "Virtual Electricity"
+HONEYPOT_DESCRIPTION = "This is not a real page, so please do not like it."
+
+
+def create_honeypot_page(
+    network: SocialNetwork, campaign_id: str, created_at: int = 0
+) -> Page:
+    """Create one honeypot page with its own fresh administrator account.
+
+    The owner is an ordinary, unsearchable profile that never interacts with
+    the page beyond owning it, mirroring the paper's per-page admin accounts.
+    """
+    owner = network.create_user(
+        gender=Gender.FEMALE,
+        age=30,
+        country="US",
+        friend_list_public=False,
+        searchable=False,
+        cohort="organic",
+        created_at=created_at,
+    )
+    return network.create_page(
+        name=f"{HONEYPOT_NAME} ({campaign_id})",
+        description=HONEYPOT_DESCRIPTION,
+        owner_id=owner.user_id,
+        category=CATEGORY_HONEYPOT,
+        created_at=created_at,
+    )

@@ -1,0 +1,170 @@
+"""The collected dataset and its on-disk format.
+
+The analysis package (Section 4 of the paper) consumes only this dataset —
+never the simulator's ground truth — so the separation between what the
+platform/crawler could observe and what the simulator knows is enforced by
+construction.
+
+Records serialise to JSON Lines.  The paper encrypted its dataset at rest
+and analysed only aggregates; we mirror the structure (per-liker public
+attributes, per-campaign observations) without any out-of-band fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class LikeObservation:
+    """A like first observed by the monitor at ``observed_at``."""
+
+    observed_at: int
+    user_id: int
+
+
+@dataclass
+class CampaignRecord:
+    """Everything the study recorded about one campaign."""
+
+    campaign_id: str
+    provider: str
+    kind: str
+    location_label: str
+    budget_label: str
+    duration_days: float
+    monitored_days: float
+    page_id: int
+    total_likes: int
+    observations: List[LikeObservation] = field(default_factory=list)
+    terminated_liker_ids: List[int] = field(default_factory=list)
+    inactive: bool = False
+    removed_like_count: int = 0  # likes purged by enforcement (Section 5 follow-up)
+    total_cost: float = 0.0  # ad spend, or the farm package price (paid up front)
+
+    @property
+    def liker_ids(self) -> List[int]:
+        """Likers in first-observed order."""
+        return [obs.user_id for obs in self.observations]
+
+
+@dataclass
+class LikerRecord:
+    """Crawled public information about one liker.
+
+    ``declared_friend_count`` and ``visible_friend_ids`` are None/empty when
+    the friend list was private — the crawler's censoring, kept explicit so
+    analyses treat friend data as the lower bound the paper says it is.
+    """
+
+    user_id: int
+    gender: str
+    age_bracket: str
+    country: str
+    friend_list_public: bool
+    declared_friend_count: Optional[int]
+    visible_friend_ids: List[int] = field(default_factory=list)
+    liked_page_ids: List[int] = field(default_factory=list)
+    declared_like_count: int = 0
+    campaign_ids: List[str] = field(default_factory=list)
+    terminated: bool = False
+
+
+@dataclass(frozen=True)
+class BaselineRecord:
+    """One user of the random baseline sample (paper Section 4.4)."""
+
+    user_id: int
+    declared_like_count: int
+
+
+@dataclass
+class HoneypotDataset:
+    """The full study output: campaigns, likers, baseline, global stats."""
+
+    campaigns: Dict[str, CampaignRecord] = field(default_factory=dict)
+    likers: Dict[int, LikerRecord] = field(default_factory=dict)
+    baseline: List[BaselineRecord] = field(default_factory=list)
+    global_gender: Dict[str, float] = field(default_factory=dict)
+    global_age: Dict[str, float] = field(default_factory=dict)
+    global_country: Dict[str, float] = field(default_factory=dict)
+
+    def campaign(self, campaign_id: str) -> CampaignRecord:
+        """Look up a campaign record by id."""
+        return self.campaigns[campaign_id]
+
+    def campaign_ids(self) -> List[str]:
+        """Campaign ids in insertion (Table 1) order."""
+        return list(self.campaigns.keys())
+
+    def likers_of(self, campaign_id: str) -> List[LikerRecord]:
+        """Liker records for one campaign, first-observed order."""
+        record = self.campaigns[campaign_id]
+        return [self.likers[u] for u in record.liker_ids if u in self.likers]
+
+    @property
+    def total_likes(self) -> int:
+        """Sum of likes across all campaigns (the paper's 6,292)."""
+        return sum(c.total_likes for c in self.campaigns.values())
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_jsonl(self, path: Path) -> None:
+        """Write the dataset as JSON Lines (one typed record per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            meta = {
+                "type": "meta",
+                "global_gender": self.global_gender,
+                "global_age": self.global_age,
+                "global_country": self.global_country,
+            }
+            handle.write(json.dumps(meta) + "\n")
+            for campaign in self.campaigns.values():
+                row = asdict(campaign)
+                row["type"] = "campaign"
+                handle.write(json.dumps(row) + "\n")
+            for liker in self.likers.values():
+                row = asdict(liker)
+                row["type"] = "liker"
+                handle.write(json.dumps(row) + "\n")
+            for record in self.baseline:
+                row = asdict(record)
+                row["type"] = "baseline"
+                handle.write(json.dumps(row) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: Path) -> "HoneypotDataset":
+        """Load a dataset previously written by :meth:`to_jsonl`."""
+        dataset = cls()
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                kind = row.pop("type")
+                if kind == "meta":
+                    dataset.global_gender = row["global_gender"]
+                    dataset.global_age = row["global_age"]
+                    dataset.global_country = row["global_country"]
+                elif kind == "campaign":
+                    row["observations"] = [
+                        LikeObservation(**obs) for obs in row["observations"]
+                    ]
+                    record = CampaignRecord(**row)
+                    dataset.campaigns[record.campaign_id] = record
+                elif kind == "liker":
+                    liker = LikerRecord(**row)
+                    dataset.likers[liker.user_id] = liker
+                elif kind == "baseline":
+                    dataset.baseline.append(BaselineRecord(**row))
+                else:
+                    require(False, f"unknown record type {kind!r}")
+        return dataset

@@ -1,0 +1,303 @@
+"""End-to-end orchestration of the honeypot study.
+
+`HoneypotStudy` wires the whole reproduction together: build the organic
+world, stand up the ad platform and the farm catalog, deploy one honeypot
+page per campaign spec, launch all thirteen promotions simultaneously
+(2014-03-12 in the paper, t=0 here), monitor every page until its quiet-week
+stop, crawl the likers and the baseline sample, run the platform's
+termination sweep a month later, and assemble the
+:class:`repro.honeypot.storage.HoneypotDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ads.campaign import AdCampaign
+from repro.ads.clickworkers import ClickWorkerConfig, ClickWorkerPopulation
+from repro.ads.costmodel import CostModel
+from repro.ads.delivery import AdDeliveryEngine, DeliveryConfig
+from repro.ads.reports import ReportsTool
+from repro.farms.accounts import FakeAccountFactory
+from repro.farms.base import FarmOrder
+from repro.farms.catalog import FarmCatalog
+from repro.honeypot.campaignspec import CampaignSpec, paper_campaigns
+from repro.honeypot.crawler import ProfileCrawler
+from repro.honeypot.monitor import MonitorPolicy, PageMonitor
+from repro.honeypot.page import create_honeypot_page
+from repro.honeypot.storage import (
+    CampaignRecord,
+    HoneypotDataset,
+    LikeObservation,
+)
+from repro.osn.api import PlatformAPI
+from repro.osn.ids import PageId, UserId
+from repro.osn.network import SocialNetwork
+from repro.osn.population import PopulationConfig, WorldBuilder
+from repro.osn.termination import TerminationPolicy, TerminationSweep
+from repro.sim.engine import EventEngine
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY, days
+from repro.util.validation import check_positive, require
+
+
+def default_termination_policy(scale: float = 1.0) -> TerminationPolicy:
+    """The enforcement model calibrated to Table 1's termination column."""
+    return TerminationPolicy(
+        base_rates={
+            "organic": 0.0005,
+            "clickworker": 0.007,
+            "farm:BoostLikes.com": 0.0016,
+            "farm:SocialFormula.com": 0.008,
+            "farm:AuthenticLikes.com": 0.018,
+            "farm:MammothSocials.com": 0.020,
+        },
+        default_rate=0.001,
+        burst_multiplier=1.6,
+        burst_threshold=max(5, int(round(50 * scale))),
+    )
+
+
+@dataclass
+class StudyConfig:
+    """Configuration of a full honeypot study run.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; the entire study is deterministic given it.
+    scale:
+        Scales budgets and farm package sizes (0.1 gives a ~10x smaller,
+        faster study with the same shapes; 1.0 reproduces paper scale).
+    population:
+        Organic-world sizing.
+    specs:
+        Campaign specs; defaults to the paper's thirteen.
+    baseline_sample_size:
+        Paper used 2000 random directory users.
+    termination_delay_days:
+        The follow-up sweep ran "a month after the campaigns".
+    horizon_days:
+        Simulation end; must exceed campaign + quiet-stop windows.
+    """
+
+    seed: int = 20140312
+    scale: float = 1.0
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    specs: List[CampaignSpec] = field(default_factory=paper_campaigns)
+    monitor_policy: MonitorPolicy = field(default_factory=MonitorPolicy)
+    delivery: DeliveryConfig = field(default_factory=DeliveryConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+    clickworker_config: ClickWorkerConfig = field(default_factory=ClickWorkerConfig)
+    termination_policy: Optional[TerminationPolicy] = None
+    baseline_sample_size: int = 2000
+    termination_delay_days: float = 30.0
+    horizon_days: float = 50.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.scale, "scale")
+        check_positive(self.baseline_sample_size, "baseline_sample_size")
+        check_positive(self.horizon_days, "horizon_days")
+        require(len(self.specs) > 0, "study needs at least one campaign spec")
+        ids = [spec.campaign_id for spec in self.specs]
+        require(len(ids) == len(set(ids)), "campaign ids must be unique")
+
+    @staticmethod
+    def small(seed: int = 20140312) -> "StudyConfig":
+        """A fast, shape-preserving configuration for tests and examples."""
+        return StudyConfig(
+            seed=seed,
+            scale=0.1,
+            population=PopulationConfig(
+                n_users=800, n_normal_pages=400, n_spam_pages=120
+            ),
+            baseline_sample_size=400,
+        )
+
+
+@dataclass
+class StudyArtifacts:
+    """Everything a study run produced.
+
+    ``dataset`` is the analysis-facing output; the remaining handles expose
+    simulator ground truth for detector evaluation and debugging.
+    """
+
+    dataset: HoneypotDataset
+    network: SocialNetwork
+    campaigns: Dict[str, AdCampaign]
+    orders: Dict[str, FarmOrder]
+    monitors: Dict[str, PageMonitor]
+    page_ids: Dict[str, PageId]
+    api: PlatformAPI
+
+
+class HoneypotStudy:
+    """Runs the full measurement study on a fresh simulated world."""
+
+    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+        self.config = config if config is not None else StudyConfig()
+
+    def run(self) -> StudyArtifacts:
+        """Execute the study end to end and return all artifacts."""
+        config = self.config
+        rng = RngStream(config.seed, "study")
+        network = SocialNetwork()
+        engine = EventEngine()
+
+        world = WorldBuilder(config.population).build(network, rng.child("world"))
+        clickworkers = ClickWorkerPopulation(
+            network,
+            world.universe,
+            rng.child("clickworkers"),
+            config=config.clickworker_config,
+        )
+        ad_engine = AdDeliveryEngine(
+            network,
+            config.cost_model,
+            clickworkers,
+            rng.child("ads"),
+            config=config.delivery,
+        )
+        factory = FakeAccountFactory(network, world.universe)
+        catalog = FarmCatalog(network, factory, rng.child("farms"))
+        api = PlatformAPI(network)  # one crawl surface; stats aggregate here
+
+        page_ids: Dict[str, PageId] = {}
+        monitors: Dict[str, PageMonitor] = {}
+        ad_campaigns: Dict[str, AdCampaign] = {}
+        orders: Dict[str, FarmOrder] = {}
+
+        for spec in config.specs:
+            page = create_honeypot_page(network, spec.campaign_id)
+            page_ids[spec.campaign_id] = page.page_id
+            if spec.is_facebook:
+                campaign = AdCampaign(
+                    page_id=page.page_id,
+                    targeting=spec.targeting(),
+                    daily_budget=spec.daily_budget * config.scale,
+                    duration_days=int(spec.duration_days),
+                )
+                ad_engine.launch(campaign, engine)
+                ad_campaigns[spec.campaign_id] = campaign
+            else:
+                target = max(1, int(round(spec.target_likes * config.scale)))
+                orders[spec.campaign_id] = catalog.service(spec.provider).place_order(
+                    page_id=page.page_id,
+                    region=spec.region,
+                    target_likes=target,
+                    engine=engine,
+                    promised_days=spec.duration_days,
+                    fulfillment=spec.fulfillment,
+                )
+            monitor = PageMonitor(
+                network,
+                page.page_id,
+                campaign_end=days(spec.duration_days),
+                policy=config.monitor_policy,
+                api=api,
+            )
+            monitor.attach(engine)
+            monitors[spec.campaign_id] = monitor
+
+        # Run through delivery + monitoring, crawl, then the month-later sweep.
+        crawl_time = days(
+            max(spec.duration_days for spec in config.specs)
+            + self.config.monitor_policy.quiet_stop / DAY
+            + 1
+        )
+        engine.run_until(crawl_time)
+        dataset = self._collect(network, monitors, rng, api)
+        for campaign_id, campaign in ad_campaigns.items():
+            dataset.campaigns[campaign_id].total_cost = round(campaign.spend, 2)
+        for campaign_id, order in orders.items():
+            dataset.campaigns[campaign_id].total_cost = order.price
+
+        sweep_time = crawl_time + days(config.termination_delay_days)
+        engine.run_until(min(sweep_time, days(config.horizon_days)))
+        policy = (
+            config.termination_policy
+            if config.termination_policy is not None
+            else default_termination_policy(config.scale)
+        )
+        sweep = TerminationSweep(policy)
+        sweep.run(network, page_ids.values(), rng.child("termination"), engine.clock.now)
+        self._record_terminations(network, dataset, monitors, api)
+
+        return StudyArtifacts(
+            dataset=dataset,
+            network=network,
+            campaigns=ad_campaigns,
+            orders=orders,
+            monitors=monitors,
+            page_ids=page_ids,
+            api=api,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _collect(
+        self,
+        network: SocialNetwork,
+        monitors: Dict[str, PageMonitor],
+        rng: RngStream,
+        api: PlatformAPI,
+    ) -> HoneypotDataset:
+        crawler = ProfileCrawler(network, api=api)
+        dataset = HoneypotDataset()
+
+        liker_campaigns: Dict[UserId, List[str]] = {}
+        for spec in self.config.specs:
+            monitor = monitors[spec.campaign_id]
+            observations = [
+                LikeObservation(observed_at=snapshot.time, user_id=int(user_id))
+                for snapshot in monitor.snapshots
+                for user_id in snapshot.new_liker_ids
+            ]
+            for obs in observations:
+                liker_campaigns.setdefault(UserId(obs.user_id), []).append(
+                    spec.campaign_id
+                )
+            dataset.campaigns[spec.campaign_id] = CampaignRecord(
+                campaign_id=spec.campaign_id,
+                provider=spec.provider,
+                kind=spec.kind,
+                location_label=spec.location_label,
+                budget_label=spec.budget_label,
+                duration_days=spec.duration_days,
+                monitored_days=monitor.monitored_days,
+                page_id=int(monitor.page_id),
+                total_likes=len(observations),
+                observations=observations,
+                inactive=(len(observations) == 0),
+            )
+
+        dataset.likers = crawler.crawl_likers(liker_campaigns)
+        dataset.baseline = crawler.crawl_baseline(
+            rng.child("baseline"), self.config.baseline_sample_size
+        )
+        report = ReportsTool(network).global_report()
+        dataset.global_gender = report.gender
+        dataset.global_age = report.age
+        dataset.global_country = report.country
+        return dataset
+
+    def _record_terminations(
+        self,
+        network: SocialNetwork,
+        dataset: HoneypotDataset,
+        monitors: Dict[str, PageMonitor],
+        api: PlatformAPI,
+    ) -> None:
+        crawler = ProfileCrawler(network, api=api)
+        for campaign_id, monitor in monitors.items():
+            terminated = crawler.recheck_terminations(monitor.observed_liker_ids())
+            record = dataset.campaigns[campaign_id]
+            record.terminated_liker_ids = terminated
+            record.removed_like_count = len(
+                network.likes.removals_for_page(monitor.page_id)
+            )
+            for user_id in terminated:
+                if user_id in dataset.likers:
+                    dataset.likers[user_id].terminated = True

@@ -1,0 +1,50 @@
+"""The simulated online social network (the "Facebook" substrate).
+
+This package models everything the paper's measurement pipeline touched on
+the platform side: user profiles with demographics and privacy settings, a
+bidirectional friendship graph, pages and timestamped page likes, a public
+directory of searchable profiles, organic-population generation, and the
+platform's fraud-enforcement (account termination) process.
+"""
+
+from repro.osn.api import PlatformAPI, PublicPage, PublicProfile
+from repro.osn.ids import PageId, UserId
+from repro.osn.metrics import GraphMetrics, cohort_metrics, graph_metrics
+from repro.osn.profile import (
+    AGE_BRACKETS,
+    Gender,
+    UserProfile,
+    age_bracket,
+)
+from repro.osn.page import Page
+from repro.osn.graph import FriendshipGraph
+from repro.osn.events import LikeEvent, LikeLog
+from repro.osn.network import SocialNetwork
+from repro.osn.directory import PublicDirectory
+from repro.osn.population import PopulationConfig, WorldBuilder
+from repro.osn.termination import TerminationPolicy, TerminationSweep
+
+__all__ = [
+    "AGE_BRACKETS",
+    "FriendshipGraph",
+    "Gender",
+    "GraphMetrics",
+    "PlatformAPI",
+    "PublicPage",
+    "PublicProfile",
+    "cohort_metrics",
+    "graph_metrics",
+    "LikeEvent",
+    "LikeLog",
+    "Page",
+    "PageId",
+    "PopulationConfig",
+    "PublicDirectory",
+    "SocialNetwork",
+    "TerminationPolicy",
+    "TerminationSweep",
+    "UserId",
+    "UserProfile",
+    "WorldBuilder",
+    "age_bracket",
+]

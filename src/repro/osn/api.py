@@ -1,0 +1,157 @@
+"""A read-only platform API: what a logged-out scraper can fetch.
+
+The paper crawled Facebook with Selenium — every fact it collected came
+through the platform's public surface.  This module is that surface for the
+simulated network: typed read endpoints that enforce
+:class:`repro.osn.privacy.PrivacyPolicy` and count requests, so crawler
+code *cannot* accidentally read ground truth, and studies can report how
+much crawling they did (the paper crawled 13 pages every 2 hours for
+weeks plus ~6k profiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.osn.ids import PageId, UserId
+from repro.osn.network import SocialNetwork
+from repro.util.validation import check_positive, require
+
+
+class RequestBudgetExceeded(RuntimeError):
+    """Raised when the crawler exceeds its configured request budget."""
+
+
+@dataclass
+class RequestStats:
+    """How many API calls of each kind were made."""
+
+    profile: int = 0
+    friend_list: int = 0
+    page_likes: int = 0
+    page: int = 0
+
+    @property
+    def total(self) -> int:
+        """All requests combined."""
+        return self.profile + self.friend_list + self.page_likes + self.page
+
+
+@dataclass(frozen=True)
+class PublicProfile:
+    """The publicly visible fields of a profile."""
+
+    user_id: int
+    gender: str
+    age_bracket: str
+    country: str
+    friend_list_public: bool
+
+
+@dataclass(frozen=True)
+class PublicPage:
+    """The publicly visible fields of a page."""
+
+    page_id: int
+    name: str
+    description: str
+    like_count: int
+    liker_ids: tuple
+
+
+@dataclass
+class PlatformAPI:
+    """Privacy-enforcing read endpoints over a :class:`SocialNetwork`.
+
+    ``max_requests`` optionally caps total calls (a crawl budget); exceeding
+    it raises :class:`RequestBudgetExceeded` so studies fail loudly instead
+    of silently under-crawling.
+    """
+
+    network: SocialNetwork
+    max_requests: Optional[int] = None
+    stats: RequestStats = field(default_factory=RequestStats)
+
+    def __post_init__(self) -> None:
+        if self.max_requests is not None:
+            check_positive(self.max_requests, "max_requests")
+
+    def _charge(self, kind: str) -> None:
+        setattr(self.stats, kind, getattr(self.stats, kind) + 1)
+        if self.max_requests is not None and self.stats.total > self.max_requests:
+            raise RequestBudgetExceeded(
+                f"request budget of {self.max_requests} exceeded"
+            )
+
+    # -- profile endpoints --------------------------------------------------------
+
+    def get_profile(self, user_id: UserId) -> Optional[PublicProfile]:
+        """Public profile fields; None when the account is gone."""
+        self._charge("profile")
+        if not self.network.has_user(user_id):
+            return None
+        profile = self.network.user(user_id)
+        if profile.is_terminated:
+            return None
+        return PublicProfile(
+            user_id=int(user_id),
+            gender=profile.gender.value,
+            age_bracket=profile.age_bracket,
+            country=profile.country,
+            friend_list_public=profile.friend_list_public,
+        )
+
+    def get_friend_list(self, user_id: UserId) -> Optional[List[int]]:
+        """The friend list if public, else None (private or terminated)."""
+        self._charge("friend_list")
+        if not self.network.has_user(user_id):
+            return None
+        profile = self.network.user(user_id)
+        if not self.network.privacy.can_view_friend_list(profile):
+            return None
+        friends = self.network.privacy.visible_friends(
+            profile, self.network.graph.neighbors(user_id)
+        )
+        return sorted(int(f) for f in friends)
+
+    def get_declared_friend_count(self, user_id: UserId) -> Optional[int]:
+        """The count shown on a public friend list, else None."""
+        require(self.network.has_user(user_id), f"unknown user {user_id}")
+        profile = self.network.user(user_id)
+        if not self.network.privacy.can_view_friend_list(profile):
+            return None
+        return self.network.declared_friend_count(user_id)
+
+    def get_page_likes(self, user_id: UserId) -> Optional[List[int]]:
+        """Pages the user likes (public in 2014), else None when gone."""
+        self._charge("page_likes")
+        if not self.network.has_user(user_id):
+            return None
+        profile = self.network.user(user_id)
+        if not self.network.privacy.can_view_page_likes(profile):
+            return None
+        return sorted(int(p) for p in self.network.user_liked_page_ids(user_id))
+
+    def get_declared_like_count(self, user_id: UserId) -> Optional[int]:
+        """Total like count on the profile, else None when gone."""
+        require(self.network.has_user(user_id), f"unknown user {user_id}")
+        profile = self.network.user(user_id)
+        if not self.network.privacy.can_view_page_likes(profile):
+            return None
+        return self.network.declared_like_count(user_id)
+
+    # -- page endpoints -----------------------------------------------------------
+
+    def get_page(self, page_id: PageId) -> PublicPage:
+        """A page's public view, including its current liker list."""
+        self._charge("page")
+        page = self.network.page(page_id)
+        likers = self.network.page_liker_ids(page_id)
+        return PublicPage(
+            page_id=int(page_id),
+            name=page.name,
+            description=page.description,
+            like_count=len(likers),
+            liker_ids=tuple(int(u) for u in likers),
+        )

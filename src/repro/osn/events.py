@@ -1,0 +1,98 @@
+"""Timestamped like events.
+
+The temporal analysis (paper Figure 2) and the burst-based detection rules
+need *when* each like landed, not just the final liker set, so the network
+records every like as an immutable event in arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.osn.ids import PageId, UserId
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class LikeEvent:
+    """A user liking a page at a simulated time."""
+
+    user_id: UserId
+    page_id: PageId
+    time: int
+
+    def __post_init__(self) -> None:
+        require(self.time >= 0, "like time must be >= 0")
+
+
+@dataclass(frozen=True)
+class LikeRemovalEvent:
+    """A like disappearing from a page (platform purge or user unlike).
+
+    The paper's future work calls for "longer observation of removed
+    likes"; removals happen when enforcement terminates an account and
+    purges its engagement.
+    """
+
+    user_id: UserId
+    page_id: PageId
+    time: int
+
+    def __post_init__(self) -> None:
+        require(self.time >= 0, "removal time must be >= 0")
+
+
+class LikeLog:
+    """Append-only log of like events with per-page and per-user indexes.
+
+    Events for a given page are guaranteed to be in non-decreasing time
+    order because the event engine delivers them chronologically; the log
+    enforces this invariant defensively.
+    """
+
+    def __init__(self) -> None:
+        self._by_page: Dict[PageId, List[LikeEvent]] = {}
+        self._by_user: Dict[UserId, List[LikeEvent]] = {}
+        self._removals: List[LikeRemovalEvent] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def record(self, event: LikeEvent) -> None:
+        """Append ``event``; rejects out-of-order times for the same page."""
+        page_events = self._by_page.setdefault(event.page_id, [])
+        if page_events:
+            require(
+                event.time >= page_events[-1].time,
+                "like events for a page must arrive in chronological order",
+            )
+        page_events.append(event)
+        self._by_user.setdefault(event.user_id, []).append(event)
+        self._count += 1
+
+    def for_page(self, page_id: PageId) -> Sequence[LikeEvent]:
+        """All like events on ``page_id``, oldest first."""
+        return tuple(self._by_page.get(page_id, ()))
+
+    def for_user(self, user_id: UserId) -> Sequence[LikeEvent]:
+        """All like events by ``user_id``, in arrival order."""
+        return tuple(self._by_user.get(user_id, ()))
+
+    def page_like_times(self, page_id: PageId) -> List[int]:
+        """Just the timestamps of likes on ``page_id`` (for time-series work)."""
+        return [event.time for event in self._by_page.get(page_id, ())]
+
+    def record_removal(self, event: LikeRemovalEvent) -> None:
+        """Append a like-removal event (historical likes stay in the log)."""
+        self._removals.append(event)
+
+    def removals_for_page(self, page_id: PageId) -> List[LikeRemovalEvent]:
+        """All removal events affecting ``page_id``, in arrival order."""
+        return [event for event in self._removals if event.page_id == page_id]
+
+    @property
+    def removal_count(self) -> int:
+        """Total like removals recorded."""
+        return len(self._removals)

@@ -1,0 +1,138 @@
+"""The friendship graph.
+
+Facebook friendships are bidirectional, so the graph is undirected.  The
+implementation is a plain adjacency map; analyses that need richer graph
+algorithms export to :mod:`networkx` via :meth:`FriendshipGraph.to_networkx`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+import networkx as nx
+
+from repro.osn.ids import UserId
+from repro.util.validation import require
+
+
+class FriendshipGraph:
+    """Undirected friendship graph over user ids.
+
+    >>> g = FriendshipGraph()
+    >>> g.add_friendship(1, 2)
+    >>> g.are_friends(2, 1)
+    True
+    >>> g.degree(1)
+    1
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[UserId, Set[UserId]] = {}
+        self._edge_count = 0
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add_user(self, user_id: UserId) -> None:
+        """Ensure a node exists for ``user_id`` (no-op if present)."""
+        self._adjacency.setdefault(user_id, set())
+
+    def add_friendship(self, a: UserId, b: UserId) -> None:
+        """Create the undirected edge (a, b).  Idempotent; self-loops rejected."""
+        require(a != b, "a user cannot befriend themselves")
+        self.add_user(a)
+        self.add_user(b)
+        if b not in self._adjacency[a]:
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+            self._edge_count += 1
+
+    def remove_user(self, user_id: UserId) -> None:
+        """Remove a node and all incident edges (platform account deletion)."""
+        neighbors = self._adjacency.pop(user_id, set())
+        for other in neighbors:
+            self._adjacency[other].discard(user_id)
+        self._edge_count -= len(neighbors)
+
+    # -- queries ------------------------------------------------------------------
+
+    def __contains__(self, user_id: UserId) -> bool:
+        return user_id in self._adjacency
+
+    @property
+    def node_count(self) -> int:
+        """Number of users in the graph."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of friendships."""
+        return self._edge_count
+
+    def neighbors(self, user_id: UserId) -> Set[UserId]:
+        """The friend set of ``user_id`` (empty for unknown users)."""
+        return set(self._adjacency.get(user_id, set()))
+
+    def degree(self, user_id: UserId) -> int:
+        """Friend count of ``user_id``."""
+        return len(self._adjacency.get(user_id, set()))
+
+    def are_friends(self, a: UserId, b: UserId) -> bool:
+        """Whether the edge (a, b) exists."""
+        return b in self._adjacency.get(a, set())
+
+    def two_hop_neighbors(self, user_id: UserId) -> Set[UserId]:
+        """Users exactly two hops away (friends-of-friends, minus friends/self)."""
+        direct = self._adjacency.get(user_id, set())
+        two_hop: Set[UserId] = set()
+        for friend in direct:
+            two_hop.update(self._adjacency[friend])
+        two_hop -= direct
+        two_hop.discard(user_id)
+        return two_hop
+
+    def edges(self) -> Iterator[Tuple[UserId, UserId]]:
+        """Iterate each undirected edge once, as (min, max) pairs."""
+        for node, neighbors in self._adjacency.items():
+            for other in neighbors:
+                if node < other:
+                    yield (node, other)
+
+    def edges_within(self, users: Iterable[UserId]) -> Iterator[Tuple[UserId, UserId]]:
+        """Edges whose both endpoints are in ``users``."""
+        user_set = set(users)
+        for node in user_set:
+            for other in self._adjacency.get(node, set()):
+                if other in user_set and node < other:
+                    yield (node, other)
+
+    def mutual_friend_pairs(
+        self, users: Iterable[UserId]
+    ) -> Iterator[Tuple[UserId, UserId]]:
+        """Pairs of distinct ``users`` connected through at least one mutual friend.
+
+        This is the paper's "2-hop friendship relation" between likers: the
+        intermediate friend may be anyone on the platform, not only a liker.
+        Direct friends that also share a mutual friend are still yielded;
+        callers subtract direct edges if they want the strictly-indirect set.
+        """
+        user_list = sorted(set(users))
+        neighbor_sets = {u: self._adjacency.get(u, set()) for u in user_list}
+        for i, a in enumerate(user_list):
+            a_neighbors = neighbor_sets[a]
+            if not a_neighbors:
+                continue
+            for b in user_list[i + 1 :]:
+                if a_neighbors & neighbor_sets[b]:
+                    yield (a, b)
+
+    def to_networkx(self, users: Iterable[UserId] = None) -> nx.Graph:
+        """Export (optionally the subgraph induced by ``users``) to networkx."""
+        graph = nx.Graph()
+        if users is None:
+            graph.add_nodes_from(self._adjacency.keys())
+            graph.add_edges_from(self.edges())
+        else:
+            user_set = set(users)
+            graph.add_nodes_from(user_set)
+            graph.add_edges_from(self.edges_within(user_set))
+        return graph

@@ -1,0 +1,34 @@
+"""Typed entity identifiers.
+
+Users and pages are identified by opaque integers.  The NewType aliases cost
+nothing at runtime but let signatures document which kind of id they expect.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+UserId = NewType("UserId", int)
+PageId = NewType("PageId", int)
+
+
+class IdAllocator:
+    """Allocates monotonically increasing integer ids from a namespace offset.
+
+    Separate offsets for users and pages make accidental cross-use of ids
+    fail loudly in lookups instead of silently aliasing.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def allocate(self) -> int:
+        """Return the next unused id."""
+        value = self._next
+        self._next += 1
+        return value
+
+    @property
+    def allocated(self) -> int:
+        """How many ids have been handed out."""
+        return self._next

@@ -1,0 +1,257 @@
+"""The :class:`SocialNetwork` facade.
+
+A single object owning users, pages, friendships, and the like log.  All
+mutation goes through it so invariants (id uniqueness, like idempotence,
+termination side effects) are enforced in one place.  Higher layers — the ad
+platform, like farms, honeypot crawler — only talk to this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.osn.events import LikeEvent, LikeLog, LikeRemovalEvent
+from repro.osn.graph import FriendshipGraph
+from repro.osn.ids import IdAllocator, PageId, UserId
+from repro.osn.page import CATEGORY_HONEYPOT, Page
+from repro.osn.privacy import PrivacyPolicy
+from repro.osn.profile import Gender, UserProfile
+from repro.util.validation import require
+
+_USER_ID_BASE = 1_000_000
+_PAGE_ID_BASE = 9_000_000
+
+
+class SocialNetwork:
+    """In-memory simulated social network.
+
+    >>> net = SocialNetwork()
+    >>> alice = net.create_user(gender=Gender.FEMALE, age=30, country="US")
+    >>> page = net.create_page("Example")
+    >>> net.like_page(alice.user_id, page.page_id, time=0)
+    True
+    >>> net.page_liker_ids(page.page_id) == [alice.user_id]
+    True
+    """
+
+    def __init__(self) -> None:
+        self._users: Dict[UserId, UserProfile] = {}
+        self._pages: Dict[PageId, Page] = {}
+        self.graph = FriendshipGraph()
+        self.likes = LikeLog()
+        self.privacy = PrivacyPolicy()
+        self._user_ids = IdAllocator(_USER_ID_BASE)
+        self._page_ids = IdAllocator(_PAGE_ID_BASE)
+        self._user_liked_pages: Dict[UserId, Set[PageId]] = {}
+        self._page_likers: Dict[PageId, List[UserId]] = {}
+
+    # -- users --------------------------------------------------------------------
+
+    def create_user(
+        self,
+        gender: Gender,
+        age: int,
+        country: str,
+        friend_list_public: bool = True,
+        searchable: bool = True,
+        cohort: str = "organic",
+        created_at: int = 0,
+    ) -> UserProfile:
+        """Create and register a new user account."""
+        user_id = UserId(self._user_ids.allocate())
+        profile = UserProfile(
+            user_id=user_id,
+            gender=gender,
+            age=age,
+            country=country,
+            friend_list_public=friend_list_public,
+            searchable=searchable,
+            cohort=cohort,
+            created_at=created_at,
+        )
+        self._users[user_id] = profile
+        self.graph.add_user(user_id)
+        self._user_liked_pages[user_id] = set()
+        return profile
+
+    def user(self, user_id: UserId) -> UserProfile:
+        """Look up a user; raises ``KeyError`` for unknown ids."""
+        return self._users[user_id]
+
+    def has_user(self, user_id: UserId) -> bool:
+        """Whether ``user_id`` is a registered account (terminated or not)."""
+        return user_id in self._users
+
+    @property
+    def user_count(self) -> int:
+        """Number of registered accounts, including terminated ones."""
+        return len(self._users)
+
+    def all_users(self) -> Iterable[UserProfile]:
+        """Iterate every registered account."""
+        return self._users.values()
+
+    def users_in_cohort(self, cohort: str) -> List[UserProfile]:
+        """All users with the given ground-truth cohort label."""
+        return [u for u in self._users.values() if u.cohort == cohort]
+
+    # -- pages --------------------------------------------------------------------
+
+    def create_page(
+        self,
+        name: str,
+        description: str = "",
+        owner_id: Optional[UserId] = None,
+        category: str = "normal",
+        created_at: int = 0,
+    ) -> Page:
+        """Create and register a new page."""
+        if owner_id is not None:
+            require(owner_id in self._users, f"unknown page owner {owner_id}")
+        page_id = PageId(self._page_ids.allocate())
+        page = Page(
+            page_id=page_id,
+            name=name,
+            description=description,
+            owner_id=owner_id,
+            category=category,
+            created_at=created_at,
+        )
+        self._pages[page_id] = page
+        self._page_likers[page_id] = []
+        return page
+
+    def page(self, page_id: PageId) -> Page:
+        """Look up a page; raises ``KeyError`` for unknown ids."""
+        return self._pages[page_id]
+
+    @property
+    def page_count(self) -> int:
+        """Number of registered pages."""
+        return len(self._pages)
+
+    def all_pages(self) -> Iterable[Page]:
+        """Iterate every registered page."""
+        return self._pages.values()
+
+    def honeypot_pages(self) -> List[Page]:
+        """All pages flagged as study honeypots."""
+        return [p for p in self._pages.values() if p.category == CATEGORY_HONEYPOT]
+
+    # -- friendships --------------------------------------------------------------
+
+    def add_friendship(self, a: UserId, b: UserId) -> None:
+        """Create a bidirectional friendship between two live accounts."""
+        require(a in self._users, f"unknown user {a}")
+        require(b in self._users, f"unknown user {b}")
+        require(not self._users[a].is_terminated, f"user {a} is terminated")
+        require(not self._users[b].is_terminated, f"user {b} is terminated")
+        self.graph.add_friendship(a, b)
+
+    def friend_count(self, user_id: UserId) -> int:
+        """Ground-truth friend count (the crawler sees this only if public)."""
+        return self.graph.degree(user_id)
+
+    def declared_friend_count(self, user_id: UserId) -> int:
+        """Explicit graph degree plus background (unmodelled) friends.
+
+        This is the number a crawler reading a public friend list would
+        count; see :attr:`repro.osn.profile.UserProfile.background_friend_count`.
+        """
+        return self.graph.degree(user_id) + self.user(user_id).background_friend_count
+
+    # -- likes --------------------------------------------------------------------
+
+    def like_page(self, user_id: UserId, page_id: PageId, time: int) -> bool:
+        """Record ``user_id`` liking ``page_id`` at ``time``.
+
+        Returns True if the like was new, False if the user already liked the
+        page (likes are idempotent, as on the platform).  Terminated accounts
+        cannot like.
+        """
+        require(user_id in self._users, f"unknown user {user_id}")
+        require(page_id in self._pages, f"unknown page {page_id}")
+        profile = self._users[user_id]
+        require(not profile.is_terminated, f"terminated user {user_id} cannot like")
+        liked = self._user_liked_pages[user_id]
+        if page_id in liked:
+            return False
+        liked.add(page_id)
+        self._page_likers[page_id].append(user_id)
+        self.likes.record(LikeEvent(user_id=user_id, page_id=page_id, time=time))
+        return True
+
+    def page_liker_ids(self, page_id: PageId) -> List[UserId]:
+        """Likers of ``page_id`` in arrival order (terminated accounts included).
+
+        The paper observed likes as they arrived and later noted which liker
+        accounts had been terminated, so the historical record is preserved.
+        """
+        require(page_id in self._pages, f"unknown page {page_id}")
+        return list(self._page_likers[page_id])
+
+    def page_like_count(self, page_id: PageId) -> int:
+        """Current number of likes on ``page_id``."""
+        require(page_id in self._pages, f"unknown page {page_id}")
+        return len(self._page_likers[page_id])
+
+    def user_liked_page_ids(self, user_id: UserId) -> Set[PageId]:
+        """The set of pages ``user_id`` likes (ground truth)."""
+        require(user_id in self._users, f"unknown user {user_id}")
+        return set(self._user_liked_pages[user_id])
+
+    def user_like_count(self, user_id: UserId) -> int:
+        """How many pages ``user_id`` likes inside the simulated universe."""
+        require(user_id in self._users, f"unknown user {user_id}")
+        return len(self._user_liked_pages[user_id])
+
+    def declared_like_count(self, user_id: UserId) -> int:
+        """Explicit likes plus background (out-of-universe) likes.
+
+        This is the total a crawler reading the profile's like list reports;
+        see :attr:`repro.osn.profile.UserProfile.background_like_count`.
+        """
+        return self.user_like_count(user_id) + self.user(user_id).background_like_count
+
+    def remove_like(self, user_id: UserId, page_id: PageId, time: int) -> bool:
+        """Remove a like from a page's *current* liker list.
+
+        Historical like events stay in the log; a removal event is recorded
+        so observers can measure disappearing likes (the paper's future-work
+        item).  Returns False when no current like existed.
+        """
+        require(user_id in self._users, f"unknown user {user_id}")
+        require(page_id in self._pages, f"unknown page {page_id}")
+        liked = self._user_liked_pages[user_id]
+        if page_id not in liked:
+            return False
+        liked.remove(page_id)
+        self._page_likers[page_id].remove(user_id)
+        self.likes.record_removal(
+            LikeRemovalEvent(user_id=user_id, page_id=page_id, time=time)
+        )
+        return True
+
+    # -- enforcement --------------------------------------------------------------
+
+    def terminate_account(
+        self, user_id: UserId, time: int, purge_likes: bool = False
+    ) -> None:
+        """Platform enforcement removes an account.
+
+        The profile is flagged (not deleted) so analyses can count
+        terminations; friendships are severed; historical like events remain
+        in the log, matching how the paper could still attribute past likes
+        to terminated accounts.  With ``purge_likes`` the platform also
+        strips the account's likes from every page's current liker list —
+        the mechanism behind likes that silently disappear from pages.
+        """
+        require(user_id in self._users, f"unknown user {user_id}")
+        profile = self._users[user_id]
+        require(not profile.is_terminated, f"user {user_id} already terminated")
+        if purge_likes:
+            for page_id in sorted(self._user_liked_pages[user_id]):
+                self.remove_like(user_id, page_id, time)
+        profile.terminated_at = time
+        self.graph.remove_user(user_id)
+        self.graph.add_user(user_id)  # keep the node, drop the edges

@@ -1,0 +1,59 @@
+"""Pages: the entities users like.
+
+The simulated page universe contains ordinary pages (brands, media, the
+"normal" pages farm accounts like to mask themselves), spam-job pages (other
+customers of the like-fraud ecosystem), and the study's own honeypot pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.osn.ids import PageId, UserId
+from repro.util.validation import require
+
+#: Page categories used by the world generator.
+CATEGORY_NORMAL = "normal"
+CATEGORY_SPAM_JOB = "spam-job"
+CATEGORY_HONEYPOT = "honeypot"
+
+_KNOWN_CATEGORIES = (CATEGORY_NORMAL, CATEGORY_SPAM_JOB, CATEGORY_HONEYPOT)
+
+
+@dataclass
+class Page:
+    """A likeable page.
+
+    Attributes
+    ----------
+    page_id:
+        Opaque platform id.
+    name / description:
+        Display fields.  Honeypot pages carry the paper's disclaimer text.
+    owner_id:
+        Administrator account (honeypots each get a fresh owner, per paper).
+    category:
+        ``normal``, ``spam-job`` or ``honeypot`` (world-generator label).
+    created_at:
+        Creation time in simulation minutes.
+    """
+
+    page_id: PageId
+    name: str
+    description: str = ""
+    owner_id: Optional[UserId] = None
+    category: str = CATEGORY_NORMAL
+    created_at: int = 0
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "page name must be non-empty")
+        require(
+            self.category in _KNOWN_CATEGORIES,
+            f"unknown page category {self.category!r}",
+        )
+
+    @property
+    def is_honeypot(self) -> bool:
+        """Whether this page is one of the study's honeypots."""
+        return self.category == CATEGORY_HONEYPOT

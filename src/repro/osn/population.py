@@ -1,0 +1,243 @@
+"""Organic-world generation.
+
+Builds the background population the honeypot study sits inside: ordinary
+users with 2014-Facebook-like demographics, a Zipf-popular page universe, an
+organic friendship graph, and organic page-liking behaviour (median ~34
+liked pages, matching the paper's baseline sample and [16]).
+
+Farm accounts and click workers are *not* created here — they are produced
+by :mod:`repro.farms.accounts` and :mod:`repro.ads.clickworkers`, which layer
+on top of this world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.osn.network import SocialNetwork
+from repro.osn.page import CATEGORY_NORMAL, CATEGORY_SPAM_JOB
+from repro.osn.profile import AGE_BRACKETS, Gender
+from repro.osn.universe import ORGANIC_MIX, PageUniverse, build_universe
+from repro.util.distributions import Categorical, LogNormalCount
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, check_positive, require
+
+#: Global Facebook gender split (paper Table 2, last row): 46 % F / 54 % M.
+GLOBAL_GENDER_WEIGHTS = {Gender.FEMALE: 46.0, Gender.MALE: 54.0}
+
+#: Global Facebook age-bracket distribution (paper Table 2, last row).
+GLOBAL_AGE_WEIGHTS = {
+    "13-17": 14.9,
+    "18-24": 32.3,
+    "25-34": 26.6,
+    "35-44": 13.2,
+    "45-54": 7.2,
+    "55+": 5.9,
+}
+
+#: Approximate 2014 country shares of the Facebook population.  Only the six
+#: buckets the paper plots (US/IN/EG/TR/FR + Other) need to be faithful.
+GLOBAL_COUNTRY_WEIGHTS = {
+    "US": 14.0,
+    "IN": 9.0,
+    "BR": 7.0,
+    "ID": 6.0,
+    "MX": 4.5,
+    "GB": 3.0,
+    "TR": 3.0,
+    "PH": 3.0,
+    "FR": 2.2,
+    "EG": 1.6,
+    "OTHER": 46.7,
+}
+
+_AGE_BRACKET_RANGES = {
+    "13-17": (13, 17),
+    "18-24": (18, 24),
+    "25-34": (25, 34),
+    "35-44": (35, 44),
+    "45-54": (45, 54),
+    "55+": (55, 75),
+}
+
+
+def sample_age(rng: RngStream, bracket_dist: Categorical) -> int:
+    """Draw an integer age: bracket from ``bracket_dist``, uniform inside it."""
+    bracket = bracket_dist.sample(rng)
+    require(bracket in _AGE_BRACKET_RANGES, f"unknown age bracket {bracket!r}")
+    low, high = _AGE_BRACKET_RANGES[bracket]
+    return rng.randint(low, high + 1)
+
+
+@dataclass
+class DemographicProfile:
+    """A reusable demographic recipe (gender, age, country distributions)."""
+
+    gender: Categorical = field(
+        default_factory=lambda: Categorical(GLOBAL_GENDER_WEIGHTS)
+    )
+    age: Categorical = field(default_factory=lambda: Categorical(GLOBAL_AGE_WEIGHTS))
+    country: Categorical = field(
+        default_factory=lambda: Categorical(GLOBAL_COUNTRY_WEIGHTS)
+    )
+
+    @staticmethod
+    def global_facebook() -> "DemographicProfile":
+        """The global-population recipe from the paper's Table 2 bottom row."""
+        return DemographicProfile()
+
+    def global_age_pmf(self) -> Dict[str, float]:
+        """Age pmf in bracket order (used as KL reference)."""
+        pmf = self.age.as_dict()
+        return {bracket: pmf.get(bracket, 0.0) for bracket in AGE_BRACKETS}
+
+
+@dataclass
+class PopulationConfig:
+    """Sizing and behaviour of the organic world.
+
+    Attributes
+    ----------
+    n_users:
+        Number of organic accounts.
+    n_normal_pages / n_spam_pages:
+        Page-universe sizes.  Spam-job pages are the other "customers" of
+        the like-fraud ecosystem; organic users almost never like them.
+    like_count:
+        Per-user total page-like distribution (paper baseline median ~34).
+    friend_count:
+        Per-user friendship degree target.
+    friend_list_public_rate:
+        Fraction of organic users whose friend list a crawler can read.
+    spam_like_rate:
+        Probability an organic user likes any spam-job pages at all (noise).
+    """
+
+    n_users: int = 4000
+    n_normal_pages: int = 1500
+    n_spam_pages: int = 400
+    like_count: LogNormalCount = field(
+        default_factory=lambda: LogNormalCount(median=34, sigma=1.1, minimum=1)
+    )
+    friend_count: LogNormalCount = field(
+        default_factory=lambda: LogNormalCount(median=130, sigma=0.8, minimum=1, maximum=4000)
+    )
+    friend_list_public_rate: float = 0.45
+    spam_like_rate: float = 0.02
+    page_popularity_exponent: float = 0.9
+    demographics: DemographicProfile = field(
+        default_factory=DemographicProfile.global_facebook
+    )
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_users, "n_users")
+        check_positive(self.n_normal_pages, "n_normal_pages")
+        check_positive(self.n_spam_pages, "n_spam_pages")
+        check_fraction(self.friend_list_public_rate, "friend_list_public_rate")
+        check_fraction(self.spam_like_rate, "spam_like_rate")
+        check_positive(self.page_popularity_exponent, "page_popularity_exponent")
+
+    @staticmethod
+    def small() -> "PopulationConfig":
+        """A fast configuration for unit tests."""
+        return PopulationConfig(n_users=300, n_normal_pages=150, n_spam_pages=40)
+
+
+@dataclass
+class BuiltWorld:
+    """Handles to what :class:`WorldBuilder` created."""
+
+    organic_user_ids: List[int]
+    normal_page_ids: List[int]
+    spam_page_ids: List[int]
+    universe: PageUniverse
+
+
+class WorldBuilder:
+    """Populates a :class:`SocialNetwork` with the organic world."""
+
+    def __init__(self, config: PopulationConfig) -> None:
+        self.config = config
+
+    def build(self, network: SocialNetwork, rng: RngStream) -> BuiltWorld:
+        """Create pages, organic users, friendships, and organic likes."""
+        normal_pages = self._create_pages(network, CATEGORY_NORMAL, self.config.n_normal_pages)
+        spam_pages = self._create_pages(network, CATEGORY_SPAM_JOB, self.config.n_spam_pages)
+        country_weights = self.config.demographics.country.as_dict()
+        universe = build_universe(
+            page_ids=normal_pages,
+            spam_page_ids=spam_pages,
+            countries=list(country_weights.keys()),
+            country_weights=list(country_weights.values()),
+            rng=rng.child("universe"),
+            popularity_exponent=self.config.page_popularity_exponent,
+        )
+
+        user_ids = self._create_users(network, rng.child("users"))
+        self._wire_friendships(network, user_ids, rng.child("friendships"))
+        self._assign_likes(network, user_ids, universe, rng.child("likes"))
+        return BuiltWorld(
+            organic_user_ids=user_ids,
+            normal_page_ids=normal_pages,
+            spam_page_ids=spam_pages,
+            universe=universe,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _create_pages(self, network: SocialNetwork, category: str, count: int) -> List[int]:
+        return [
+            network.create_page(name=f"{category}-page-{i}", category=category).page_id
+            for i in range(count)
+        ]
+
+    def _create_users(self, network: SocialNetwork, rng: RngStream) -> List[int]:
+        demo = self.config.demographics
+        user_ids: List[int] = []
+        for _ in range(self.config.n_users):
+            profile = network.create_user(
+                gender=demo.gender.sample(rng),
+                age=sample_age(rng, demo.age),
+                country=demo.country.sample(rng),
+                friend_list_public=rng.bernoulli(self.config.friend_list_public_rate),
+                searchable=True,
+                cohort="organic",
+            )
+            user_ids.append(profile.user_id)
+        return user_ids
+
+    def _wire_friendships(
+        self, network: SocialNetwork, user_ids: List[int], rng: RngStream
+    ) -> None:
+        """Configuration-model wiring: pair up degree 'stubs' at random."""
+        degrees = self.config.friend_count.sample_many(rng, len(user_ids))
+        stubs: List[int] = []
+        for user_id, degree in zip(user_ids, degrees):
+            # cap each user's stub count so tiny test worlds stay sparse
+            stubs.extend([user_id] * min(degree, len(user_ids) - 1))
+        stubs = rng.shuffled(stubs)
+        for i in range(0, len(stubs) - 1, 2):
+            a, b = stubs[i], stubs[i + 1]
+            if a != b:
+                network.add_friendship(a, b)
+
+    def _assign_likes(
+        self,
+        network: SocialNetwork,
+        user_ids: List[int],
+        universe: PageUniverse,
+        rng: RngStream,
+    ) -> None:
+        spam_pages = universe.spam_pages
+        like_counts = self.config.like_count.sample_many(rng, len(user_ids))
+        for user_id, count in zip(user_ids, like_counts):
+            country = network.user(user_id).country
+            for page_id in universe.sample_likes(rng, count, ORGANIC_MIX, country):
+                network.like_page(user_id, page_id, time=0)
+            if spam_pages and rng.bernoulli(self.config.spam_like_rate):
+                noise = rng.randint(1, min(4, len(spam_pages)) + 1)
+                for page_id in rng.sample_without_replacement(spam_pages, noise):
+                    network.like_page(user_id, page_id, time=0)

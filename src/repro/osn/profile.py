@@ -1,0 +1,146 @@
+"""User profiles: demographics, privacy, and ground-truth cohort labels.
+
+The paper's Facebook-side reports exposed gender, age bracket, and country
+for likers; friend lists were only visible when public.  Profiles here carry
+exactly those attributes, plus ground-truth fields (``cohort``, ``is_fake``)
+that exist only in the simulator and are used for detector evaluation — the
+measurement pipeline itself never reads them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.osn.ids import UserId
+from repro.util.validation import require
+
+#: Age brackets as reported by Facebook's page-insights tool (paper Table 2).
+AGE_BRACKETS = ("13-17", "18-24", "25-34", "35-44", "45-54", "55+")
+
+_BRACKET_BOUNDS = ((13, 17), (18, 24), (25, 34), (35, 44), (45, 54), (55, 120))
+
+
+class Gender(enum.Enum):
+    """Binary gender as reported by the 2014 Facebook insights tool."""
+
+    FEMALE = "F"
+    MALE = "M"
+
+
+def age_bracket(age: int) -> str:
+    """Map an integer age to its insights bracket.
+
+    >>> age_bracket(16)
+    '13-17'
+    >>> age_bracket(60)
+    '55+'
+    """
+    require(age >= 13, f"platform minimum age is 13, got {age}")
+    for bracket, (low, high) in zip(AGE_BRACKETS, _BRACKET_BOUNDS):
+        if low <= age <= high:
+            return bracket
+    raise AssertionError(f"unreachable: age {age} matched no bracket")
+
+
+def bracket_midpoint_age(bracket: str) -> int:
+    """A representative age for a bracket (used when sampling by bracket)."""
+    require(bracket in AGE_BRACKETS, f"unknown age bracket {bracket!r}")
+    low, high = _BRACKET_BOUNDS[AGE_BRACKETS.index(bracket)]
+    return (low + min(high, 70)) // 2
+
+
+#: Cohort labels — simulator ground truth, never visible to the crawler.
+COHORT_ORGANIC = "organic"
+COHORT_CLICKWORKER = "clickworker"
+COHORT_FARM_PREFIX = "farm:"
+
+
+@dataclass
+class UserProfile:
+    """A platform user account.
+
+    Attributes
+    ----------
+    user_id:
+        Opaque platform id.
+    gender / age / country:
+        Demographics surfaced (in aggregate) by the page-insights reports.
+    friend_list_public:
+        Whether a crawler may read this user's friend list.
+    searchable:
+        Whether the user appears in the public directory (baseline sampling).
+    cohort:
+        Ground-truth origin: ``organic``, ``clickworker``, or ``farm:<name>``.
+    created_at:
+        Account creation time (simulation minutes).
+    terminated_at:
+        Set when the platform's enforcement sweep removes the account.
+    background_friend_count:
+        Friends this account has in the wider, unmodelled network.  The
+        simulated world is orders of magnitude smaller than Facebook, so a
+        profile's *declared* friend count is the sum of its explicit graph
+        degree and this background count; the crawler reports the sum when
+        the friend list is public.  Background friends are anonymous — they
+        can never be mutual friends between two likers, which keeps
+        liker-liker connectivity as sparse as the paper observed.
+    background_like_count:
+        Page likes held outside the simulated page universe, by the same
+        small-world argument as ``background_friend_count``: fake accounts
+        liked thousands of pages, far more than a test-sized page universe
+        can represent explicitly.  A crawler reading the profile's like list
+        reports explicit likes plus this count; set-overlap analyses use
+        only the explicit likes.
+    """
+
+    user_id: UserId
+    gender: Gender
+    age: int
+    country: str
+    friend_list_public: bool = True
+    searchable: bool = True
+    cohort: str = COHORT_ORGANIC
+    created_at: int = 0
+    terminated_at: Optional[int] = None
+    home_town: Optional[str] = None
+    current_town: Optional[str] = None
+    background_friend_count: int = 0
+    background_like_count: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.age >= 13, f"platform minimum age is 13, got {self.age}")
+        require(bool(self.country), "country must be non-empty")
+        require(self.background_friend_count >= 0, "background_friend_count must be >= 0")
+        require(self.background_like_count >= 0, "background_like_count must be >= 0")
+        if self.home_town is None:
+            self.home_town = self.country
+        if self.current_town is None:
+            self.current_town = self.country
+
+    @property
+    def age_bracket(self) -> str:
+        """The insights age bracket for this user."""
+        return age_bracket(self.age)
+
+    @property
+    def is_fake(self) -> bool:
+        """Ground truth: accounts not in the organic cohort are fake."""
+        return self.cohort != COHORT_ORGANIC
+
+    @property
+    def is_farm_account(self) -> bool:
+        """Ground truth: account operated by a like farm."""
+        return self.cohort.startswith(COHORT_FARM_PREFIX)
+
+    @property
+    def farm_name(self) -> Optional[str]:
+        """The operating farm's name, if this is a farm account."""
+        if not self.is_farm_account:
+            return None
+        return self.cohort[len(COHORT_FARM_PREFIX):]
+
+    @property
+    def is_terminated(self) -> bool:
+        """Whether the platform has removed this account."""
+        return self.terminated_at is not None

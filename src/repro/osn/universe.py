@@ -1,0 +1,263 @@
+"""The segmented page universe.
+
+Real Facebook has millions of pages with strong locality: an Egyptian teen
+and a US retiree share almost no liked pages except the globally popular
+ones.  A small simulated universe loses that structure — unions of liked
+pages saturate and every campaign looks identical in Figure 5a.  To preserve
+the paper's similarity structure at test scale, the page universe is
+segmented:
+
+* **global** — pages popular everywhere (the shared mass every cohort
+  samples a little of),
+* **regional** — per-country segments (drives differentiation between
+  campaigns targeting different countries),
+* **spam** — the like-fraud ecosystem's job pages.  Spam is further split
+  into a shared "exchange" segment (any fraud account may work those jobs —
+  this drives the farm/ads overlap the paper reports) and per-operator
+  segments (each farm's own customer base — this keeps different farms'
+  page sets distinguishable).
+
+Each cohort samples its likes with a :class:`LikeMix` over the segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.osn.ids import PageId
+from repro.util.distributions import (
+    interpolate_counts,
+    weighted_sample_without_replacement,
+    zipf_weights,
+)
+from repro.util.rng import RngStream
+from repro.util.validation import check_fraction, require
+
+
+@dataclass(frozen=True)
+class LikeMix:
+    """How a cohort splits its page likes across universe segments.
+
+    Fractions must sum to at most 1; any remainder goes to the global
+    segment.
+    """
+
+    global_frac: float
+    regional_frac: float
+    spam_frac: float
+
+    def __post_init__(self) -> None:
+        check_fraction(self.global_frac, "global_frac")
+        check_fraction(self.regional_frac, "regional_frac")
+        check_fraction(self.spam_frac, "spam_frac")
+        require(
+            self.global_frac + self.regional_frac + self.spam_frac <= 1.0 + 1e-9,
+            "like-mix fractions must sum to <= 1",
+        )
+
+    def counts(self, total: int) -> Dict[str, int]:
+        """Integer per-segment counts for ``total`` likes."""
+        remainder = max(0.0, 1.0 - self.regional_frac - self.spam_frac)
+        parts = interpolate_counts(
+            total, [remainder, self.regional_frac, self.spam_frac]
+        )
+        return {"global": parts[0], "regional": parts[1], "spam": parts[2]}
+
+
+#: Default cohort mixes (calibration for Figure 5a's block structure).
+ORGANIC_MIX = LikeMix(global_frac=0.4, regional_frac=0.6, spam_frac=0.0)
+CLICKWORKER_MIX = LikeMix(global_frac=0.45, regional_frac=0.30, spam_frac=0.25)
+FARM_MIX = LikeMix(global_frac=0.30, regional_frac=0.40, spam_frac=0.30)
+STEALTH_FARM_MIX = LikeMix(global_frac=0.45, regional_frac=0.45, spam_frac=0.10)
+
+
+#: The spam segment every fraud account can draw from.
+SHARED_SPAM_KEY = "exchange"
+
+#: Default per-operator spam segments.
+DEFAULT_SPAM_KEYS = ("clickworker", "socialformula", "alms", "boostlikes")
+
+
+class PageUniverse:
+    """Segmented page-id pools with Zipf popularity inside each segment."""
+
+    def __init__(
+        self,
+        global_pages: Sequence[PageId],
+        regional_pages: Dict[str, Sequence[PageId]],
+        spam_segments: Dict[str, Sequence[PageId]],
+        popularity_exponent: float = 1.0,
+        own_spam_fraction: float = 0.6,
+    ) -> None:
+        require(len(global_pages) > 0, "global segment must be non-empty")
+        require(SHARED_SPAM_KEY in spam_segments, "spam segments need the shared key")
+        require(len(spam_segments[SHARED_SPAM_KEY]) > 0, "shared spam must be non-empty")
+        check_fraction(own_spam_fraction, "own_spam_fraction")
+        self._global = list(global_pages)
+        self._regional = {c: list(pages) for c, pages in regional_pages.items()}
+        self._spam = {key: list(pages) for key, pages in spam_segments.items()}
+        self._own_spam_fraction = own_spam_fraction
+        self._global_weights = zipf_weights(len(self._global), popularity_exponent)
+        self._regional_weights = {
+            country: zipf_weights(len(pages), popularity_exponent)
+            for country, pages in self._regional.items()
+            if pages
+        }
+        self._spam_weights = {
+            key: zipf_weights(len(pages), popularity_exponent)
+            for key, pages in self._spam.items()
+            if pages
+        }
+
+    @property
+    def global_pages(self) -> List[PageId]:
+        """The globally popular segment."""
+        return list(self._global)
+
+    @property
+    def spam_pages(self) -> List[PageId]:
+        """Every spam-job page across all segments."""
+        pages: List[PageId] = []
+        for segment in self._spam.values():
+            pages.extend(segment)
+        return pages
+
+    def spam_segment(self, key: str) -> List[PageId]:
+        """One spam segment's pages (empty for unknown keys)."""
+        return list(self._spam.get(key, ()))
+
+    def regional_pages(self, country: str) -> List[PageId]:
+        """The regional segment for ``country`` (may be empty)."""
+        return list(self._regional.get(country, ()))
+
+    @property
+    def all_page_ids(self) -> List[PageId]:
+        """Every page in the universe."""
+        pages = list(self._global) + self.spam_pages
+        for segment in self._regional.values():
+            pages.extend(segment)
+        return pages
+
+    def sample_likes(
+        self,
+        rng: RngStream,
+        total: int,
+        mix: LikeMix,
+        country: str,
+        spam_key: str = None,
+    ) -> List[PageId]:
+        """Draw ``total`` distinct pages for a user in ``country``.
+
+        ``spam_key`` selects the user's own operator segment; spam draws
+        split ``own_spam_fraction`` / remainder between it and the shared
+        exchange segment.  Segment shortfalls (a tiny regional pool, say)
+        spill into the global segment so the requested count is honoured
+        whenever the universe is big enough overall.
+        """
+        require(total >= 0, "total must be >= 0")
+        counts = mix.counts(total)
+        chosen: List[PageId] = []
+
+        regional = self._regional.get(country, [])
+        regional_take = min(counts["regional"], len(regional))
+        if regional_take > 0:
+            chosen.extend(
+                weighted_sample_without_replacement(
+                    rng, regional, self._regional_weights[country], regional_take
+                )
+            )
+        spam_take = self._sample_spam(rng, counts["spam"], spam_key, chosen)
+        global_take = min(
+            counts["global"] + (counts["regional"] - regional_take)
+            + (counts["spam"] - spam_take),
+            len(self._global),
+        )
+        if global_take > 0:
+            chosen.extend(
+                weighted_sample_without_replacement(
+                    rng, self._global, self._global_weights, global_take
+                )
+            )
+        return chosen
+
+    def _sample_spam(
+        self, rng: RngStream, count: int, spam_key: str, chosen: List[PageId]
+    ) -> int:
+        """Draw up to ``count`` spam pages into ``chosen``; returns how many."""
+        if count <= 0:
+            return 0
+        own = self._spam.get(spam_key, []) if spam_key else []
+        own_target = int(round(count * self._own_spam_fraction)) if own else 0
+        own_take = min(own_target, len(own))
+        taken = 0
+        if own_take > 0:
+            chosen.extend(
+                weighted_sample_without_replacement(
+                    rng, own, self._spam_weights[spam_key], own_take
+                )
+            )
+            taken += own_take
+        shared = self._spam[SHARED_SPAM_KEY]
+        shared_take = min(count - taken, len(shared))
+        if shared_take > 0:
+            chosen.extend(
+                weighted_sample_without_replacement(
+                    rng, shared, self._spam_weights[SHARED_SPAM_KEY], shared_take
+                )
+            )
+            taken += shared_take
+        return taken
+
+
+def build_universe(
+    page_ids: Sequence[PageId],
+    spam_page_ids: Sequence[PageId],
+    countries: Sequence[str],
+    country_weights: Sequence[float],
+    rng: RngStream,
+    global_fraction: float = 0.30,
+    shared_spam_fraction: float = 0.35,
+    spam_keys: Sequence[str] = DEFAULT_SPAM_KEYS,
+    popularity_exponent: float = 1.0,
+) -> PageUniverse:
+    """Partition pages into global + regional + spam segments.
+
+    Regional segment sizes are proportional to ``country_weights`` (bigger
+    markets have more local pages); spam pages split into the shared
+    exchange segment and equal per-operator segments.
+    """
+    check_fraction(global_fraction, "global_fraction")
+    check_fraction(shared_spam_fraction, "shared_spam_fraction")
+    require(len(countries) == len(country_weights), "countries/weights must align")
+    require(len(spam_page_ids) > 0, "need at least one spam page")
+    pages = rng.shuffled(list(page_ids))
+    n_global = max(1, int(round(len(pages) * global_fraction)))
+    global_pages = pages[:n_global]
+    rest = pages[n_global:]
+    regional: Dict[str, List[PageId]] = {}
+    if rest and countries:
+        counts = interpolate_counts(len(rest), np.asarray(country_weights, dtype=float))
+        start = 0
+        for country, count in zip(countries, counts):
+            regional[country] = rest[start : start + count]
+            start += count
+
+    spam_pages = rng.shuffled(list(spam_page_ids))
+    n_shared = max(1, int(round(len(spam_pages) * shared_spam_fraction)))
+    spam_segments: Dict[str, List[PageId]] = {SHARED_SPAM_KEY: spam_pages[:n_shared]}
+    remaining = spam_pages[n_shared:]
+    if remaining and spam_keys:
+        counts = interpolate_counts(len(remaining), [1.0] * len(spam_keys))
+        start = 0
+        for key, count in zip(spam_keys, counts):
+            spam_segments[key] = remaining[start : start + count]
+            start += count
+    return PageUniverse(
+        global_pages=global_pages,
+        regional_pages=regional,
+        spam_segments=spam_segments,
+        popularity_exponent=popularity_exponent,
+    )

@@ -1,0 +1,116 @@
+"""Plain-text rendering of tables, series, and matrices.
+
+The benchmark harness reproduces the paper's tables and figures as text:
+tables render like the paper's Tables 1-3, figures render as numeric series
+(time series, CDFs) or matrices (Jaccard heatmaps).  Everything here is pure
+string formatting with no knowledge of the domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.util.validation import require
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an ASCII table with column-width alignment.
+
+    >>> print(render_table(["a", "b"], [[1, 2]], title="T"))
+    T
+    a | b
+    --+--
+    1 | 2
+    """
+    require(len(headers) > 0, "table needs at least one column")
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for row in str_rows:
+        require(len(row) == len(headers), "row width must match header width")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    x_label: str = "x",
+    title: str = "",
+    precision: int = 1,
+) -> str:
+    """Render one or more numeric series as aligned columns.
+
+    Each key of ``series`` becomes a column; ``x_values`` is the shared axis.
+    """
+    for name, values in series.items():
+        require(
+            len(values) == len(x_values),
+            f"series {name!r} length {len(values)} != x length {len(x_values)}",
+        )
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [_format_number(x, precision)]
+        row.extend(_format_number(series[name][i], precision) for name in series)
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_matrix(
+    labels: Sequence[str],
+    matrix: Sequence[Sequence[float]],
+    title: str = "",
+    precision: int = 0,
+) -> str:
+    """Render a square labelled matrix (e.g. a Jaccard similarity heatmap)."""
+    require(len(matrix) == len(labels), "matrix must have one row per label")
+    for row in matrix:
+        require(len(row) == len(labels), "matrix must be square")
+    headers = [""] + list(labels)
+    rows = []
+    for label, row in zip(labels, matrix):
+        rows.append([label] + [_format_number(v, precision) for v in row])
+    return render_table(headers, rows, title=title)
+
+
+def render_percentage_bars(
+    distribution: Dict[str, float], width: int = 40, title: str = ""
+) -> str:
+    """Render a one-level bar chart of label -> fraction (paper Figure 1 style)."""
+    require(width > 0, "width must be > 0")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(label) for label in distribution), default=0)
+    for label, fraction in distribution.items():
+        fraction = max(0.0, min(1.0, float(fraction)))
+        bar = "#" * int(round(fraction * width))
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {fraction * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return _format_number(value, 2)
+    return str(value)
+
+
+def _format_number(value: float, precision: int) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; render explicitly
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if precision <= 0:
+        return str(int(round(value)))
+    return f"{value:.{precision}f}"

@@ -1,0 +1,53 @@
+"""Simulated-time constants and formatting.
+
+The simulation clock counts integer **minutes** from the study epoch (the
+moment all campaigns launch, 2014-03-12 in the paper).  Minutes give enough
+resolution to place individual likes inside the paper's two-hour crawl
+windows while keeping arithmetic exact.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require
+
+MINUTE = 1
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+#: The paper crawled honeypot pages every two hours during the campaigns.
+CRAWL_INTERVAL = 2 * HOUR
+
+
+def minutes(value: float) -> int:
+    """Round a duration expressed in minutes to the integer clock unit."""
+    return int(round(value))
+
+
+def hours(value: float) -> int:
+    """A duration of ``value`` hours, in clock units."""
+    return minutes(value * HOUR)
+
+
+def days(value: float) -> int:
+    """A duration of ``value`` days, in clock units."""
+    return minutes(value * DAY)
+
+
+def to_days(time: int) -> float:
+    """Convert a clock timestamp to fractional days since the epoch."""
+    return time / DAY
+
+
+def format_time(time: int) -> str:
+    """Format a timestamp as ``DdHH:MM`` for logs and reports.
+
+    >>> format_time(0)
+    'D0 00:00'
+    >>> format_time(DAY + 2 * HOUR + 5)
+    'D1 02:05'
+    """
+    require(time >= 0, "time must be >= 0")
+    day, rem = divmod(time, DAY)
+    hour, minute = divmod(rem, HOUR)
+    return f"D{day} {hour:02d}:{minute:02d}"

@@ -1,0 +1,48 @@
+"""Input-validation helpers used across the library.
+
+The simulator exposes a large configuration surface (farm parameters,
+targeting specs, world sizes).  Rather than letting a bad value surface as a
+confusing numpy error three packages away, public constructors validate
+eagerly with these helpers and raise :class:`ValidationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ValidationError(ValueError):
+    """Raised when a configuration or argument value is invalid."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    require(value > 0, f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    require(value >= 0, f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_type(value: Any, expected: type, name: str) -> Any:
+    """Validate that ``value`` is an instance of ``expected`` and return it."""
+    require(
+        isinstance(value, expected),
+        f"{name} must be {expected.__name__}, got {type(value).__name__}",
+    )
+    return value

@@ -1,0 +1,80 @@
+"""Tests for repro.ads.audience."""
+
+import pytest
+
+from repro.ads.audience import (
+    AudienceEstimate,
+    NetworkAudienceEstimator,
+    market_audience_weights,
+)
+from repro.ads.costmodel import CostModel
+from repro.ads.targeting import TargetingSpec
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+
+
+@pytest.fixture()
+def net():
+    network = SocialNetwork()
+    for country, count in (("US", 30), ("IN", 60), ("FR", 10)):
+        for _ in range(count):
+            network.create_user(gender=Gender.MALE, age=25, country=country)
+    # fraud accounts must not count toward advertiser-facing reach
+    for _ in range(50):
+        network.create_user(gender=Gender.MALE, age=20, country="US",
+                            searchable=False, cohort="clickworker")
+    return network
+
+
+class TestNetworkAudienceEstimator:
+    def test_worldwide_counts_everyone_searchable(self, net):
+        estimator = NetworkAudienceEstimator(net, platform_population=1000)
+        estimate = estimator.estimate(TargetingSpec.worldwide())
+        assert estimate.matched_profiles == 100
+        assert estimate.estimated_reach == 1000
+
+    def test_country_share(self, net):
+        estimator = NetworkAudienceEstimator(net, platform_population=1000)
+        estimate = estimator.estimate(TargetingSpec.country("IN"))
+        assert estimate.matched_profiles == 60
+        assert estimate.estimated_reach == 600
+
+    def test_fraud_accounts_excluded(self, net):
+        estimator = NetworkAudienceEstimator(net, platform_population=1000)
+        estimate = estimator.estimate(TargetingSpec.country("US"))
+        assert estimate.matched_profiles == 30  # not 80
+
+    def test_terminated_excluded(self, net):
+        victim = next(p for p in net.all_users() if p.country == "FR")
+        net.terminate_account(victim.user_id, time=0)
+        estimator = NetworkAudienceEstimator(net, platform_population=1000)
+        estimate = estimator.estimate(TargetingSpec.country("FR"))
+        assert estimate.matched_profiles == 9
+
+    def test_age_filter(self, net):
+        estimator = NetworkAudienceEstimator(net, platform_population=1000)
+        estimate = estimator.estimate(TargetingSpec(min_age=40))
+        assert estimate.matched_profiles == 0
+
+    def test_empty_network(self):
+        estimator = NetworkAudienceEstimator(SocialNetwork(), platform_population=100)
+        estimate = estimator.estimate(TargetingSpec.worldwide())
+        assert estimate.estimated_reach == 0
+
+    def test_estimate_type(self, net):
+        estimator = NetworkAudienceEstimator(net)
+        assert isinstance(estimator.estimate(TargetingSpec.worldwide()), AudienceEstimate)
+
+
+class TestMarketAudienceWeights:
+    def test_normalised(self):
+        weights = market_audience_weights(CostModel(), TargetingSpec.worldwide())
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_single_country(self):
+        weights = market_audience_weights(CostModel(), TargetingSpec.country("US"))
+        assert weights == {"US": pytest.approx(1.0)}
+
+    def test_inventory_ordering(self):
+        weights = market_audience_weights(CostModel(), TargetingSpec.worldwide())
+        assert weights["US"] > weights["FR"]

@@ -1,0 +1,108 @@
+"""Tests for repro.ads.clickworkers."""
+
+import numpy as np
+import pytest
+
+from repro.ads.clickworkers import ClickWorkerConfig, ClickWorkerPopulation
+from repro.osn.network import SocialNetwork
+from repro.osn.population import PopulationConfig, WorldBuilder
+from repro.osn.profile import Gender
+from repro.util.rng import RngStream
+
+
+@pytest.fixture()
+def world(rng):
+    net = SocialNetwork()
+    built = WorldBuilder(PopulationConfig.small()).build(net, rng.child("w"))
+    return net, built
+
+
+@pytest.fixture()
+def population(world, rng):
+    net, built = world
+    return net, ClickWorkerPopulation(net, built.universe, rng.child("cw"))
+
+
+class TestPools:
+    def test_ensure_pool_grows_once(self, population):
+        net, pop = population
+        first = pop.ensure_pool("IN", 50)
+        again = pop.ensure_pool("IN", 30)
+        assert len(first) == 50
+        assert again == first  # no shrink, no regrow
+
+    def test_ensure_pool_extends(self, population):
+        net, pop = population
+        pop.ensure_pool("IN", 20)
+        bigger = pop.ensure_pool("IN", 60)
+        assert len(bigger) == 60
+
+    def test_pools_per_country(self, population):
+        net, pop = population
+        pop.ensure_pool("IN", 10)
+        pop.ensure_pool("EG", 10)
+        assert not (set(pop.pool("IN")) & set(pop.pool("EG")))
+
+    def test_sample_worker_from_pool(self, population, rng):
+        net, pop = population
+        worker = pop.sample_worker("TR", rng, min_pool=25)
+        assert worker in pop.pool("TR")
+
+
+class TestWorkerProfiles:
+    def test_cohort_and_country(self, population):
+        net, pop = population
+        for worker in pop.ensure_pool("IN", 30):
+            profile = net.user(worker)
+            assert profile.cohort == "clickworker"
+            assert profile.country == "IN"
+            assert not profile.searchable
+
+    def test_india_male_skew(self, population):
+        net, pop = population
+        workers = pop.ensure_pool("IN", 200)
+        males = sum(1 for w in workers if net.user(w).gender == Gender.MALE)
+        assert males / len(workers) > 0.85  # config: 0.95
+
+    def test_young_age_skew(self, population):
+        net, pop = population
+        workers = pop.ensure_pool("EG", 200)
+        young = sum(
+            1 for w in workers if net.user(w).age_bracket in ("13-17", "18-24")
+        )
+        assert young / len(workers) > 0.8
+
+    def test_declared_like_counts_heavy(self, population):
+        net, pop = population
+        workers = pop.ensure_pool("IN", 100)
+        counts = [net.declared_like_count(w) for w in workers]
+        assert 500 <= float(np.median(counts)) <= 1300  # config median 800
+
+    def test_explicit_likes_capped(self, population):
+        net, pop = population
+        cap = pop.config.explicit_like_cap
+        for worker in pop.ensure_pool("IN", 50):
+            assert net.user_like_count(worker) <= cap
+
+    def test_friend_list_mostly_private(self, population):
+        net, pop = population
+        workers = pop.ensure_pool("IN", 200)
+        public = sum(1 for w in workers if net.user(w).friend_list_public)
+        assert public / len(workers) < 0.3  # config: 0.16
+
+    def test_hubs_create_mutual_friends(self, population):
+        net, pop = population
+        workers = pop.ensure_pool("IN", 200)
+        pairs = list(net.graph.mutual_friend_pairs(workers))
+        assert len(pairs) > 0
+        # hub-linked but not (necessarily) directly befriended
+        direct = list(net.graph.edges_within(workers))
+        assert len(pairs) > len(direct)
+
+    def test_spam_segment_liked(self, world, rng):
+        net, built = world
+        pop = ClickWorkerPopulation(net, built.universe, rng.child("cw2"))
+        workers = pop.ensure_pool("IN", 50)
+        spam = set(built.universe.spam_pages)
+        with_spam = sum(1 for w in workers if net.user_liked_page_ids(w) & spam)
+        assert with_spam / len(workers) > 0.8

@@ -1,0 +1,60 @@
+"""Tests for repro.ads.costmodel."""
+
+import pytest
+
+from repro.ads.costmodel import CostModel, CountryMarket
+from repro.ads.targeting import TargetingSpec
+from repro.util.validation import ValidationError
+
+
+class TestCountryMarket:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CountryMarket("US", cpc=0, audience_weight=1, clickworker_share=0.5)
+        with pytest.raises(ValidationError):
+            CountryMarket("US", cpc=1, audience_weight=1, clickworker_share=1.5)
+
+
+class TestCostModel:
+    def test_market_lookup_with_fallback(self):
+        model = CostModel()
+        assert model.market("US").country == "US"
+        assert model.market("ZZ").country == "OTHER"
+
+    def test_single_country_shares(self):
+        model = CostModel()
+        shares = model.budget_shares(TargetingSpec.country("FR"))
+        assert shares == {"FR": pytest.approx(1.0)}
+
+    def test_shares_sum_to_one(self):
+        model = CostModel()
+        shares = model.budget_shares(TargetingSpec.worldwide())
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_worldwide_collapses_to_india(self):
+        """The paper's Figure 1 FB-ALL finding, at the budget level."""
+        model = CostModel()
+        shares = model.budget_shares(TargetingSpec.worldwide())
+        assert max(shares, key=shares.get) == "IN"
+        assert shares["IN"] > 0.85
+
+    def test_unknown_targeted_country_served_via_fallback(self):
+        model = CostModel()
+        shares = model.budget_shares(TargetingSpec.country("ZA"))
+        assert shares == {"ZA": pytest.approx(1.0)}
+
+    def test_expected_clicks_scale_with_budget(self):
+        model = CostModel()
+        low = model.expected_clicks(TargetingSpec.country("US"), budget=10)
+        high = model.expected_clicks(TargetingSpec.country("US"), budget=100)
+        assert high["US"] == pytest.approx(10 * low["US"])
+
+    def test_cheaper_market_more_clicks(self):
+        model = CostModel()
+        us = model.expected_clicks(TargetingSpec.country("US"), budget=90)["US"]
+        india = model.expected_clicks(TargetingSpec.country("IN"), budget=90)["IN"]
+        assert india > 5 * us
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValidationError):
+            CostModel(markets={})

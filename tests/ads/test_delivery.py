@@ -1,0 +1,125 @@
+"""Tests for repro.ads.campaign and repro.ads.delivery."""
+
+import pytest
+
+from repro.ads.campaign import AdCampaign
+from repro.ads.clickworkers import ClickWorkerPopulation
+from repro.ads.costmodel import CostModel
+from repro.ads.delivery import AdDeliveryEngine, DeliveryConfig
+from repro.ads.targeting import TargetingSpec
+from repro.osn.network import SocialNetwork
+from repro.osn.population import PopulationConfig, WorldBuilder
+from repro.sim.engine import EventEngine
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def setup(rng):
+    net = SocialNetwork()
+    world = WorldBuilder(PopulationConfig.small()).build(net, rng.child("w"))
+    clickworkers = ClickWorkerPopulation(net, world.universe, rng.child("cw"))
+    engine = EventEngine()
+    delivery = AdDeliveryEngine(net, CostModel(), clickworkers, rng.child("d"))
+    return net, engine, delivery
+
+
+def run_campaign(net, engine, delivery, targeting, daily_budget=6.0, days=15):
+    page = net.create_page("honeypot", category="honeypot")
+    campaign = AdCampaign(
+        page_id=page.page_id, targeting=targeting,
+        daily_budget=daily_budget, duration_days=days,
+        start_time=engine.clock.now,
+    )
+    delivery.launch(campaign, engine)
+    engine.run_until(engine.clock.now + (days + 2) * DAY)
+    return campaign
+
+
+class TestAdCampaign:
+    def test_lifecycle_fields(self):
+        campaign = AdCampaign(
+            page_id=1, targeting=TargetingSpec.worldwide(),
+            daily_budget=6.0, duration_days=15,
+        )
+        assert campaign.total_budget == 90.0
+        assert campaign.end_time == 15 * DAY
+        assert campaign.is_active(0)
+        assert not campaign.is_active(15 * DAY)
+
+    def test_record_click_and_like(self):
+        campaign = AdCampaign(
+            page_id=1, targeting=TargetingSpec.worldwide(),
+            daily_budget=6.0, duration_days=15,
+        )
+        campaign.record_click(0.5)
+        campaign.record_like(user_id=42)
+        assert campaign.spend == 0.5
+        assert campaign.clicks == 1
+        assert campaign.liker_ids == [42]
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValidationError):
+            AdCampaign(page_id=1, targeting=TargetingSpec.worldwide(),
+                       daily_budget=0, duration_days=15)
+
+
+class TestAdDelivery:
+    def test_spend_bounded_by_budget(self, setup):
+        net, engine, delivery = setup
+        campaign = run_campaign(net, engine, delivery, TargetingSpec.country("EG"))
+        assert campaign.spend <= campaign.total_budget + 0.1
+
+    def test_targeted_country_respected(self, setup):
+        net, engine, delivery = setup
+        campaign = run_campaign(net, engine, delivery, TargetingSpec.country("EG"))
+        assert campaign.likes_delivered > 0
+        countries = {net.user(u).country for u in campaign.liker_ids}
+        assert countries == {"EG"}
+
+    def test_worldwide_dominated_by_india(self, setup):
+        net, engine, delivery = setup
+        campaign = run_campaign(net, engine, delivery, TargetingSpec.worldwide())
+        from collections import Counter
+        countries = Counter(net.user(u).country for u in campaign.liker_ids)
+        assert countries.most_common(1)[0][0] == "IN"
+        assert countries["IN"] / campaign.likes_delivered > 0.8
+
+    def test_cheap_market_more_likes(self, setup):
+        net, engine, delivery = setup
+        egypt = run_campaign(net, engine, delivery, TargetingSpec.country("EG"))
+        usa = run_campaign(net, engine, delivery, TargetingSpec.country("US"))
+        assert egypt.likes_delivered > 3 * max(usa.likes_delivered, 1)
+
+    def test_likes_recorded_on_network(self, setup):
+        net, engine, delivery = setup
+        campaign = run_campaign(net, engine, delivery, TargetingSpec.country("IN"))
+        assert net.page_like_count(campaign.page_id) == campaign.likes_delivered
+
+    def test_likers_mostly_clickworkers(self, setup):
+        net, engine, delivery = setup
+        campaign = run_campaign(net, engine, delivery, TargetingSpec.country("IN"))
+        workers = sum(
+            1 for u in campaign.liker_ids if net.user(u).cohort == "clickworker"
+        )
+        assert workers / campaign.likes_delivered > 0.8
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            rng = RngStream(seed, "test")
+            net = SocialNetwork()
+            world = WorldBuilder(PopulationConfig.small()).build(net, rng.child("w"))
+            clickworkers = ClickWorkerPopulation(net, world.universe, rng.child("cw"))
+            engine = EventEngine()
+            delivery = AdDeliveryEngine(net, CostModel(), clickworkers, rng.child("d"))
+            campaign = run_campaign(net, engine, delivery, TargetingSpec.country("EG"))
+            return campaign.likes_delivered, campaign.spend
+
+        assert run(11) == run(11)
+
+    def test_delivery_config_validation(self):
+        with pytest.raises(ValidationError):
+            DeliveryConfig(clickworker_like_rate=1.5)
+        with pytest.raises(ValidationError):
+            DeliveryConfig(worker_pool_headroom=0.5)

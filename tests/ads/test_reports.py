@@ -1,0 +1,72 @@
+"""Tests for repro.ads.reports."""
+
+import pytest
+
+from repro.ads.reports import ReportsTool
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import AGE_BRACKETS, Gender
+
+
+@pytest.fixture()
+def net():
+    network = SocialNetwork()
+    page = network.create_page("P", category="honeypot")
+    specs = [
+        (Gender.FEMALE, 16, "US"),
+        (Gender.FEMALE, 20, "US"),
+        (Gender.MALE, 20, "IN"),
+        (Gender.MALE, 40, "IN"),
+    ]
+    for gender, age, country in specs:
+        user = network.create_user(gender=gender, age=age, country=country)
+        network.like_page(user.user_id, page.page_id, time=0)
+    return network, page
+
+
+class TestPageReport:
+    def test_totals_and_gender(self, net):
+        network, page = net
+        report = ReportsTool(network).page_report(page.page_id)
+        assert report.total_likes == 4
+        assert report.female_share == pytest.approx(0.5)
+        assert report.male_share == pytest.approx(0.5)
+
+    def test_age_brackets_complete(self, net):
+        network, page = net
+        report = ReportsTool(network).page_report(page.page_id)
+        assert set(report.age) == set(AGE_BRACKETS)
+        assert report.age["18-24"] == pytest.approx(0.5)
+        assert sum(report.age.values()) == pytest.approx(1.0)
+
+    def test_country_fractions(self, net):
+        network, page = net
+        report = ReportsTool(network).page_report(page.page_id)
+        assert report.country == {"IN": 0.5, "US": 0.5}
+
+    def test_empty_page(self, net):
+        network, _ = net
+        empty = network.create_page("empty")
+        report = ReportsTool(network).page_report(empty.page_id)
+        assert report.total_likes == 0
+        assert report.gender == {}
+
+    def test_terminated_likers_still_counted(self, net):
+        network, page = net
+        victim = network.page_liker_ids(page.page_id)[0]
+        network.terminate_account(victim, time=5)
+        report = ReportsTool(network).page_report(page.page_id)
+        assert report.total_likes == 4
+
+
+class TestGlobalReport:
+    def test_covers_live_population(self, net):
+        network, _ = net
+        report = ReportsTool(network).global_report()
+        assert report.total_likes == network.user_count
+
+    def test_excludes_terminated(self, net):
+        network, page = net
+        victim = network.page_liker_ids(page.page_id)[0]
+        network.terminate_account(victim, time=5)
+        report = ReportsTool(network).global_report()
+        assert report.total_likes == network.user_count - 1

@@ -1,0 +1,55 @@
+"""Tests for repro.ads.targeting."""
+
+import pytest
+
+from repro.ads.targeting import TargetingSpec
+from repro.osn.profile import Gender, UserProfile
+from repro.util.validation import ValidationError
+
+
+def profile(country="US", age=25, gender=Gender.FEMALE):
+    return UserProfile(user_id=1, gender=gender, age=age, country=country)
+
+
+class TestTargetingSpec:
+    def test_worldwide_matches_everyone(self):
+        spec = TargetingSpec.worldwide()
+        assert spec.is_worldwide
+        assert spec.matches(profile(country="IN"))
+        assert spec.matches(profile(country="US"))
+
+    def test_country_filter(self):
+        spec = TargetingSpec.country("FR")
+        assert spec.matches(profile(country="FR"))
+        assert not spec.matches(profile(country="US"))
+
+    def test_age_bounds(self):
+        spec = TargetingSpec(min_age=18, max_age=24)
+        assert spec.matches(profile(age=18))
+        assert spec.matches(profile(age=24))
+        assert not spec.matches(profile(age=17))
+        assert not spec.matches(profile(age=25))
+
+    def test_gender_filter(self):
+        spec = TargetingSpec(genders=(Gender.FEMALE,))
+        assert spec.matches(profile(gender=Gender.FEMALE))
+        assert not spec.matches(profile(gender=Gender.MALE))
+
+    def test_allows_country(self):
+        assert TargetingSpec.worldwide().allows_country("ZZ")
+        assert TargetingSpec.country("US").allows_country("US")
+        assert not TargetingSpec.country("US").allows_country("IN")
+
+    def test_describe(self):
+        assert TargetingSpec.worldwide().describe() == "Worldwide"
+        assert TargetingSpec(countries=("US", "CA")).describe() == "US+CA"
+
+    def test_invalid_ages(self):
+        with pytest.raises(ValidationError):
+            TargetingSpec(min_age=12)
+        with pytest.raises(ValidationError):
+            TargetingSpec(min_age=30, max_age=20)
+
+    def test_empty_countries_rejected(self):
+        with pytest.raises(ValidationError):
+            TargetingSpec(countries=())

@@ -1,0 +1,93 @@
+"""Tests for repro.analysis.demographics (on the shared small study)."""
+
+import pytest
+
+from repro.analysis.demographics import (
+    age_distribution,
+    country_distribution,
+    gender_split,
+    global_age_pct,
+    table2,
+)
+from repro.osn.profile import AGE_BRACKETS
+
+
+class TestCountryDistribution:
+    def test_fractions_sum_to_one(self, small_dataset):
+        buckets = country_distribution(small_dataset, "FB-EGY")
+        assert sum(buckets.fractions.values()) == pytest.approx(1.0)
+
+    def test_targeted_campaign_dominated_by_target(self, small_dataset):
+        for campaign_id, country in (("FB-IND", "IN"), ("FB-EGY", "EG")):
+            top, share = country_distribution(small_dataset, campaign_id).top_country()
+            assert top == country
+            assert share > 0.85
+
+    def test_worldwide_goes_to_india(self, small_dataset):
+        top, share = country_distribution(small_dataset, "FB-ALL").top_country()
+        assert top == "IN"
+        assert share > 0.8
+
+    def test_socialformula_turkey_despite_usa_order(self, small_dataset):
+        top, _ = country_distribution(small_dataset, "SF-USA").top_country()
+        assert top == "TR"
+
+    def test_other_bucket_catches_unlisted(self, small_dataset):
+        buckets = country_distribution(small_dataset, "AL-ALL")
+        assert "Other" in buckets.fractions
+
+    def test_inactive_campaign_empty(self, small_dataset):
+        buckets = country_distribution(small_dataset, "BL-ALL")
+        assert all(v == 0.0 for v in buckets.fractions.values())
+
+
+class TestGenderAndAge:
+    def test_gender_split_sums_to_100(self, small_dataset):
+        female, male = gender_split(small_dataset, "SF-ALL")
+        assert female + male == pytest.approx(100.0)
+
+    def test_india_male_skew(self, small_dataset):
+        female, male = gender_split(small_dataset, "FB-IND")
+        assert male > 80  # paper: 93
+
+    def test_empty_campaign_zero(self, small_dataset):
+        assert gender_split(small_dataset, "BL-ALL") == (0.0, 0.0)
+
+    def test_age_distribution_complete(self, small_dataset):
+        ages = age_distribution(small_dataset, "AL-USA")
+        assert list(ages) == list(AGE_BRACKETS)
+        assert sum(ages.values()) == pytest.approx(100.0)
+
+    def test_fb_campaigns_skew_young(self, small_dataset):
+        ages = age_distribution(small_dataset, "FB-IND")
+        assert ages["13-17"] + ages["18-24"] > 80
+
+
+class TestTable2:
+    def test_rows_skip_inactive_and_append_global(self, small_dataset):
+        rows = table2(small_dataset)
+        ids = [row.campaign_id for row in rows]
+        assert "BL-ALL" not in ids
+        assert "MS-ALL" not in ids
+        assert ids[-1] == "Facebook"
+        assert len(ids) == 12  # 11 active + global row
+
+    def test_kl_ordering_matches_paper(self, small_dataset):
+        """SocialFormula mimics global demographics; FB-IND diverges hard."""
+        rows = {row.campaign_id: row for row in table2(small_dataset)}
+        assert rows["SF-ALL"].kl_divergence < rows["FB-IND"].kl_divergence
+
+    def test_global_row_near_configured_distribution(self, small_dataset):
+        rows = {row.campaign_id: row for row in table2(small_dataset)}
+        facebook = rows["Facebook"]
+        assert 40 <= facebook.female_pct <= 52  # configured 46
+        assert facebook.kl_divergence == 0.0
+
+    def test_global_age_pct_in_bracket_order(self, small_dataset):
+        pct = global_age_pct(small_dataset)
+        assert list(pct) == list(AGE_BRACKETS)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_age_pcts_sum_to_100(self, small_dataset):
+        for row in table2(small_dataset):
+            assert sum(row.age_pct.values()) == pytest.approx(100.0, abs=0.1)

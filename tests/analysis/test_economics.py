@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.economics and repro.honeypot.dashboard."""
+
+import pytest
+
+from repro.analysis.economics import (
+    CampaignEconomics,
+    campaign_economics,
+    render_economics,
+)
+from repro.honeypot.dashboard import build_dashboard, render_dashboard
+
+
+class TestCampaignEconomics:
+    def test_cost_per_like(self):
+        econ = CampaignEconomics(
+            campaign_id="X", provider="P", total_cost=90.0,
+            likes=450, removed_likes=50, inactive=False,
+        )
+        assert econ.cost_per_like == pytest.approx(0.2)
+        assert econ.retained_likes == 400
+        assert econ.cost_per_retained_like == pytest.approx(0.225)
+
+    def test_empty_campaign_none(self):
+        econ = CampaignEconomics(
+            campaign_id="X", provider="P", total_cost=70.0,
+            likes=0, removed_likes=0, inactive=True,
+        )
+        assert econ.cost_per_like is None
+        assert econ.cost_per_retained_like is None
+
+    def test_rows_cover_all_campaigns(self, small_dataset):
+        rows = campaign_economics(small_dataset)
+        assert len(rows) == 13
+
+    def test_inactive_orders_burned_money(self, small_dataset):
+        rows = {r.campaign_id: r for r in campaign_economics(small_dataset)}
+        # BL-ALL and MS-ALL were paid ($70 / $20) but delivered nothing.
+        assert rows["BL-ALL"].total_cost == 70.0
+        assert rows["BL-ALL"].likes == 0
+        assert rows["MS-ALL"].total_cost == 20.0
+
+    def test_ad_spend_bounded_by_budget(self, small_dataset):
+        rows = {r.campaign_id: r for r in campaign_economics(small_dataset)}
+        for campaign_id in ("FB-USA", "FB-IND", "FB-EGY"):
+            # $6/day x 15 days at scale 0.1 = $9 cap
+            assert 0 < rows[campaign_id].total_cost <= 9.01, campaign_id
+
+    def test_farm_prices_match_table1(self, small_dataset):
+        rows = {r.campaign_id: r for r in campaign_economics(small_dataset)}
+        assert rows["SF-ALL"].total_cost == 14.99
+        assert rows["BL-USA"].total_cost == 190.00
+
+    def test_cheap_farm_cheapest_per_like(self, small_dataset):
+        rows = {r.campaign_id: r for r in campaign_economics(small_dataset)}
+        # SocialFormula worldwide is the cheapest source of likes, as in the
+        # paper's price list ($14.99/1000).
+        sf = rows["SF-ALL"].cost_per_like
+        bl = rows["BL-USA"].cost_per_like
+        assert sf < bl
+
+    def test_render(self, small_dataset):
+        text = render_economics(small_dataset)
+        assert "$/retained like" in text
+        assert "BL-ALL" in text
+
+
+class TestDashboard:
+    def test_totals_match_record(self, small_dataset):
+        record = small_dataset.campaign("SF-ALL")
+        dashboard = build_dashboard(record)
+        assert dashboard.total_likes == record.total_likes
+        assert dashboard.daily[-1].cumulative == record.total_likes
+
+    def test_burst_campaign_few_active_days(self, small_dataset):
+        dashboard = build_dashboard(small_dataset.campaign("AL-USA"))
+        assert dashboard.days_active <= 3
+        assert dashboard.peak_day_likes > dashboard.total_likes * 0.4
+
+    def test_trickle_campaign_many_active_days(self, small_dataset):
+        dashboard = build_dashboard(small_dataset.campaign("BL-USA"))
+        assert dashboard.days_active >= 10
+        assert dashboard.delivered_by_day >= 12
+
+    def test_empty_campaign(self, small_dataset):
+        dashboard = build_dashboard(small_dataset.campaign("BL-ALL"))
+        assert dashboard.total_likes == 0
+        assert dashboard.days_active == 0
+        assert dashboard.mean_daily_likes == 0.0
+        assert dashboard.delivered_by_day == 0
+
+    def test_daily_cumulative_monotone(self, small_dataset):
+        for campaign_id in small_dataset.campaign_ids():
+            dashboard = build_dashboard(small_dataset.campaign(campaign_id))
+            values = [d.cumulative for d in dashboard.daily]
+            assert values == sorted(values)
+
+    def test_render(self, small_dataset):
+        dashboard = build_dashboard(small_dataset.campaign("FB-EGY"))
+        text = render_dashboard(dashboard)
+        assert "FB-EGY" in text
+        assert "Cumulative" in text

@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.export."""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    export_figure2,
+    export_figure4,
+    export_figure5,
+    export_table1,
+    export_table2,
+)
+
+
+def read_csv(path: Path):
+    with Path(path).open() as handle:
+        return list(csv.reader(handle))
+
+
+class TestIndividualExports:
+    def test_table1_rows(self, small_dataset, tmp_path):
+        path = export_table1(small_dataset, tmp_path / "t1.csv")
+        rows = read_csv(path)
+        assert rows[0][0] == "campaign_id"
+        assert len(rows) == 14  # header + 13 campaigns
+
+    def test_table2_header_covers_brackets(self, small_dataset, tmp_path):
+        path = export_table2(small_dataset, tmp_path / "t2.csv")
+        header = read_csv(path)[0]
+        assert "13-17" in header and "55+" in header and "kl_bits" in header
+
+    def test_figure2_tidy_form(self, small_dataset, tmp_path):
+        path = export_figure2(small_dataset, tmp_path / "f2.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["campaign_id", "day", "cumulative_likes"]
+        campaigns = {row[0] for row in rows[1:]}
+        assert campaigns == set(small_dataset.campaign_ids())
+
+    def test_figure4_includes_baseline(self, small_dataset, tmp_path):
+        path = export_figure4(small_dataset, tmp_path / "f4.csv")
+        rows = read_csv(path)
+        populations = {row[0] for row in rows[1:]}
+        assert "baseline" in populations
+        baseline_rows = [row for row in rows[1:] if row[0] == "baseline"]
+        assert len(baseline_rows) == len(small_dataset.baseline)
+
+    def test_figure5_square_long_form(self, small_dataset, tmp_path):
+        page_path, user_path = export_figure5(
+            small_dataset, tmp_path / "p.csv", tmp_path / "u.csv"
+        )
+        for path in (page_path, user_path):
+            rows = read_csv(path)
+            assert len(rows) == 1 + 13 * 13
+
+
+class TestExportAll:
+    def test_all_files_written(self, small_dataset, tmp_path):
+        outputs = export_all(small_dataset, tmp_path / "export")
+        assert len(outputs) == 9
+        for path in outputs.values():
+            assert Path(path).exists()
+            assert Path(path).stat().st_size > 0
+
+    def test_creates_directory(self, small_dataset, tmp_path):
+        target = tmp_path / "a" / "b"
+        export_all(small_dataset, target)
+        assert target.is_dir()
+
+    def test_numeric_cells_parse(self, small_dataset, tmp_path):
+        outputs = export_all(small_dataset, tmp_path / "export")
+        rows = read_csv(outputs["figure5_page"])
+        for _, _, value in rows[1:]:
+            assert 0.0 <= float(value) <= 100.0

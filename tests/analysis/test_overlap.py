@@ -1,0 +1,110 @@
+"""Tests for repro.analysis.overlap and repro.osn.metrics."""
+
+import pytest
+
+from repro.analysis.overlap import (
+    overlap_summary,
+    render_overlap,
+    shared_liker_counts,
+    top_overlaps,
+)
+from repro.osn.metrics import cohort_metrics, graph_metrics
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+from repro.util.validation import ValidationError
+
+
+class TestOverlapSummary:
+    def test_accounting_identity(self, small_dataset):
+        summary = overlap_summary(small_dataset)
+        # sum over multiplicity buckets reproduces both totals
+        assert sum(summary.multiplicity.values()) == summary.unique_likers
+        assert (
+            sum(n * count for n, count in summary.multiplicity.items())
+            == summary.total_likes
+        )
+
+    def test_repeat_likers_exist(self, small_dataset):
+        """SF reuse and the AL/MS operator guarantee multi-campaign likers."""
+        summary = overlap_summary(small_dataset)
+        assert summary.repeat_likers > 0
+        assert 0 < summary.repeat_fraction < 0.5
+
+    def test_shared_counts_match_alms(self, small_dataset):
+        counts = shared_liker_counts(small_dataset)
+        al_ms = counts.get(("AL-USA", "MS-USA"), 0)
+        # the ALMS group dominates the overlap table
+        assert al_ms > 0
+        top = top_overlaps(small_dataset, limit=1)
+        assert top[0][2] >= al_ms
+
+    def test_no_overlap_with_inactive(self, small_dataset):
+        counts = shared_liker_counts(small_dataset)
+        for (a, b), _ in counts.items():
+            assert "BL-ALL" not in (a, b)
+            assert "MS-ALL" not in (a, b)
+
+    def test_render(self, small_dataset):
+        text = render_overlap(small_dataset)
+        assert "Liker multiplicity" in text
+        assert "Shared likers" in text
+
+
+class TestGraphMetrics:
+    def make_net(self):
+        net = SocialNetwork()
+        users = [
+            net.create_user(gender=Gender.MALE, age=20, country="US",
+                            cohort="farm:T").user_id
+            for _ in range(6)
+        ]
+        # triangle among first three; chain between 4 and 5; 6 isolated
+        net.add_friendship(users[0], users[1])
+        net.add_friendship(users[1], users[2])
+        net.add_friendship(users[0], users[2])
+        net.add_friendship(users[3], users[4])
+        return net, users
+
+    def test_counts(self):
+        net, users = self.make_net()
+        metrics = graph_metrics(net, users)
+        assert metrics.n_users == 6
+        assert metrics.n_edges == 4
+        assert metrics.largest_component == 3
+        assert metrics.n_components == 2
+        assert metrics.isolated_users == 1
+        assert metrics.max_degree == 2
+
+    def test_clustering_of_triangle(self):
+        net, users = self.make_net()
+        metrics = graph_metrics(net, users)
+        assert metrics.clustering_coefficient == pytest.approx(1.0)
+
+    def test_largest_component_fraction(self):
+        net, users = self.make_net()
+        metrics = graph_metrics(net, users)
+        assert metrics.largest_component_fraction == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        net, _ = self.make_net()
+        with pytest.raises(ValidationError):
+            graph_metrics(net, [])
+
+    def test_cohort_metrics(self):
+        net, users = self.make_net()
+        metrics = cohort_metrics(net, "farm:T")
+        assert metrics.n_users == 6
+
+    def test_unknown_cohort_rejected(self):
+        net, _ = self.make_net()
+        with pytest.raises(ValidationError):
+            cohort_metrics(net, "farm:none")
+
+    def test_boostlikes_clustered_on_study(self, small_artifacts):
+        """The paper's structural claim, as numbers: BL >> SF in clustering."""
+        net = small_artifacts.network
+        bl = cohort_metrics(net, "farm:BoostLikes.com")
+        sf = cohort_metrics(net, "farm:SocialFormula.com")
+        assert bl.mean_degree > 3 * max(sf.mean_degree, 0.01)
+        assert bl.largest_component_fraction > 0.5
+        assert sf.largest_component_fraction < 0.3

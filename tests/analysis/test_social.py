@@ -1,0 +1,152 @@
+"""Tests for repro.analysis.social (on the shared small study)."""
+
+import pytest
+
+from repro.analysis.social import (
+    ALMS_GROUP,
+    group_graph_stats,
+    group_likers_by_provider,
+    observed_direct_edges,
+    observed_mutual_friend_pairs,
+    provider_membership,
+    provider_social_stats,
+)
+from repro.honeypot.storage import HoneypotDataset, CampaignRecord, LikeObservation, LikerRecord
+
+
+def mini_dataset():
+    """A hand-built dataset with known social structure."""
+    dataset = HoneypotDataset()
+
+    def campaign(cid, provider, likers):
+        dataset.campaigns[cid] = CampaignRecord(
+            campaign_id=cid, provider=provider, kind="like_farm",
+            location_label="USA", budget_label="$", duration_days=3,
+            monitored_days=10, page_id=hash(cid) % 1000, total_likes=len(likers),
+            observations=[LikeObservation(observed_at=i, user_id=u)
+                          for i, u in enumerate(likers)],
+        )
+
+    campaign("AL-X", "AuthenticLikes.com", [1, 2, 3])
+    campaign("MS-X", "MammothSocials.com", [3, 4])
+    campaign("SF-X", "SocialFormula.com", [5, 6])
+
+    def liker(uid, public, friends, declared=None):
+        dataset.likers[uid] = LikerRecord(
+            user_id=uid, gender="M", age_bracket="18-24", country="US",
+            friend_list_public=public,
+            declared_friend_count=declared if public else None,
+            visible_friend_ids=friends if public else [],
+            campaign_ids=[c for c in dataset.campaigns
+                          if uid in dataset.campaigns[c].liker_ids],
+        )
+
+    # 1-2 direct friends (both public); 5 and 6 share hidden hub 99
+    liker(1, True, [2, 100], declared=50)
+    liker(2, True, [1], declared=30)
+    liker(3, False, [])
+    liker(4, True, [], declared=10)
+    liker(5, True, [99], declared=20)
+    liker(6, True, [99], declared=25)
+    return dataset
+
+
+class TestGrouping:
+    def test_alms_split(self):
+        groups = group_likers_by_provider(mini_dataset())
+        assert {l.user_id for l in groups[ALMS_GROUP]} == {3}
+        assert {l.user_id for l in groups["AuthenticLikes.com"]} == {1, 2}
+        assert {l.user_id for l in groups["MammothSocials.com"]} == {4}
+
+    def test_membership_map(self):
+        membership = provider_membership(mini_dataset())
+        assert membership[3] == ALMS_GROUP
+        assert membership[5] == "SocialFormula.com"
+
+    def test_small_study_grouping_covers_all_likers(self, small_dataset):
+        groups = group_likers_by_provider(small_dataset)
+        total = sum(len(likers) for likers in groups.values())
+        assert total == len(small_dataset.likers)
+
+
+class TestObservedEdges:
+    def test_direct_edge_requires_one_public_list(self):
+        edges = observed_direct_edges(mini_dataset())
+        assert (1, 2) in edges
+        assert len(edges) == 1  # 5-6 are not direct friends
+
+    def test_mutual_pairs_require_shared_listed_friend(self):
+        pairs = observed_mutual_friend_pairs(mini_dataset())
+        assert (5, 6) in pairs
+        assert (1, 2) not in pairs  # no shared third friend in lists
+
+    def test_non_liker_friends_ignored_for_direct(self):
+        edges = observed_direct_edges(mini_dataset())
+        assert all(a in mini_dataset().likers for a, b in edges)
+
+
+class TestProviderStats:
+    def test_mini_rows(self):
+        rows = {r.provider: r for r in provider_social_stats(mini_dataset())}
+        al = rows["AuthenticLikes.com"]
+        assert al.n_likers == 2
+        assert al.n_public_friend_lists == 2
+        assert al.friend_count.median == 40.0
+        assert al.direct_friendships == 1
+        sf = rows["SocialFormula.com"]
+        assert sf.two_hop_relations == 1
+
+    def test_small_study_boostlikes_density(self, small_dataset):
+        rows = {r.provider: r for r in provider_social_stats(small_dataset)}
+        bl = rows["BoostLikes.com"]
+        sf = rows["SocialFormula.com"]
+        # BoostLikes: dense direct graph; SocialFormula: sparse pairs
+        assert bl.direct_friendships > sf.direct_friendships
+        # BoostLikes friend counts far above SocialFormula's
+        assert bl.friend_count.median > 2 * sf.friend_count.median
+
+    def test_small_study_public_list_rates(self, small_dataset):
+        rows = {r.provider: r for r in provider_social_stats(small_dataset)}
+        # paper: SF ~58% public, Facebook ~18%, BL ~26%
+        assert rows["SocialFormula.com"].public_fraction > 0.4
+        assert rows["Facebook.com"].public_fraction < 0.35
+
+    def test_alms_group_present(self, small_dataset):
+        rows = {r.provider: r for r in provider_social_stats(small_dataset)}
+        assert ALMS_GROUP in rows
+        assert rows[ALMS_GROUP].n_likers > 0
+
+    def test_two_hop_exceeds_direct_for_burst_farms(self, small_dataset):
+        rows = {r.provider: r for r in provider_social_stats(small_dataset)}
+        for provider in ("SocialFormula.com", "AuthenticLikes.com"):
+            assert rows[provider].two_hop_relations > rows[provider].direct_friendships
+
+
+class TestGraphStats:
+    def test_direct_vs_mutual_edge_counts(self, small_dataset):
+        direct = {r.provider: r for r in group_graph_stats(small_dataset)}
+        mutual = {r.provider: r
+                  for r in group_graph_stats(small_dataset, include_mutual=True)}
+        for provider, row in direct.items():
+            assert mutual[provider].n_edges >= row.n_edges
+
+    def test_boostlikes_one_big_component(self, small_dataset):
+        # Only ~26% of BL likers expose friend lists, so the observed direct
+        # graph fragments; still, one dominant component should emerge and
+        # the mutual-friend view should consolidate it further.
+        direct = {r.provider: r for r in group_graph_stats(small_dataset)}
+        bl = direct["BoostLikes.com"]
+        assert bl.largest_component >= 0.3 * bl.n_nodes_with_edges
+        mutual = {r.provider: r
+                  for r in group_graph_stats(small_dataset, include_mutual=True)}
+        assert mutual["BoostLikes.com"].largest_component >= bl.largest_component
+
+    def test_socialformula_pairs_and_triplets(self, small_dataset):
+        rows = {r.provider: r for r in group_graph_stats(small_dataset)}
+        sf = rows["SocialFormula.com"]
+        assert sf.n_pair_components + sf.n_triplet_components >= 1
+        assert sf.largest_component <= 5  # no big component on direct edges
+
+    def test_connected_fraction_bounded(self, small_dataset):
+        for row in group_graph_stats(small_dataset, include_mutual=True):
+            assert 0.0 <= row.connected_fraction <= 1.0

@@ -1,0 +1,94 @@
+"""Tests for repro.analysis.summary and repro.analysis.report."""
+
+from repro.analysis.report import (
+    full_report,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_strategy_classification,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.summary import (
+    paper_comparison,
+    table1,
+    terminated_by_provider,
+    total_likes_by_kind,
+)
+from repro.core import paperdata
+
+
+class TestTable1:
+    def test_thirteen_rows_in_order(self, small_dataset):
+        rows = table1(small_dataset)
+        assert len(rows) == 13
+        assert rows[0].campaign_id == "FB-USA"
+        assert rows[-1].campaign_id == "MS-USA"
+
+    def test_inactive_flagged(self, small_dataset):
+        rows = {r.campaign_id: r for r in table1(small_dataset)}
+        assert rows["BL-ALL"].inactive
+        assert not rows["SF-ALL"].inactive
+
+    def test_totals_by_kind(self, small_dataset):
+        totals = total_likes_by_kind(small_dataset)
+        assert set(totals) == {"facebook_ads", "like_farm"}
+        # farms deliver ~2.5x what the ads do (paper: 4453 vs 1769)
+        assert totals["like_farm"] > totals["facebook_ads"]
+
+    def test_terminated_by_provider(self, small_dataset):
+        terminated = terminated_by_provider(small_dataset)
+        burst = sum(terminated.get(p, 0) for p in paperdata.BURST_PROVIDERS)
+        assert burst >= terminated.get("BoostLikes.com", 0)
+
+    def test_paper_comparison_rows(self, small_dataset):
+        rows = paper_comparison(small_dataset, paperdata.TABLE1_LIKES)
+        assert len(rows) == 13
+        by_id = {r["campaign_id"]: r for r in rows}
+        assert by_id["SF-ALL"]["paper"] == 984
+        assert by_id["BL-ALL"]["paper"] is None
+
+
+class TestReportRendering:
+    def test_all_sections_render(self, small_dataset):
+        report = full_report(small_dataset)
+        for token in (
+            "Table 1", "Figure 1", "Table 2", "Figure 2",
+            "Table 3", "Figure 3", "Figure 4", "Figure 5",
+        ):
+            assert token in report
+
+    def test_table1_marks_inactive(self, small_dataset):
+        text = render_table1(small_dataset)
+        bl_all_line = next(l for l in text.splitlines() if l.startswith("BL-ALL"))
+        assert "| -" in bl_all_line
+
+    def test_table2_has_global_row(self, small_dataset):
+        assert "Facebook" in render_table2(small_dataset)
+
+    def test_figure1_bars(self, small_dataset):
+        text = render_figure1(small_dataset)
+        assert "FB-ALL" in text
+        assert "%" in text
+
+    def test_figure2_time_column(self, small_dataset):
+        text = render_figure2(small_dataset)
+        assert text.splitlines()[1].startswith("Day")
+
+    def test_strategy_table(self, small_dataset):
+        text = render_strategy_classification(small_dataset)
+        assert "burst" in text
+        assert "trickle" in text
+
+    def test_table3_providers(self, small_dataset):
+        text = render_table3(small_dataset)
+        for provider in ("Facebook.com", "BoostLikes.com", "ALMS"):
+            assert provider in text
+
+    def test_figures_3_4_5(self, small_dataset):
+        assert "Components" in render_figure3(small_dataset)
+        assert "Baseline" in render_figure4(small_dataset)
+        assert "Jaccard" in render_figure5(small_dataset)

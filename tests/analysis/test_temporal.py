@@ -1,0 +1,100 @@
+"""Tests for repro.analysis.temporal (on the shared small study)."""
+
+import pytest
+
+from repro.analysis.temporal import (
+    STRATEGY_BURST,
+    STRATEGY_EMPTY,
+    STRATEGY_TRICKLE,
+    TemporalProfile,
+    classify_strategy,
+    cumulative_series,
+    temporal_profile,
+)
+from repro.util.validation import ValidationError
+
+
+class TestCumulativeSeries:
+    def test_monotone_nondecreasing(self, small_dataset):
+        for campaign_id in small_dataset.campaign_ids():
+            _, counts = cumulative_series(small_dataset, campaign_id)
+            assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_x_axis_in_days(self, small_dataset):
+        days, _ = cumulative_series(small_dataset, "FB-IND", horizon_days=15.0)
+        assert days[0] == 0.0
+        assert days[-1] == pytest.approx(15.0)
+
+    def test_final_count_close_to_total(self, small_dataset):
+        record = small_dataset.campaign("SF-ALL")
+        _, counts = cumulative_series(small_dataset, "SF-ALL", horizon_days=15.0)
+        assert counts[-1] == record.total_likes  # SF delivers within 3 days
+
+    def test_resolution_controls_length(self, small_dataset):
+        from repro.util.timeutil import HOUR
+        fine, _ = cumulative_series(small_dataset, "FB-IND", resolution=2 * HOUR)
+        coarse, _ = cumulative_series(small_dataset, "FB-IND", resolution=24 * HOUR)
+        assert len(fine) > len(coarse)
+
+    def test_empty_campaign_flat_zero(self, small_dataset):
+        _, counts = cumulative_series(small_dataset, "BL-ALL")
+        assert set(counts) == {0}
+
+    def test_invalid_resolution(self, small_dataset):
+        with pytest.raises(ValidationError):
+            cumulative_series(small_dataset, "FB-IND", resolution=0)
+
+
+class TestTemporalProfile:
+    def test_burst_farms_bursty(self, small_dataset):
+        for campaign_id in ("SF-ALL", "AL-USA", "MS-USA"):
+            profile = temporal_profile(small_dataset, campaign_id)
+            assert profile.max_2h_fraction > 0.25, campaign_id
+
+    def test_trickle_campaigns_not_bursty(self, small_dataset):
+        for campaign_id in ("FB-IND", "FB-EGY", "BL-USA"):
+            profile = temporal_profile(small_dataset, campaign_id)
+            assert profile.max_2h_fraction < 0.25, campaign_id
+
+    def test_empty_profile(self, small_dataset):
+        profile = temporal_profile(small_dataset, "BL-ALL")
+        assert profile.total_likes == 0
+        assert profile.span_days == 0.0
+
+    def test_burst_farm_short_span(self, small_dataset):
+        profile = temporal_profile(small_dataset, "AL-USA")
+        assert profile.span_days <= 4
+
+    def test_trickle_long_span(self, small_dataset):
+        profile = temporal_profile(small_dataset, "BL-USA")
+        assert profile.span_days >= 10
+
+
+class TestClassifyStrategy:
+    def test_paper_split(self, small_dataset):
+        expected = {
+            "SF-ALL": STRATEGY_BURST, "SF-USA": STRATEGY_BURST,
+            "AL-ALL": STRATEGY_BURST, "AL-USA": STRATEGY_BURST,
+            "MS-USA": STRATEGY_BURST,
+            "BL-USA": STRATEGY_TRICKLE,
+            "FB-IND": STRATEGY_TRICKLE, "FB-EGY": STRATEGY_TRICKLE,
+            "BL-ALL": STRATEGY_EMPTY, "MS-ALL": STRATEGY_EMPTY,
+        }
+        for campaign_id, label in expected.items():
+            profile = temporal_profile(small_dataset, campaign_id)
+            assert classify_strategy(profile) == label, campaign_id
+
+    def test_tiny_campaign_never_burst(self):
+        profile = TemporalProfile(
+            campaign_id="X", total_likes=3, span_days=0.1,
+            max_2h_likes=3, max_2h_fraction=1.0, days_to_half=0.05,
+        )
+        assert classify_strategy(profile) == STRATEGY_TRICKLE
+
+    def test_threshold_validation(self):
+        profile = TemporalProfile(
+            campaign_id="X", total_likes=100, span_days=1,
+            max_2h_likes=60, max_2h_fraction=0.6, days_to_half=0.5,
+        )
+        with pytest.raises(ValidationError):
+            classify_strategy(profile, burst_fraction_threshold=1.5)

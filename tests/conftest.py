@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+The full (small-scale) study takes ~1.5 s, so it runs once per session and
+is shared by every test that only reads from it.  Tests that mutate state
+build their own worlds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import HoneypotExperiment
+from repro.core.results import ExperimentResults
+from repro.honeypot.study import StudyArtifacts, StudyConfig
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="session")
+def small_experiment() -> HoneypotExperiment:
+    """A completed small-scale experiment (shared, read-only)."""
+    experiment = HoneypotExperiment(StudyConfig.small())
+    experiment.run()
+    return experiment
+
+
+@pytest.fixture(scope="session")
+def small_results(small_experiment) -> ExperimentResults:
+    """Analysis results of the shared small experiment."""
+    return ExperimentResults(dataset=small_experiment.artifacts.dataset)
+
+
+@pytest.fixture(scope="session")
+def small_artifacts(small_experiment) -> StudyArtifacts:
+    """Ground-truth artifacts of the shared small experiment."""
+    return small_experiment.artifacts
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_artifacts):
+    """The crawled dataset of the shared small experiment."""
+    return small_artifacts.dataset
+
+
+@pytest.fixture()
+def rng() -> RngStream:
+    """A fresh deterministic RNG stream."""
+    return RngStream(12345, "test")

@@ -1,0 +1,81 @@
+"""Tests for repro.core.comparison."""
+
+import pytest
+
+from repro.core.comparison import (
+    ComparisonRow,
+    figure4_rows,
+    full_comparison,
+    render_comparison,
+    table1_rows,
+    table3_rows,
+    termination_rows,
+)
+
+
+class TestComparisonRow:
+    def test_ratio(self):
+        row = ComparisonRow("T1", "x", paper_value=100, measured_value=120,
+                            tolerance_ratio=1.5)
+        assert row.ratio == pytest.approx(1.2)
+        assert row.within_band
+
+    def test_out_of_band(self):
+        row = ComparisonRow("T1", "x", paper_value=100, measured_value=300,
+                            tolerance_ratio=1.5)
+        assert not row.within_band
+
+    def test_band_symmetric(self):
+        low = ComparisonRow("T1", "x", paper_value=100, measured_value=70,
+                            tolerance_ratio=1.5)
+        assert low.within_band
+        too_low = ComparisonRow("T1", "x", paper_value=100, measured_value=60,
+                                tolerance_ratio=1.5)
+        assert not too_low.within_band
+
+    def test_inactive_matches_none(self):
+        row = ComparisonRow("T1", "x", paper_value=None, measured_value=None,
+                            tolerance_ratio=1.5)
+        assert row.within_band
+        bad = ComparisonRow("T1", "x", paper_value=None, measured_value=50,
+                            tolerance_ratio=1.5)
+        assert not bad.within_band
+
+
+class TestOnSmallStudy:
+    """At 1/10 scale, counts shrink ~10x, so only structure is asserted."""
+
+    def test_full_comparison_covers_every_experiment(self, small_results):
+        rows = full_comparison(small_results)
+        experiments = {row.experiment for row in rows}
+        assert experiments == {"T1", "T2", "T3", "F4", "X1"}
+        assert len(rows) > 50
+
+    def test_table1_rows_cover_campaigns(self, small_results):
+        rows = table1_rows(small_results)
+        assert len(rows) == 13
+        inactive = [r for r in rows if r.paper_value is None]
+        assert len(inactive) == 2
+        assert all(r.within_band for r in inactive)
+
+    def test_figure4_medians_scale_free(self, small_results):
+        """Per-liker medians do not scale with campaign size: they should be
+        within band even on the small study."""
+        rows = figure4_rows(small_results)
+        out = [r for r in rows if not r.within_band]
+        assert not out, [(r.quantity, r.measured_value) for r in out]
+
+    def test_table3_friend_medians_scale_free(self, small_results):
+        rows = [r for r in table3_rows(small_results)
+                if "median friends" in r.quantity]
+        out = [r for r in rows if not r.within_band]
+        assert not out, [(r.quantity, r.measured_value) for r in out]
+
+    def test_termination_rows(self, small_results):
+        rows = termination_rows(small_results)
+        assert len(rows) == 13
+
+    def test_render(self, small_results):
+        text = render_comparison(small_results)
+        assert "Paper vs measured" in text
+        assert "Verdict" in text

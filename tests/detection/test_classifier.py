@@ -1,0 +1,101 @@
+"""Tests for repro.detection.classifier."""
+
+import numpy as np
+import pytest
+
+from repro.detection.classifier import LogisticRegressionModel, train_test_split
+from repro.util.rng import RngStream
+from repro.util.validation import ValidationError
+
+
+def separable_data(n=200, seed=3):
+    """Two Gaussian blobs, cleanly separable."""
+    generator = np.random.default_rng(seed)
+    negatives = generator.normal(loc=-2.0, scale=0.5, size=(n // 2, 3))
+    positives = generator.normal(loc=+2.0, scale=0.5, size=(n // 2, 3))
+    features = np.vstack([negatives, positives])
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return features, labels
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        features, labels = separable_data()
+        model = LogisticRegressionModel().fit(features, labels)
+        predictions = model.predict(features)
+        assert (predictions == labels).mean() > 0.98
+
+    def test_probabilities_bounded(self):
+        features, labels = separable_data()
+        model = LogisticRegressionModel().fit(features, labels)
+        proba = model.predict_proba(features)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_constant_feature_handled(self):
+        features, labels = separable_data()
+        features = np.hstack([features, np.ones((len(features), 1))])
+        model = LogisticRegressionModel().fit(features, labels)
+        assert model.is_fitted  # zero-variance column must not divide by zero
+
+    def test_unfitted_predict_rejected(self):
+        model = LogisticRegressionModel()
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, 3)))
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegressionModel().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_feature_importance_sorted(self):
+        features, labels = separable_data()
+        model = LogisticRegressionModel().fit(features, labels)
+        ranked = model.feature_importance(["a", "b", "c"])
+        magnitudes = [abs(w) for _, w in ranked]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_importance_name_mismatch_rejected(self):
+        features, labels = separable_data()
+        model = LogisticRegressionModel().fit(features, labels)
+        with pytest.raises(ValidationError):
+            model.feature_importance(["too", "few"])
+
+    def test_deterministic(self):
+        features, labels = separable_data()
+        a = LogisticRegressionModel().fit(features, labels)
+        b = LogisticRegressionModel().fit(features, labels)
+        assert np.allclose(a.weights, b.weights)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        features, labels = separable_data(100)
+        trx, try_, tex, tey = train_test_split(
+            features, labels, RngStream(1), test_fraction=0.3
+        )
+        assert len(trx) == 70
+        assert len(tex) == 30
+        assert len(trx) + len(tex) == 100
+
+    def test_no_overlap_covers_all(self):
+        features = np.arange(20).reshape(20, 1).astype(float)
+        labels = np.zeros(20)
+        trx, _, tex, _ = train_test_split(features, labels, RngStream(2))
+        combined = sorted(float(x) for x in np.vstack([trx, tex]).ravel())
+        assert combined == sorted(float(x) for x in features.ravel())
+
+    def test_deterministic_given_stream_seed(self):
+        features, labels = separable_data(50)
+        a = train_test_split(features, labels, RngStream(5))
+        b = train_test_split(features, labels, RngStream(5))
+        assert np.array_equal(a[0], b[0])
+
+    def test_invalid_fraction(self):
+        features, labels = separable_data(10)
+        with pytest.raises(ValidationError):
+            train_test_split(features, labels, RngStream(1), test_fraction=1.0)
+
+    def test_tiny_dataset_keeps_both_sides(self):
+        features = np.zeros((2, 1))
+        labels = np.array([0, 1])
+        trx, _, tex, _ = train_test_split(features, labels, RngStream(1), 0.5)
+        assert len(trx) >= 1 and len(tex) >= 1

@@ -1,0 +1,75 @@
+"""Tests for repro.detection.features."""
+
+import numpy as np
+
+from repro.detection.features import (
+    FEATURE_NAMES,
+    build_feature_matrix,
+    extract_liker_features,
+)
+
+
+class TestExtraction:
+    def test_one_vector_per_liker(self, small_dataset):
+        features = extract_liker_features(small_dataset)
+        assert len(features) == len(small_dataset.likers)
+        assert all(len(f.values) == len(FEATURE_NAMES) for f in features)
+
+    def test_as_dict_names(self, small_dataset):
+        features = extract_liker_features(small_dataset)
+        assert set(features[0].as_dict()) == set(FEATURE_NAMES)
+
+    def test_like_count_matches_record(self, small_dataset):
+        features = {f.user_id: f for f in extract_liker_features(small_dataset)}
+        for liker in small_dataset.likers.values():
+            assert features[liker.user_id].as_dict()["like_count"] == float(
+                liker.declared_like_count
+            )
+
+    def test_private_friend_list_encoded(self, small_dataset):
+        features = {f.user_id: f for f in extract_liker_features(small_dataset)}
+        for liker in small_dataset.likers.values():
+            vector = features[liker.user_id].as_dict()
+            assert vector["friend_list_private"] == (0.0 if liker.friend_list_public else 1.0)
+            if not liker.friend_list_public:
+                assert vector["friend_count"] == 0.0
+
+    def test_burst_share_high_for_burst_farm_likers(self, small_dataset):
+        features = {f.user_id: f for f in extract_liker_features(small_dataset)}
+        al = small_dataset.campaign("AL-USA")
+        bl = small_dataset.campaign("BL-USA")
+        al_burst = np.mean(
+            [features[u].as_dict()["burst_share"] for u in al.liker_ids]
+        )
+        bl_burst = np.mean(
+            [features[u].as_dict()["burst_share"] for u in bl.liker_ids]
+        )
+        assert al_burst > 3 * bl_burst
+
+    def test_country_mismatch_for_socialformula_usa(self, small_dataset):
+        features = {f.user_id: f for f in extract_liker_features(small_dataset)}
+        sf_usa = small_dataset.campaign("SF-USA")
+        mismatches = [
+            features[u].as_dict()["country_mismatch"] for u in sf_usa.liker_ids
+        ]
+        assert np.mean(mismatches) > 0.9  # Turkish profiles on a USA order
+
+    def test_honeypots_liked_counts_campaigns(self, small_dataset):
+        features = {f.user_id: f for f in extract_liker_features(small_dataset)}
+        for liker in small_dataset.likers.values():
+            assert features[liker.user_id].as_dict()["honeypots_liked"] == float(
+                len(liker.campaign_ids)
+            )
+
+
+class TestMatrix:
+    def test_shape(self, small_dataset):
+        features = extract_liker_features(small_dataset)
+        matrix, user_ids = build_feature_matrix(features)
+        assert matrix.shape == (len(features), len(FEATURE_NAMES))
+        assert len(user_ids) == len(features)
+
+    def test_empty(self):
+        matrix, user_ids = build_feature_matrix([])
+        assert matrix.shape == (0, len(FEATURE_NAMES))
+        assert user_ids == []

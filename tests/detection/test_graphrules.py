@@ -1,0 +1,123 @@
+"""Tests for repro.detection.graphrules."""
+
+import pytest
+
+from repro.analysis.social import provider_membership
+from repro.detection.evaluate import (
+    evaluate_flags,
+    ground_truth_labels,
+    recall_by_provider,
+)
+from repro.detection.features import extract_liker_features
+from repro.detection.graphrules import (
+    GraphCommunityDetector,
+    combined_flags,
+)
+from repro.detection.rules import RuleBasedDetector
+from repro.honeypot.storage import (
+    CampaignRecord,
+    HoneypotDataset,
+    LikeObservation,
+    LikerRecord,
+)
+from repro.util.validation import ValidationError
+
+
+def dataset_with_structure():
+    """Ten likers: a dense 5-clique, an isolated triplet-clique, 2 singletons."""
+    dataset = HoneypotDataset()
+    likers = list(range(1, 11))
+    dataset.campaigns["C"] = CampaignRecord(
+        campaign_id="C", provider="X", kind="like_farm", location_label="USA",
+        budget_label="$", duration_days=3, monitored_days=10, page_id=1,
+        total_likes=len(likers),
+        observations=[LikeObservation(observed_at=i, user_id=u)
+                      for i, u in enumerate(likers)],
+    )
+    clique = [1, 2, 3, 4, 5]
+    triplet = [6, 7, 8]
+    for uid in likers:
+        if uid in clique:
+            friends = [f for f in clique if f != uid]
+        elif uid in triplet:
+            friends = [f for f in triplet if f != uid]
+        else:
+            friends = []
+        dataset.likers[uid] = LikerRecord(
+            user_id=uid, gender="M", age_bracket="18-24", country="US",
+            friend_list_public=True, declared_friend_count=len(friends),
+            visible_friend_ids=friends, campaign_ids=["C"],
+        )
+    return dataset
+
+
+class TestGraphCommunityDetector:
+    def test_large_component_flagged(self):
+        detector = GraphCommunityDetector(min_component_size=5, min_density=0.99)
+        flagged = detector.flagged_users(dataset_with_structure())
+        assert {1, 2, 3, 4, 5} <= flagged
+
+    def test_dense_triplet_flagged_by_density(self):
+        detector = GraphCommunityDetector(min_component_size=50, min_density=0.9)
+        flagged = detector.flagged_users(dataset_with_structure())
+        assert {6, 7, 8} <= flagged
+        assert not ({9, 10} & flagged)
+
+    def test_singletons_never_flagged(self):
+        detector = GraphCommunityDetector(min_component_size=2)
+        flagged = detector.flagged_users(dataset_with_structure())
+        assert not ({9, 10} & flagged)
+
+    def test_component_metadata(self):
+        detector = GraphCommunityDetector(min_component_size=5)
+        components = detector.suspicious_components(dataset_with_structure())
+        big = next(c for c in components if c.size == 5)
+        assert big.n_edges == 10
+        assert big.density == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GraphCommunityDetector(min_component_size=0)
+        with pytest.raises(ValidationError):
+            GraphCommunityDetector(min_density=0.0)
+
+
+class TestOnStudy:
+    def test_graph_detector_catches_boostlikes(self, small_dataset, small_artifacts):
+        """The complement result: graph structure exposes the stealth farm."""
+        labels = ground_truth_labels(small_artifacts.network, small_dataset)
+        membership = provider_membership(small_dataset)
+        flagged = GraphCommunityDetector().flagged_users(small_dataset)
+        recalls = recall_by_provider(flagged, labels, membership)
+        # graph rules catch BoostLikes far better than volume rules do
+        assert recalls["BoostLikes.com"] > 0.4
+        metrics = evaluate_flags(flagged, labels)
+        assert metrics.precision > 0.95
+
+    def test_combined_beats_either_alone(self, small_dataset, small_artifacts):
+        labels = ground_truth_labels(small_artifacts.network, small_dataset)
+        features = extract_liker_features(small_dataset)
+        rules = {
+            u for u, v in RuleBasedDetector().classify_all(features).items()
+            if v.flagged
+        }
+        flags = combined_flags(small_dataset, rules)
+        rule_recall = evaluate_flags(flags["rules"], labels).recall
+        graph_recall = evaluate_flags(flags["graph"], labels).recall
+        combined = evaluate_flags(flags["combined"], labels)
+        assert combined.recall >= max(rule_recall, graph_recall)
+        assert combined.recall > 0.93
+        assert combined.precision > 0.95
+
+    def test_combined_closes_stealth_gap(self, small_dataset, small_artifacts):
+        labels = ground_truth_labels(small_artifacts.network, small_dataset)
+        membership = provider_membership(small_dataset)
+        features = extract_liker_features(small_dataset)
+        rules = {
+            u for u, v in RuleBasedDetector().classify_all(features).items()
+            if v.flagged
+        }
+        flags = combined_flags(small_dataset, rules)
+        rule_bl = recall_by_provider(flags["rules"], labels, membership)
+        combined_bl = recall_by_provider(flags["combined"], labels, membership)
+        assert combined_bl["BoostLikes.com"] > 2 * rule_bl["BoostLikes.com"]

@@ -1,0 +1,94 @@
+"""Tests for repro.detection.rules and repro.detection.lockstep."""
+
+import pytest
+
+from repro.detection.features import LikerFeatures, FEATURE_NAMES
+from repro.detection.lockstep import LockstepDetector
+from repro.detection.rules import RuleBasedDetector
+from repro.util.validation import ValidationError
+
+
+def features(**overrides):
+    values = dict(
+        like_count=30.0, friend_count=120.0, friend_list_private=0.0,
+        burst_share=0.05, honeypots_liked=1.0, country_mismatch=0.0,
+        is_young=0.0,
+    )
+    values.update(overrides)
+    return LikerFeatures(user_id=1, values=tuple(values[n] for n in FEATURE_NAMES))
+
+
+class TestRuleBasedDetector:
+    def test_normal_user_not_flagged(self):
+        verdict = RuleBasedDetector().classify(features())
+        assert not verdict.flagged
+        assert verdict.fired_rules == ()
+
+    def test_excessive_likes_flagged(self):
+        verdict = RuleBasedDetector().classify(features(like_count=1500.0))
+        assert verdict.flagged
+        assert "excessive-page-likes" in verdict.fired_rules
+
+    def test_burst_flagged(self):
+        verdict = RuleBasedDetector().classify(features(burst_share=0.8))
+        assert "burst-delivery" in verdict.fired_rules
+
+    def test_multi_honeypot_flagged(self):
+        verdict = RuleBasedDetector().classify(features(honeypots_liked=2.0))
+        assert "multiple-honeypots" in verdict.fired_rules
+
+    def test_mismatch_flagged(self):
+        verdict = RuleBasedDetector().classify(features(country_mismatch=1.0))
+        assert "targeting-mismatch" in verdict.fired_rules
+
+    def test_min_votes(self):
+        detector = RuleBasedDetector(min_votes=2)
+        single = detector.classify(features(like_count=1500.0))
+        double = detector.classify(features(like_count=1500.0, burst_share=0.9))
+        assert not single.flagged
+        assert double.flagged
+
+    def test_classify_all(self, small_dataset):
+        from repro.detection.features import extract_liker_features
+        feats = extract_liker_features(small_dataset)
+        verdicts = RuleBasedDetector().classify_all(feats)
+        assert len(verdicts) == len(feats)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RuleBasedDetector(min_votes=0)
+        with pytest.raises(ValidationError):
+            RuleBasedDetector(burst_share_threshold=0.0)
+
+
+class TestLockstepDetector:
+    def test_flags_burst_farm_reuse(self, small_dataset):
+        detector = LockstepDetector(min_group=3)
+        groups = detector.find_groups(small_dataset)
+        # AL and MS shared-operator users co-like within the burst windows
+        pairs = {g.campaign_pair for g in groups}
+        assert ("AL-USA", "MS-USA") in pairs
+
+    def test_flagged_users_are_reused_accounts(self, small_dataset):
+        detector = LockstepDetector(min_group=3)
+        flagged = detector.flagged_users(small_dataset)
+        for user_id in flagged:
+            assert len(small_dataset.likers[user_id].campaign_ids) >= 2
+
+    def test_boostlikes_escapes(self, small_dataset):
+        """The paper's caveat: stealth-farm likers do not form lockstep groups."""
+        detector = LockstepDetector(min_group=3)
+        flagged = detector.flagged_users(small_dataset)
+        bl_likers = set(small_dataset.campaign("BL-USA").liker_ids)
+        assert not (flagged & bl_likers)
+
+    def test_min_group_threshold(self, small_dataset):
+        lenient = LockstepDetector(min_group=2).flagged_users(small_dataset)
+        strict = LockstepDetector(min_group=50).flagged_users(small_dataset)
+        assert len(strict) <= len(lenient)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LockstepDetector(window=0)
+        with pytest.raises(ValidationError):
+            LockstepDetector(min_group=1)

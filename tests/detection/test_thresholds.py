@@ -1,0 +1,81 @@
+"""Tests for repro.detection.thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.detection.classifier import LogisticRegressionModel
+from repro.detection.features import build_feature_matrix, extract_liker_features
+from repro.detection.evaluate import ground_truth_labels
+from repro.detection.thresholds import OperatingPoint, SweepResult, sweep_scores
+from repro.util.validation import ValidationError
+
+
+def toy_scores():
+    """Fakes score high, organics low, with one noisy pair."""
+    scores = {1: 0.9, 2: 0.8, 3: 0.7, 4: 0.3, 5: 0.2, 6: 0.6, 7: 0.4}
+    labels = {1: True, 2: True, 3: True, 4: False, 5: False,
+              6: False, 7: True}
+    return scores, labels
+
+
+class TestSweepScores:
+    def test_extreme_thresholds(self):
+        scores, labels = toy_scores()
+        result = sweep_scores(scores, labels, thresholds=[0.0, 1.0])
+        low, high = result.points
+        assert low.metrics.recall == 1.0  # everything flagged
+        assert high.metrics.recall == 0.0  # nothing flagged
+
+    def test_recall_monotone_in_threshold(self):
+        scores, labels = toy_scores()
+        thresholds = [0.0, 0.25, 0.5, 0.75, 1.0]
+        result = sweep_scores(scores, labels, thresholds=thresholds)
+        recalls = [p.metrics.recall for p in result.points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_best_f1(self):
+        scores, labels = toy_scores()
+        result = sweep_scores(scores, labels, thresholds=[0.1, 0.5, 0.95])
+        best = result.best_f1()
+        assert isinstance(best, OperatingPoint)
+        assert best.metrics.f1 == max(p.metrics.f1 for p in result.points)
+
+    def test_precision_at_recall(self):
+        scores, labels = toy_scores()
+        result = sweep_scores(scores, labels, thresholds=[0.0, 0.65])
+        assert result.precision_at_recall(0.99) == pytest.approx(4 / 7)
+
+    def test_recall_at_precision_unreachable(self):
+        scores = {1: 0.9, 2: 0.9}
+        labels = {1: False, 2: False}
+        result = sweep_scores(scores, labels, thresholds=[0.5])
+        assert result.recall_at_precision(0.9) == 0.0
+
+    def test_default_thresholds_from_deciles(self):
+        scores, labels = toy_scores()
+        result = sweep_scores(scores, labels)
+        assert 2 <= len(result.points) <= 11
+
+    def test_missing_label_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_scores({1: 0.5}, {2: True})
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_scores({}, {1: True})
+
+
+class TestSweepOnStudy:
+    def test_classifier_sweep_shape(self, small_dataset, small_artifacts):
+        labels = ground_truth_labels(small_artifacts.network, small_dataset)
+        features = extract_liker_features(small_dataset)
+        matrix, user_ids = build_feature_matrix(features)
+        y = np.array([1 if labels[u] else 0 for u in user_ids])
+        model = LogisticRegressionModel(iterations=200).fit(matrix, y)
+        scores = dict(zip(user_ids, model.predict_proba(matrix)))
+        result = sweep_scores(scores, labels)
+        best = result.best_f1()
+        # honeypot likers are overwhelmingly fake: F1 should be very high
+        assert best.metrics.f1 > 0.9
+        curve = result.curve()
+        assert all(0 <= r <= 1 and 0 <= p <= 1 for r, p in curve)

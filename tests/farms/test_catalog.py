@@ -1,0 +1,157 @@
+"""Tests for repro.farms.catalog."""
+
+import numpy as np
+import pytest
+
+from repro.farms.accounts import FakeAccountFactory
+from repro.farms.base import REGION_USA, REGION_WORLDWIDE, OrderStatus
+from repro.farms.catalog import (
+    AUTHENTICLIKES,
+    BOOSTLIKES,
+    MAMMOTHSOCIALS,
+    PRICE_LIST,
+    SOCIALFORMULA,
+    DeliveryStrategy,
+    FarmCatalog,
+)
+from repro.osn.network import SocialNetwork
+from repro.osn.population import PopulationConfig, WorldBuilder
+from repro.sim.engine import EventEngine
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY, HOUR
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def world(rng):
+    net = SocialNetwork()
+    built = WorldBuilder(PopulationConfig.small()).build(net, rng.child("w"))
+    factory = FakeAccountFactory(net, built.universe)
+    catalog = FarmCatalog(net, factory, rng.child("farms"))
+    return net, catalog
+
+
+def place(net, catalog, brand, region, target=120, fulfillment=1.0):
+    engine = EventEngine()
+    page = net.create_page(f"{brand}-{region}-{net.page_count}", category="honeypot")
+    order = catalog.service(brand).place_order(
+        page.page_id, region, target, engine, fulfillment=fulfillment
+    )
+    engine.run_until(25 * DAY)
+    return page, order
+
+
+class TestDeliveryStrategy:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            DeliveryStrategy(kind="instant")
+
+    def test_burst_plan_uses_burst_scheduler(self, rng):
+        strategy = DeliveryStrategy(kind="burst", spread_days=2.0)
+        plan = strategy.plan(list(range(50)), start=0, rng=rng)
+        assert max(t for t, _ in plan) <= 2 * DAY + 4 * HOUR
+
+    def test_trickle_plan_spreads(self, rng):
+        strategy = DeliveryStrategy(kind="trickle", duration_days=15.0)
+        plan = strategy.plan(list(range(100)), start=0, rng=rng)
+        assert len({t // DAY for t, _ in plan}) >= 10
+
+
+class TestCatalog:
+    def test_all_four_brands(self, world):
+        _, catalog = world
+        assert set(catalog.services) == {
+            BOOSTLIKES, SOCIALFORMULA, AUTHENTICLIKES, MAMMOTHSOCIALS,
+        }
+
+    def test_prices_from_table1(self, world):
+        _, catalog = world
+        assert catalog.service(BOOSTLIKES).price(REGION_USA) == 190.00
+        assert catalog.service(SOCIALFORMULA).price(REGION_WORLDWIDE) == 14.99
+        assert len(PRICE_LIST) == 8
+
+    def test_al_ms_share_operator(self, world):
+        _, catalog = world
+        assert (
+            catalog.service(AUTHENTICLIKES).operator
+            is catalog.service(MAMMOTHSOCIALS).operator
+        )
+
+    def test_bl_and_ms_scam_worldwide(self, world):
+        net, catalog = world
+        for brand in (BOOSTLIKES, MAMMOTHSOCIALS):
+            page, order = place(net, catalog, brand, REGION_WORLDWIDE)
+            assert order.status == OrderStatus.INACTIVE
+            assert net.page_like_count(page.page_id) == 0
+
+
+class TestOrderDelivery:
+    def test_delivery_count(self, world):
+        net, catalog = world
+        page, order = place(net, catalog, SOCIALFORMULA, REGION_WORLDWIDE,
+                            target=100, fulfillment=0.8)
+        assert order.delivered_likes == 80
+        assert net.page_like_count(page.page_id) == 80
+        assert order.status == OrderStatus.COMPLETED
+
+    def test_socialformula_turkish(self, world):
+        net, catalog = world
+        page, _ = place(net, catalog, SOCIALFORMULA, REGION_USA)
+        countries = {net.user(u).country for u in net.page_liker_ids(page.page_id)}
+        assert countries == {"TR"}
+
+    def test_boostlikes_usa_compliant(self, world):
+        net, catalog = world
+        page, _ = place(net, catalog, BOOSTLIKES, REGION_USA)
+        likers = net.page_liker_ids(page.page_id)
+        us = sum(1 for u in likers if net.user(u).country == "US")
+        assert us / len(likers) > 0.8
+
+    def test_boostlikes_low_like_counts(self, world):
+        net, catalog = world
+        page, _ = place(net, catalog, BOOSTLIKES, REGION_USA)
+        likers = net.page_liker_ids(page.page_id)
+        median = float(np.median([net.declared_like_count(u) for u in likers]))
+        assert median < 200  # paper: 63
+
+    def test_burst_farm_like_counts_heavy(self, world):
+        net, catalog = world
+        page, _ = place(net, catalog, AUTHENTICLIKES, REGION_USA)
+        likers = net.page_liker_ids(page.page_id)
+        median = float(np.median([net.declared_like_count(u) for u in likers]))
+        assert median > 800  # paper: 1200-1800
+
+    def test_boostlikes_dense_graph(self, world):
+        net, catalog = world
+        page, order = place(net, catalog, BOOSTLIKES, REGION_USA)
+        edges = list(net.graph.edges_within(order.account_ids))
+        mean_degree = 2 * len(edges) / len(order.account_ids)
+        assert mean_degree > 2.0
+
+    def test_ms_reuses_al_accounts(self, world):
+        net, catalog = world
+        al_page, al_order = place(net, catalog, AUTHENTICLIKES, REGION_USA)
+        ms_page, ms_order = place(net, catalog, MAMMOTHSOCIALS, REGION_USA)
+        shared = set(al_order.account_ids) & set(ms_order.account_ids)
+        assert len(shared) > 0.4 * len(ms_order.account_ids)
+
+    def test_cohort_labels_per_brand(self, world):
+        net, catalog = world
+        page, order = place(net, catalog, SOCIALFORMULA, REGION_WORLDWIDE)
+        assert all(
+            net.user(a).cohort == "farm:SocialFormula.com"
+            for a in order.account_ids
+        )
+
+    def test_delivery_skips_terminated(self, world):
+        net, catalog = world
+        engine = EventEngine()
+        page = net.create_page("victim", category="honeypot")
+        order = catalog.service(SOCIALFORMULA).place_order(
+            page.page_id, REGION_WORLDWIDE, 50, engine, fulfillment=1.0
+        )
+        # terminate half the accounts before delivery fires
+        for account in order.account_ids[:25]:
+            net.terminate_account(account, time=0)
+        engine.run_until(10 * DAY)
+        assert order.delivered_likes == 25

@@ -1,0 +1,94 @@
+"""Tests for repro.farms.operator."""
+
+import pytest
+
+from repro.farms.accounts import FakeAccountFactory, FarmAccountConfig
+from repro.farms.base import REGION_USA, REGION_WORLDWIDE
+from repro.farms.operator import FarmOperator
+from repro.osn.network import SocialNetwork
+from repro.osn.population import PopulationConfig, WorldBuilder
+from repro.util.distributions import Categorical
+from repro.util.rng import RngStream
+from repro.util.validation import ValidationError
+
+CONFIG = FarmAccountConfig(
+    gender_female_share=0.4, age=Categorical({"18-24": 1.0})
+)
+
+
+@pytest.fixture()
+def operator(rng):
+    net = SocialNetwork()
+    world = WorldBuilder(PopulationConfig.small()).build(net, rng.child("w"))
+    factory = FakeAccountFactory(net, world.universe)
+    return net, FarmOperator("op", net, factory, rng.child("op"), reuse_fraction=0.5)
+
+
+class TestAccountsForOrder:
+    def test_first_order_all_fresh(self, operator):
+        net, op = operator
+        accounts = op.accounts_for_order("B", CONFIG, REGION_USA, 40)
+        assert len(accounts) == len(set(accounts)) == 40
+        assert op.stats[REGION_USA].created == 40
+        assert op.stats[REGION_USA].reused == 0
+
+    def test_second_order_reuses(self, operator):
+        net, op = operator
+        first = set(op.accounts_for_order("B", CONFIG, REGION_USA, 40))
+        second = set(op.accounts_for_order("B", CONFIG, REGION_USA, 40))
+        overlap = first & second
+        assert 10 <= len(overlap) <= 25  # reuse_fraction 0.5 of 40 = ~20
+
+    def test_regions_isolated_by_default(self, operator):
+        net, op = operator
+        usa = set(op.accounts_for_order("B", CONFIG, REGION_USA, 30))
+        world = set(op.accounts_for_order("B", CONFIG, REGION_WORLDWIDE, 30))
+        assert not (usa & world)
+
+    def test_shared_pool_when_not_regional(self, rng):
+        net = SocialNetwork()
+        world = WorldBuilder(PopulationConfig.small()).build(net, rng.child("w"))
+        factory = FakeAccountFactory(net, world.universe)
+        op = FarmOperator(
+            "op", net, factory, rng.child("op"),
+            reuse_fraction=0.5, regional_pools=False,
+        )
+        usa = set(op.accounts_for_order("B", CONFIG, REGION_USA, 40))
+        worldwide = set(op.accounts_for_order("B", CONFIG, REGION_WORLDWIDE, 40))
+        assert usa & worldwide
+
+    def test_terminated_accounts_not_reused(self, operator):
+        net, op = operator
+        first = op.accounts_for_order("B", CONFIG, REGION_USA, 20)
+        for account in first:
+            net.terminate_account(account, time=0)
+        second = op.accounts_for_order("B", CONFIG, REGION_USA, 20)
+        assert not (set(first) & set(second))
+
+    def test_cross_brand_reuse_same_operator(self, operator):
+        """The ALMS mechanism: two brands, one pool."""
+        net, op = operator
+        brand_a = set(op.accounts_for_order("A.com", CONFIG, REGION_USA, 40))
+        brand_b = set(op.accounts_for_order("B.com", CONFIG, REGION_USA, 40))
+        shared = brand_a & brand_b
+        assert shared
+        # reused accounts keep brand A's cohort: the tell the paper saw
+        assert all(net.user(a).cohort == "farm:A.com" for a in shared)
+
+    def test_invalid_reuse_fraction(self, operator):
+        net, _ = operator
+        with pytest.raises(ValidationError):
+            FarmOperator("x", net, None, RngStream(1), reuse_fraction=1.5)
+
+    def test_deterministic(self, rng):
+        def run(seed):
+            net = SocialNetwork()
+            world = WorldBuilder(PopulationConfig.small()).build(
+                net, RngStream(seed, "w")
+            )
+            factory = FakeAccountFactory(net, world.universe)
+            op = FarmOperator("op", net, factory, RngStream(seed, "op"))
+            op.accounts_for_order("B", CONFIG, REGION_USA, 30)
+            return [net.user(a).country for a in op.pool(REGION_USA)]
+
+        assert run(3) == run(3)

@@ -1,0 +1,98 @@
+"""Tests for repro.farms.scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.farms.scheduler import burst_schedule, trickle_schedule
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY, HOUR
+from repro.util.validation import ValidationError
+
+ACCOUNTS = [100 + i for i in range(200)]
+
+
+class TestBurstSchedule:
+    def test_conservation(self, rng):
+        plan = burst_schedule(ACCOUNTS, start=0, rng=rng)
+        assert len(plan) == len(ACCOUNTS)
+        assert sorted(a for _, a in plan) == sorted(ACCOUNTS)
+
+    def test_sorted_by_time(self, rng):
+        plan = burst_schedule(ACCOUNTS, start=0, rng=rng)
+        times = [t for t, _ in plan]
+        assert times == sorted(times)
+
+    def test_within_spread(self, rng):
+        plan = burst_schedule(ACCOUNTS, start=0, rng=rng, spread_days=3.0)
+        assert all(0 <= t <= 3 * DAY + 2 * HOUR for t, _ in plan)
+
+    def test_respects_first_burst_delay(self, rng):
+        plan = burst_schedule(
+            ACCOUNTS, start=0, rng=rng, first_burst_delay=DAY, spread_days=3.0
+        )
+        assert min(t for t, _ in plan) >= DAY
+
+    def test_compressed_into_bursts(self, rng):
+        """Most of the order lands inside few short windows."""
+        from repro.analysis.stats import max_count_in_window
+        plan = burst_schedule(
+            ACCOUNTS, start=0, rng=rng, n_bursts=2, burst_width=2 * HOUR
+        )
+        times = [t for t, _ in plan]
+        assert max_count_in_window(times, 2 * HOUR) >= len(ACCOUNTS) * 0.3
+
+    def test_empty_accounts(self, rng):
+        assert burst_schedule([], start=0, rng=rng) == []
+
+    def test_fewer_accounts_than_bursts(self, rng):
+        plan = burst_schedule([1, 2], start=0, rng=rng, n_bursts=10)
+        assert len(plan) == 2
+
+    def test_start_offset(self, rng):
+        plan = burst_schedule(ACCOUNTS, start=5 * DAY, rng=rng)
+        assert min(t for t, _ in plan) >= 5 * DAY
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValidationError):
+            burst_schedule(ACCOUNTS, start=-1, rng=rng)
+        with pytest.raises(ValidationError):
+            burst_schedule(ACCOUNTS, start=0, rng=rng, spread_days=0)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30)
+    def test_property_conservation(self, n):
+        accounts = list(range(n))
+        plan = burst_schedule(accounts, start=0, rng=RngStream(n, "p"))
+        assert sorted(a for _, a in plan) == accounts
+
+
+class TestTrickleSchedule:
+    def test_conservation(self, rng):
+        plan = trickle_schedule(ACCOUNTS, start=0, rng=rng)
+        assert sorted(a for _, a in plan) == sorted(ACCOUNTS)
+
+    def test_spread_over_duration(self, rng):
+        plan = trickle_schedule(ACCOUNTS, start=0, rng=rng, duration_days=15.0)
+        times = [t for t, _ in plan]
+        assert max(times) < 15 * DAY
+        # likes on at least 12 distinct days: a genuine trickle
+        days_hit = {t // DAY for t in times}
+        assert len(days_hit) >= 12
+
+    def test_no_dominant_burst(self, rng):
+        from repro.analysis.stats import max_count_in_window
+        plan = trickle_schedule(ACCOUNTS, start=0, rng=rng, duration_days=15.0)
+        times = [t for t, _ in plan]
+        assert max_count_in_window(times, 2 * HOUR) < len(ACCOUNTS) * 0.15
+
+    def test_empty(self, rng):
+        assert trickle_schedule([], start=0, rng=rng) == []
+
+    def test_sorted(self, rng):
+        plan = trickle_schedule(ACCOUNTS, start=0, rng=rng)
+        times = [t for t, _ in plan]
+        assert times == sorted(times)
+
+    def test_invalid_jitter(self, rng):
+        with pytest.raises(ValidationError):
+            trickle_schedule(ACCOUNTS, start=0, rng=rng, daily_jitter=1.0)

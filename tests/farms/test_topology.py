@@ -1,0 +1,144 @@
+"""Tests for repro.farms.topology."""
+
+import networkx as nx
+import pytest
+
+from repro.farms.topology import (
+    DenseCommunityTopology,
+    FarmTopology,
+    HubTopology,
+    PairTripletTopology,
+)
+from repro.osn.network import SocialNetwork
+from repro.osn.population import GLOBAL_AGE_WEIGHTS
+from repro.osn.profile import Gender
+from repro.util.distributions import Categorical
+from repro.util.rng import RngStream
+from repro.util.validation import ValidationError
+
+AGE = Categorical(GLOBAL_AGE_WEIGHTS)
+
+
+def make_accounts(net, n):
+    return [
+        net.create_user(gender=Gender.MALE, age=20, country="TR",
+                        cohort="farm:X").user_id
+        for i in range(n)
+    ]
+
+
+class TestPairTriplet:
+    def test_component_sizes(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 300)
+        PairTripletTopology(grouped_fraction=1.0).wire(net, accounts, rng)
+        graph = net.graph.to_networkx(accounts)
+        sizes = {len(c) for c in nx.connected_components(graph) if len(c) > 1}
+        assert sizes <= {2, 3}
+
+    def test_mostly_isolated_at_low_fraction(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 300)
+        PairTripletTopology(grouped_fraction=0.08).wire(net, accounts, rng)
+        isolated = sum(1 for a in accounts if net.graph.degree(a) == 0)
+        assert isolated / len(accounts) > 0.8
+
+    def test_zero_fraction_no_edges(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 50)
+        edges = PairTripletTopology(grouped_fraction=0.0).wire(net, accounts, rng)
+        assert edges == 0
+        assert net.graph.edge_count == 0
+
+
+class TestDenseCommunity:
+    def test_single_connected_component(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 100)
+        DenseCommunityTopology(ring_k=4, rewire_probability=0.1).wire(net, accounts, rng)
+        graph = net.graph.to_networkx(accounts)
+        components = list(nx.connected_components(graph))
+        largest = max(len(c) for c in components)
+        assert largest >= 90  # rewiring can orphan a couple of nodes
+
+    def test_mean_degree_near_k(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 200)
+        DenseCommunityTopology(ring_k=4).wire(net, accounts, rng)
+        mean_degree = sum(net.graph.degree(a) for a in accounts) / len(accounts)
+        assert 3.0 <= mean_degree <= 4.2
+
+    def test_tiny_pool(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 2)
+        DenseCommunityTopology().wire(net, accounts, rng)
+        assert net.graph.are_friends(accounts[0], accounts[1])
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValidationError):
+            DenseCommunityTopology(ring_k=3)
+
+
+class TestHubs:
+    def test_hubs_never_in_accounts(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 60)
+        hubs = HubTopology(hub_size=10, coverage=1.0).wire(
+            net, accounts, rng, farm_name="X", age=AGE
+        )
+        assert hubs
+        assert not (set(hubs) & set(accounts))
+
+    def test_no_direct_account_edges(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 60)
+        HubTopology(hub_size=10, coverage=1.0).wire(net, accounts, rng, "X", AGE)
+        assert list(net.graph.edges_within(accounts)) == []
+
+    def test_creates_mutual_friend_pairs(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 60)
+        HubTopology(hub_size=10, coverage=1.0).wire(net, accounts, rng, "X", AGE)
+        pairs = list(net.graph.mutual_friend_pairs(accounts))
+        assert len(pairs) > 50
+
+    def test_memberships_increase_density(self, rng):
+        def pair_count(memberships):
+            net = SocialNetwork()
+            accounts = make_accounts(net, 80)
+            HubTopology(
+                hub_size=10, memberships_per_account=memberships, coverage=1.0
+            ).wire(net, accounts, RngStream(9, "h"), "X", AGE)
+            return len(list(net.graph.mutual_friend_pairs(accounts)))
+
+        assert pair_count(2) > pair_count(1)
+
+    def test_hub_cohort_is_farm(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 30)
+        hubs = HubTopology(hub_size=10, coverage=1.0).wire(net, accounts, rng, "X", AGE)
+        assert all(net.user(h).cohort == "farm:X" for h in hubs)
+
+    def test_too_few_covered(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 1)
+        assert HubTopology(coverage=1.0).wire(net, accounts, rng, "X", AGE) == []
+
+
+class TestFarmTopology:
+    def test_composition(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 100)
+        topology = FarmTopology(
+            pairs=PairTripletTopology(grouped_fraction=0.5),
+            hubs=HubTopology(hub_size=8, coverage=0.8),
+        )
+        topology.wire_pool(net, accounts, rng, "X", AGE)
+        assert len(list(net.graph.edges_within(accounts))) > 0
+        assert len(list(net.graph.mutual_friend_pairs(accounts))) > 0
+
+    def test_all_layers_optional(self, rng):
+        net = SocialNetwork()
+        accounts = make_accounts(net, 20)
+        FarmTopology().wire_pool(net, accounts, rng, "X", AGE)
+        assert net.graph.edge_count == 0

@@ -1,0 +1,99 @@
+"""Tests for repro.honeypot.campaignspec."""
+
+import pytest
+
+from repro.ads.targeting import TargetingSpec
+from repro.core import paperdata
+from repro.honeypot.campaignspec import (
+    KIND_FACEBOOK_ADS,
+    KIND_LIKE_FARM,
+    CampaignSpec,
+    paper_campaigns,
+)
+from repro.util.validation import ValidationError
+
+
+class TestPaperCampaigns:
+    def test_thirteen_campaigns(self):
+        assert len(paper_campaigns()) == 13
+
+    def test_table1_order(self):
+        ids = [spec.campaign_id for spec in paper_campaigns()]
+        assert ids == [
+            "FB-USA", "FB-FRA", "FB-IND", "FB-EGY", "FB-ALL",
+            "BL-ALL", "BL-USA", "SF-ALL", "SF-USA",
+            "AL-ALL", "AL-USA", "MS-ALL", "MS-USA",
+        ]
+
+    def test_five_ads_eight_farms(self):
+        specs = paper_campaigns()
+        ads = [s for s in specs if s.kind == KIND_FACEBOOK_ADS]
+        farms = [s for s in specs if s.kind == KIND_LIKE_FARM]
+        assert len(ads) == 5
+        assert len(farms) == 8
+
+    def test_ads_budget(self):
+        for spec in paper_campaigns():
+            if spec.is_facebook:
+                assert spec.daily_budget == 6.0
+                assert spec.duration_days == 15
+
+    def test_paper_likes_match_paperdata(self):
+        for spec in paper_campaigns():
+            assert spec.paper_likes == paperdata.TABLE1_LIKES[spec.campaign_id]
+            assert spec.paper_terminated == paperdata.TABLE1_TERMINATED[spec.campaign_id]
+
+    def test_inactive_orders_have_no_outcome(self):
+        by_id = {s.campaign_id: s for s in paper_campaigns()}
+        for campaign_id in ("BL-ALL", "MS-ALL"):
+            assert by_id[campaign_id].paper_likes is None
+            assert by_id[campaign_id].fulfillment is None
+
+    def test_farm_fulfillment_matches_likes(self):
+        for spec in paper_campaigns():
+            if spec.kind == KIND_LIKE_FARM and spec.paper_likes is not None:
+                assert spec.fulfillment == pytest.approx(spec.paper_likes / 1000)
+
+    def test_targeting_for_ads(self):
+        by_id = {s.campaign_id: s for s in paper_campaigns()}
+        assert by_id["FB-IND"].targeting() == TargetingSpec.country("IN")
+        assert by_id["FB-ALL"].targeting().is_worldwide
+
+    def test_targeting_rejected_for_farms(self):
+        by_id = {s.campaign_id: s for s in paper_campaigns()}
+        with pytest.raises(ValidationError):
+            by_id["SF-ALL"].targeting()
+
+    def test_total_paper_likes(self):
+        # Table 1 sums to 6,222; the paper's Section 3 claims 6,292 (its own
+        # internal inconsistency) — we track the table.
+        total = sum(spec.paper_likes or 0 for spec in paper_campaigns())
+        assert total == paperdata.TABLE1_TOTAL == 6222
+        ads = sum(
+            spec.paper_likes or 0 for spec in paper_campaigns() if spec.is_facebook
+        )
+        assert ads == paperdata.TOTAL_AD_LIKES == 1769
+
+
+class TestCampaignSpecValidation:
+    def test_ad_requires_budget(self):
+        with pytest.raises(ValidationError):
+            CampaignSpec(
+                campaign_id="X", provider="Facebook.com", kind=KIND_FACEBOOK_ADS,
+                location_label="USA", budget_label="$", duration_days=15,
+            )
+
+    def test_farm_requires_region(self):
+        with pytest.raises(ValidationError):
+            CampaignSpec(
+                campaign_id="X", provider="F", kind=KIND_LIKE_FARM,
+                location_label="USA", budget_label="$", duration_days=3,
+                target_likes=1000,
+            )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            CampaignSpec(
+                campaign_id="X", provider="F", kind="carrier-pigeon",
+                location_label="USA", budget_label="$", duration_days=3,
+            )

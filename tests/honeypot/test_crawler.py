@@ -1,0 +1,92 @@
+"""Tests for repro.honeypot.crawler."""
+
+import pytest
+
+from repro.honeypot.crawler import ProfileCrawler
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+from repro.util.rng import RngStream
+
+
+@pytest.fixture()
+def net():
+    network = SocialNetwork()
+    return network
+
+
+def make_user(net, public=True, **kwargs):
+    defaults = dict(gender=Gender.FEMALE, age=22, country="US",
+                    friend_list_public=public)
+    defaults.update(kwargs)
+    return net.create_user(**defaults)
+
+
+class TestCrawlLiker:
+    def test_public_profile_fully_crawled(self, net):
+        user = make_user(net, public=True)
+        friend = make_user(net)
+        net.add_friendship(user.user_id, friend.user_id)
+        user.background_friend_count = 10
+        page = net.create_page("P")
+        net.like_page(user.user_id, page.page_id, time=0)
+        user.background_like_count = 99
+
+        record = ProfileCrawler(net).crawl_liker(user.user_id, ["C1"])
+        assert record.friend_list_public
+        assert record.visible_friend_ids == [friend.user_id]
+        assert record.declared_friend_count == 11
+        assert record.liked_page_ids == [page.page_id]
+        assert record.declared_like_count == 100
+        assert record.campaign_ids == ["C1"]
+        assert record.gender == "F"
+        assert record.age_bracket == "18-24"
+
+    def test_private_friend_list_censored(self, net):
+        user = make_user(net, public=False)
+        friend = make_user(net)
+        net.add_friendship(user.user_id, friend.user_id)
+        record = ProfileCrawler(net).crawl_liker(user.user_id, [])
+        assert not record.friend_list_public
+        assert record.visible_friend_ids == []
+        assert record.declared_friend_count is None
+        # demographics still available via the insights reports
+        assert record.country == "US"
+
+    def test_page_likes_still_visible_when_friends_private(self, net):
+        user = make_user(net, public=False)
+        page = net.create_page("P")
+        net.like_page(user.user_id, page.page_id, time=0)
+        record = ProfileCrawler(net).crawl_liker(user.user_id, [])
+        assert record.liked_page_ids == [page.page_id]
+
+    def test_crawl_likers_batch(self, net):
+        users = [make_user(net) for _ in range(3)]
+        mapping = {u.user_id: ["C1"] for u in users}
+        records = ProfileCrawler(net).crawl_likers(mapping)
+        assert set(records) == {u.user_id for u in users}
+
+
+class TestBaseline:
+    def test_baseline_only_searchable(self, net):
+        for _ in range(20):
+            make_user(net, searchable=True)
+        hidden = make_user(net, searchable=False)
+        records = ProfileCrawler(net).crawl_baseline(RngStream(1), 20)
+        assert hidden.user_id not in {r.user_id for r in records}
+        assert len(records) == 20
+
+    def test_baseline_caps_at_directory_size(self, net):
+        for _ in range(5):
+            make_user(net)
+        records = ProfileCrawler(net).crawl_baseline(RngStream(1), 100)
+        assert len(records) == 5
+
+
+class TestTerminationRecheck:
+    def test_only_terminated_reported(self, net):
+        alive = make_user(net)
+        dead = make_user(net)
+        net.terminate_account(dead.user_id, time=5)
+        crawler = ProfileCrawler(net)
+        result = crawler.recheck_terminations([alive.user_id, dead.user_id])
+        assert result == [dead.user_id]

@@ -1,0 +1,90 @@
+"""Configurability: the study runner beyond the paper's 13 campaigns."""
+
+import pytest
+
+from repro.core.experiment import HoneypotExperiment
+from repro.farms.base import REGION_USA, REGION_WORLDWIDE
+from repro.farms.catalog import BOOSTLIKES, SOCIALFORMULA
+from repro.honeypot.campaignspec import (
+    FACEBOOK_PROVIDER,
+    KIND_FACEBOOK_ADS,
+    KIND_LIKE_FARM,
+    CampaignSpec,
+)
+from repro.honeypot.study import HoneypotStudy, StudyConfig
+from repro.osn.population import PopulationConfig
+
+
+def ad_spec(campaign_id, country, label):
+    return CampaignSpec(
+        campaign_id=campaign_id, provider=FACEBOOK_PROVIDER,
+        kind=KIND_FACEBOOK_ADS, location_label=label, budget_label="$6/day",
+        duration_days=10, daily_budget=6.0, target_country=country,
+    )
+
+
+def farm_spec(campaign_id, provider, region, likes=300, fulfillment=1.0):
+    return CampaignSpec(
+        campaign_id=campaign_id, provider=provider, kind=KIND_LIKE_FARM,
+        location_label=region, budget_label="$", duration_days=3,
+        region=region, target_likes=likes, fulfillment=fulfillment,
+    )
+
+
+def tiny_config(specs, seed=3):
+    return StudyConfig(
+        seed=seed,
+        scale=0.5,
+        specs=specs,
+        population=PopulationConfig(n_users=400, n_normal_pages=200,
+                                    n_spam_pages=60),
+        baseline_sample_size=100,
+    )
+
+
+class TestCustomStudies:
+    def test_ads_only_study(self):
+        config = tiny_config([ad_spec("ONLY-EG", "EG", "Egypt")])
+        artifacts = HoneypotStudy(config).run()
+        record = artifacts.dataset.campaign("ONLY-EG")
+        assert record.total_likes > 0
+        assert not artifacts.orders
+
+    def test_farms_only_study(self):
+        config = tiny_config([
+            farm_spec("F1", SOCIALFORMULA, REGION_WORLDWIDE),
+            farm_spec("F2", BOOSTLIKES, REGION_USA),
+        ])
+        artifacts = HoneypotStudy(config).run()
+        assert not artifacts.campaigns
+        assert artifacts.dataset.campaign("F1").total_likes == 150  # 300 * 0.5
+        assert artifacts.dataset.campaign("F2").total_likes == 150
+
+    def test_single_campaign_study(self):
+        config = tiny_config([farm_spec("SOLO", SOCIALFORMULA, REGION_USA)])
+        artifacts = HoneypotStudy(config).run()
+        assert len(artifacts.dataset.campaigns) == 1
+        assert len(artifacts.dataset.likers) > 0
+
+    def test_experiment_runs_custom_specs(self):
+        config = tiny_config([
+            ad_spec("A", "IN", "India"),
+            farm_spec("B", SOCIALFORMULA, REGION_WORLDWIDE),
+        ])
+        results = HoneypotExperiment(config).run()
+        # analyses still compute over arbitrary campaign sets
+        assert len(results.table1) == 2
+        assert results.figure5.campaign_ids == ["A", "B"]
+
+    def test_unknown_farm_provider_raises(self):
+        config = tiny_config([farm_spec("X", "NoSuchFarm.com", REGION_USA)])
+        with pytest.raises(KeyError):
+            HoneypotStudy(config).run()
+
+    def test_fulfillment_override_honoured(self):
+        config = tiny_config(
+            [farm_spec("HALF", SOCIALFORMULA, REGION_USA, likes=200,
+                       fulfillment=0.5)]
+        )
+        artifacts = HoneypotStudy(config).run()
+        assert artifacts.dataset.campaign("HALF").total_likes == 50  # 200*0.5*0.5

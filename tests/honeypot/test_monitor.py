@@ -1,0 +1,127 @@
+"""Tests for repro.honeypot.monitor and repro.honeypot.page."""
+
+import pytest
+
+from repro.honeypot.monitor import MonitorPolicy, PageMonitor
+from repro.honeypot.page import HONEYPOT_DESCRIPTION, create_honeypot_page
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+from repro.sim.engine import EventEngine
+from repro.util.timeutil import DAY, HOUR
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def setup():
+    net = SocialNetwork()
+    page = net.create_page("P", category="honeypot")
+    engine = EventEngine()
+    return net, page, engine
+
+
+def add_like(net, engine, page_id, time):
+    user = net.create_user(gender=Gender.MALE, age=20, country="US")
+
+    def do_like(t):
+        net.like_page(user.user_id, page_id, t)
+
+    engine.schedule(time, do_like)
+    return user.user_id
+
+
+class TestHoneypotPage:
+    def test_page_flags(self):
+        net = SocialNetwork()
+        page = create_honeypot_page(net, "FB-TEST")
+        assert page.is_honeypot
+        assert page.description == HONEYPOT_DESCRIPTION
+        assert "Virtual Electricity" in page.name
+
+    def test_each_page_fresh_owner(self):
+        net = SocialNetwork()
+        owners = {create_honeypot_page(net, f"C{i}").owner_id for i in range(5)}
+        assert len(owners) == 5
+
+
+class TestMonitorPolicy:
+    def test_defaults_match_paper(self):
+        policy = MonitorPolicy()
+        assert policy.active_interval == 2 * HOUR
+        assert policy.idle_interval == DAY
+        assert policy.quiet_stop == 7 * DAY
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MonitorPolicy(active_interval=0)
+
+
+class TestPageMonitor:
+    def test_two_hour_cadence_during_campaign(self, setup):
+        net, page, engine = setup
+        add_like(net, engine, page.page_id, 5 * DAY)  # keep it alive
+        monitor = PageMonitor(net, page.page_id, campaign_end=2 * DAY)
+        monitor.attach(engine)
+        engine.run_until(DAY)
+        times = [s.time for s in monitor.snapshots]
+        assert times[:4] == [0, 2 * HOUR, 4 * HOUR, 6 * HOUR]
+
+    def test_daily_cadence_after_campaign(self, setup):
+        net, page, engine = setup
+        add_like(net, engine, page.page_id, 3 * DAY)
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        engine.run_until(4 * DAY)
+        post = [s.time for s in monitor.snapshots if s.time > DAY]
+        gaps = {b - a for a, b in zip(post, post[1:])}
+        assert gaps == {DAY}
+
+    def test_stops_after_quiet_week(self, setup):
+        net, page, engine = setup
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        engine.run_until(30 * DAY)
+        assert monitor.stopped
+        assert monitor.snapshots[-1].time <= 9 * DAY
+
+    def test_new_likes_reset_quiet_clock(self, setup):
+        net, page, engine = setup
+        add_like(net, engine, page.page_id, 6 * DAY)
+        add_like(net, engine, page.page_id, 12 * DAY)
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        engine.run_until(40 * DAY)
+        assert monitor.snapshots[-1].time >= 12 * DAY
+
+    def test_observed_likers_in_order(self, setup):
+        net, page, engine = setup
+        first = add_like(net, engine, page.page_id, 1 * HOUR)
+        second = add_like(net, engine, page.page_id, 5 * HOUR)
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        engine.run_until(20 * DAY)
+        assert monitor.observed_liker_ids() == [first, second]
+
+    def test_snapshot_cumulative_counts(self, setup):
+        net, page, engine = setup
+        add_like(net, engine, page.page_id, 1 * HOUR)
+        add_like(net, engine, page.page_id, 90)  # same 2h window
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        engine.run_until(DAY)
+        snapshot = monitor.snapshots[1]  # at 2h
+        assert snapshot.cumulative_likes == 2
+        assert len(snapshot.new_liker_ids) == 2
+
+    def test_monitored_days(self, setup):
+        net, page, engine = setup
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        engine.run_until(30 * DAY)
+        assert 7 <= monitor.monitored_days <= 9
+
+    def test_double_attach_rejected(self, setup):
+        net, page, engine = setup
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        with pytest.raises(ValidationError):
+            monitor.attach(engine)

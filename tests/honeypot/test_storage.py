@@ -1,0 +1,114 @@
+"""Tests for repro.honeypot.storage (including the JSONL round trip)."""
+
+import pytest
+
+from repro.honeypot.storage import (
+    BaselineRecord,
+    CampaignRecord,
+    HoneypotDataset,
+    LikeObservation,
+    LikerRecord,
+)
+
+
+def make_dataset():
+    dataset = HoneypotDataset()
+    dataset.global_gender = {"F": 0.46, "M": 0.54}
+    dataset.global_age = {"13-17": 0.149, "18-24": 0.323}
+    dataset.global_country = {"US": 0.14}
+    dataset.campaigns["C1"] = CampaignRecord(
+        campaign_id="C1",
+        provider="Facebook.com",
+        kind="facebook_ads",
+        location_label="USA",
+        budget_label="$6/day",
+        duration_days=15,
+        monitored_days=22.0,
+        page_id=900,
+        total_likes=2,
+        observations=[
+            LikeObservation(observed_at=120, user_id=1),
+            LikeObservation(observed_at=240, user_id=2),
+        ],
+        terminated_liker_ids=[2],
+    )
+    dataset.likers[1] = LikerRecord(
+        user_id=1, gender="F", age_bracket="18-24", country="US",
+        friend_list_public=True, declared_friend_count=150,
+        visible_friend_ids=[2, 7], liked_page_ids=[900, 901],
+        declared_like_count=700, campaign_ids=["C1"],
+    )
+    dataset.likers[2] = LikerRecord(
+        user_id=2, gender="M", age_bracket="13-17", country="IN",
+        friend_list_public=False, declared_friend_count=None,
+        terminated=True, campaign_ids=["C1"],
+    )
+    dataset.baseline = [BaselineRecord(user_id=50, declared_like_count=30)]
+    return dataset
+
+
+class TestDatasetAccessors:
+    def test_campaign_lookup(self):
+        dataset = make_dataset()
+        assert dataset.campaign("C1").provider == "Facebook.com"
+        assert dataset.campaign_ids() == ["C1"]
+
+    def test_liker_ids_in_observation_order(self):
+        dataset = make_dataset()
+        assert dataset.campaign("C1").liker_ids == [1, 2]
+
+    def test_likers_of(self):
+        dataset = make_dataset()
+        likers = dataset.likers_of("C1")
+        assert [liker.user_id for liker in likers] == [1, 2]
+
+    def test_total_likes(self):
+        assert make_dataset().total_likes == 2
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_equal(self, tmp_path):
+        dataset = make_dataset()
+        path = tmp_path / "study.jsonl"
+        dataset.to_jsonl(path)
+        loaded = HoneypotDataset.from_jsonl(path)
+        assert loaded.global_gender == dataset.global_gender
+        assert loaded.global_age == dataset.global_age
+        assert loaded.campaign_ids() == dataset.campaign_ids()
+        assert loaded.campaign("C1") == dataset.campaign("C1")
+        assert loaded.likers == dataset.likers
+        assert loaded.baseline == dataset.baseline
+
+    def test_file_is_json_lines(self, tmp_path):
+        import json
+        path = tmp_path / "study.jsonl"
+        make_dataset().to_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        kinds = [json.loads(line)["type"] for line in lines]
+        assert kinds[0] == "meta"
+        assert kinds.count("campaign") == 1
+        assert kinds.count("liker") == 2
+        assert kinds.count("baseline") == 1
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(Exception):
+            HoneypotDataset.from_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        dataset = make_dataset()
+        path = tmp_path / "study.jsonl"
+        dataset.to_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        loaded = HoneypotDataset.from_jsonl(path)
+        assert loaded.total_likes == dataset.total_likes
+
+    def test_small_study_round_trip(self, tmp_path, small_dataset):
+        path = tmp_path / "full.jsonl"
+        small_dataset.to_jsonl(path)
+        loaded = HoneypotDataset.from_jsonl(path)
+        assert loaded.total_likes == small_dataset.total_likes
+        assert loaded.campaign_ids() == small_dataset.campaign_ids()
+        assert len(loaded.likers) == len(small_dataset.likers)
+        assert len(loaded.baseline) == len(small_dataset.baseline)

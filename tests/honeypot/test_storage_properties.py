@@ -1,0 +1,93 @@
+"""Property-based round-trip tests for the dataset's JSONL format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.honeypot.storage import (
+    BaselineRecord,
+    CampaignRecord,
+    HoneypotDataset,
+    LikeObservation,
+    LikerRecord,
+)
+
+_brackets = st.sampled_from(["13-17", "18-24", "25-34", "35-44", "45-54", "55+"])
+_countries = st.sampled_from(["US", "IN", "EG", "TR", "FR", "OTHER"])
+_ids = st.integers(min_value=1, max_value=10_000)
+
+
+@st.composite
+def liker_records(draw):
+    public = draw(st.booleans())
+    return LikerRecord(
+        user_id=draw(_ids),
+        gender=draw(st.sampled_from(["F", "M"])),
+        age_bracket=draw(_brackets),
+        country=draw(_countries),
+        friend_list_public=public,
+        declared_friend_count=draw(st.integers(0, 5000)) if public else None,
+        visible_friend_ids=draw(st.lists(_ids, max_size=5)) if public else [],
+        liked_page_ids=draw(st.lists(_ids, max_size=8)),
+        declared_like_count=draw(st.integers(0, 10_000)),
+        campaign_ids=draw(st.lists(st.sampled_from(["A", "B", "C"]),
+                                   min_size=1, max_size=3, unique=True)),
+        terminated=draw(st.booleans()),
+    )
+
+
+@st.composite
+def campaign_records(draw, campaign_id="A"):
+    times = sorted(draw(st.lists(st.integers(0, 100_000), max_size=10)))
+    observations = [
+        LikeObservation(observed_at=t, user_id=draw(_ids)) for t in times
+    ]
+    return CampaignRecord(
+        campaign_id=campaign_id,
+        provider=draw(st.sampled_from(["Facebook.com", "BoostLikes.com"])),
+        kind=draw(st.sampled_from(["facebook_ads", "like_farm"])),
+        location_label=draw(st.sampled_from(["USA", "Worldwide"])),
+        budget_label="$6/day",
+        duration_days=draw(st.integers(1, 20)),
+        monitored_days=draw(st.floats(0, 40, allow_nan=False)),
+        page_id=draw(_ids),
+        total_likes=len(observations),
+        observations=observations,
+        terminated_liker_ids=draw(st.lists(_ids, max_size=4)),
+        inactive=len(observations) == 0,
+        removed_like_count=draw(st.integers(0, 20)),
+        total_cost=draw(st.floats(0, 500, allow_nan=False)),
+    )
+
+
+@st.composite
+def datasets(draw):
+    dataset = HoneypotDataset()
+    for campaign_id in draw(st.sets(st.sampled_from(["A", "B", "C"]), min_size=1)):
+        dataset.campaigns[campaign_id] = draw(campaign_records(campaign_id=campaign_id))
+    for liker in draw(st.lists(liker_records(), max_size=6)):
+        dataset.likers[liker.user_id] = liker
+    dataset.baseline = [
+        BaselineRecord(user_id=draw(_ids), declared_like_count=draw(st.integers(0, 100)))
+        for _ in range(draw(st.integers(0, 3)))
+    ]
+    dataset.global_gender = {"F": 0.46, "M": 0.54}
+    dataset.global_age = {"18-24": 1.0}
+    dataset.global_country = {"US": 1.0}
+    return dataset
+
+
+class TestJsonlProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(dataset=datasets())
+    def test_round_trip_identity(self, dataset):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ds.jsonl"
+            dataset.to_jsonl(path)
+            loaded = HoneypotDataset.from_jsonl(path)
+        assert loaded.campaigns == dataset.campaigns
+        assert loaded.likers == dataset.likers
+        assert loaded.baseline == dataset.baseline
+        assert loaded.global_gender == dataset.global_gender
+        assert loaded.total_likes == dataset.total_likes

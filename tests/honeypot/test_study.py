@@ -1,0 +1,98 @@
+"""Tests for repro.honeypot.study (on the shared small run)."""
+
+import pytest
+
+from repro.honeypot.study import StudyConfig, default_termination_policy
+from repro.util.validation import ValidationError
+
+
+class TestStudyConfig:
+    def test_small_preset_scaled(self):
+        config = StudyConfig.small()
+        assert config.scale == pytest.approx(0.1)
+        assert config.population.n_users <= 1000
+
+    def test_duplicate_campaign_ids_rejected(self):
+        from repro.honeypot.campaignspec import paper_campaigns
+        specs = paper_campaigns()
+        with pytest.raises(ValidationError):
+            StudyConfig(specs=specs + [specs[0]])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValidationError):
+            StudyConfig(scale=0)
+
+    def test_termination_policy_scales_threshold(self):
+        full = default_termination_policy(1.0)
+        small = default_termination_policy(0.1)
+        assert full.burst_threshold == 50
+        assert small.burst_threshold == 5
+
+
+class TestStudyRun:
+    def test_thirteen_campaign_records(self, small_dataset):
+        assert len(small_dataset.campaigns) == 13
+
+    def test_inactive_orders_empty(self, small_dataset):
+        for campaign_id in ("BL-ALL", "MS-ALL"):
+            record = small_dataset.campaign(campaign_id)
+            assert record.inactive
+            assert record.total_likes == 0
+
+    def test_active_campaigns_have_likes(self, small_dataset):
+        for record in small_dataset.campaigns.values():
+            if not record.inactive:
+                assert record.total_likes > 0
+
+    def test_every_observed_liker_crawled(self, small_dataset):
+        for record in small_dataset.campaigns.values():
+            for user_id in record.liker_ids:
+                assert user_id in small_dataset.likers
+
+    def test_liker_campaign_backrefs(self, small_dataset):
+        for record in small_dataset.campaigns.values():
+            for user_id in record.liker_ids:
+                assert record.campaign_id in small_dataset.likers[user_id].campaign_ids
+
+    def test_observations_sorted_by_time(self, small_dataset):
+        for record in small_dataset.campaigns.values():
+            times = [obs.observed_at for obs in record.observations]
+            assert times == sorted(times)
+
+    def test_baseline_sampled(self, small_dataset):
+        assert len(small_dataset.baseline) == 400
+
+    def test_baseline_excludes_fake_accounts(self, small_dataset, small_artifacts):
+        net = small_artifacts.network
+        for record in small_dataset.baseline:
+            assert net.user(record.user_id).cohort == "organic"
+
+    def test_global_stats_recorded(self, small_dataset):
+        assert sum(small_dataset.global_gender.values()) == pytest.approx(1.0)
+        assert sum(small_dataset.global_age.values()) == pytest.approx(1.0)
+
+    def test_terminations_recorded_consistently(self, small_dataset):
+        for record in small_dataset.campaigns.values():
+            for user_id in record.terminated_liker_ids:
+                assert small_dataset.likers[user_id].terminated
+
+    def test_terminated_flags_match_network(self, small_dataset, small_artifacts):
+        net = small_artifacts.network
+        for liker in small_dataset.likers.values():
+            assert liker.terminated == net.user(liker.user_id).is_terminated
+
+    def test_monitoring_windows_plausible(self, small_dataset):
+        # FB campaigns ran 15 days; monitoring should be ~15+7 for active pages
+        fb = small_dataset.campaign("FB-EGY")
+        assert 15 <= fb.monitored_days <= 24
+        sf = small_dataset.campaign("SF-ALL")
+        assert 7 <= sf.monitored_days <= 12
+
+    def test_artifacts_expose_orders_and_campaigns(self, small_artifacts):
+        assert len(small_artifacts.orders) == 8
+        assert len(small_artifacts.campaigns) == 5
+        assert len(small_artifacts.page_ids) == 13
+
+    def test_dataset_likers_have_page_ids(self, small_dataset, small_artifacts):
+        for campaign_id, page_id in small_artifacts.page_ids.items():
+            assert small_dataset.campaign(campaign_id).page_id == int(page_id)

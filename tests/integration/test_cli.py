@@ -1,0 +1,86 @@
+"""Tests for the repro-study command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory, small_dataset):
+    path = tmp_path_factory.mktemp("cli") / "study.jsonl"
+    small_dataset.to_jsonl(path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == pytest.approx(0.1)
+        assert args.seed == 20140312
+
+    def test_detect_threshold(self):
+        args = build_parser().parse_args(
+            ["detect", "x.jsonl", "--like-threshold", "100"]
+        )
+        assert args.like_threshold == 100.0
+
+
+class TestCommands:
+    def test_run_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "mini.jsonl"
+        rc = main([
+            "run", "--scale", "0.05", "--seed", "7",
+            "--population", "250", "--out", str(out),
+        ])
+        captured = capsys.readouterr().out
+        assert out.exists()
+        assert "study complete" in captured
+        assert rc in (0, 1)  # tiny worlds may fail some shape checks
+
+    def test_report_renders_everything(self, dataset_path, capsys):
+        rc = main(["report", str(dataset_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for token in ("Table 1", "Figure 5", "Shape checks"):
+            assert token in out
+
+    def test_export_writes_csvs(self, dataset_path, tmp_path, capsys):
+        rc = main(["export", str(dataset_path), "--dir", str(tmp_path / "csv")])
+        assert rc == 0
+        table1 = tmp_path / "csv" / "table1.csv"
+        assert table1.exists()
+        with table1.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 14
+
+    def test_detect_flags_fakes(self, dataset_path, capsys):
+        rc = main(["detect", str(dataset_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flagged as likely fake" in out
+        # the stealth farm's row shows partial flagging
+        assert "BL-USA" in out
+
+    def test_missing_dataset_graceful_error(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.jsonl")])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "not found" in err
+
+    def test_detect_threshold_changes_counts(self, dataset_path, capsys):
+        main(["detect", str(dataset_path), "--like-threshold", "1"])
+        strict = capsys.readouterr().out
+        main(["detect", str(dataset_path), "--like-threshold", "100000"])
+        lenient = capsys.readouterr().out
+
+        def flagged_total(text):
+            line = next(l for l in text.splitlines() if "flagged" in l)
+            return int(line.split("/")[0])
+
+        assert flagged_total(strict) >= flagged_total(lenient)

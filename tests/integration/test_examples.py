@@ -1,0 +1,50 @@
+"""Smoke tests: the fast example scripts run end to end and exit 0.
+
+(The paper-scale examples are exercised by the benchmark suite instead —
+they take tens of seconds each.)
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv=None, monkeypatch=None):
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    except SystemExit as exit_info:
+        return exit_info.code or 0
+    return 0
+
+
+class TestExamplesRun:
+    def test_quickstart(self, monkeypatch, capsys):
+        code = run_example("quickstart.py", ["20140312"], monkeypatch)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shape checks passed" in out
+
+    def test_custom_farm(self, monkeypatch, capsys):
+        code = run_example("custom_farm.py", monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DripLikes" in out
+
+    def test_fraud_detection(self, monkeypatch, capsys):
+        code = run_example("fraud_detection.py", monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Detector performance" in out
+        assert "lifts BoostLikes recall" in out
+
+    @pytest.mark.slow
+    def test_platform_defender(self, monkeypatch, capsys):
+        code = run_example("platform_defender.py", monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "enforcement dilemma" in out.lower()

@@ -1,0 +1,42 @@
+"""Robustness: the paper's shapes must hold across seeds, not by luck."""
+
+import pytest
+
+from repro.core.experiment import HoneypotExperiment
+from repro.honeypot.study import StudyConfig
+
+
+@pytest.mark.parametrize("seed", [1, 424242, 20141004])
+def test_shape_checks_across_seeds(seed):
+    results = HoneypotExperiment(StudyConfig.small(seed=seed)).run()
+    failing = [c for c in results.shape_checks() if not c.passed]
+    assert not failing, [(c.name, c.detail) for c in failing]
+
+
+def test_half_scale_preserves_shapes():
+    """Scaling is not just 0.1 vs 1.0: intermediate scales hold too."""
+    config = StudyConfig(
+        seed=5,
+        scale=0.25,
+        population=type(StudyConfig.small().population)(
+            n_users=1200, n_normal_pages=600, n_spam_pages=160
+        ),
+        baseline_sample_size=600,
+    )
+    results = HoneypotExperiment(config).run()
+    failing = [c for c in results.shape_checks() if not c.passed]
+    assert not failing, [(c.name, c.detail) for c in failing]
+
+
+def test_monitor_misses_nothing():
+    """Every ground-truth honeypot like is eventually observed."""
+    experiment = HoneypotExperiment(StudyConfig.small(seed=9))
+    results = experiment.run()
+    artifacts = experiment.artifacts
+    for campaign_id, page_id in artifacts.page_ids.items():
+        truth = {
+            event.user_id
+            for event in artifacts.network.likes.for_page(page_id)
+        }
+        observed = set(results.dataset.campaign(campaign_id).liker_ids)
+        assert observed == truth, campaign_id

@@ -1,0 +1,124 @@
+"""Hypothesis stateful tests: the social network under arbitrary op sequences.
+
+A rule-based state machine drives `SocialNetwork` through random interleaved
+sequences of user/page creation, likes, unlikes, friendships, and
+terminations, checking global invariants after every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+
+
+class SocialNetworkMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.net = SocialNetwork()
+        self.users = []
+        self.pages = []
+        self.live_users = set()
+        self.expected_likes = set()  # (user, page) currently liked
+        self.clock = 0
+
+    def _tick(self):
+        self.clock += 1
+        return self.clock
+
+    @rule(age=st.integers(min_value=13, max_value=90),
+          country=st.sampled_from(["US", "IN", "TR"]))
+    def create_user(self, age, country):
+        profile = self.net.create_user(
+            gender=Gender.FEMALE, age=age, country=country
+        )
+        self.users.append(profile.user_id)
+        self.live_users.add(profile.user_id)
+
+    @rule()
+    def create_page(self):
+        page = self.net.create_page(f"page-{len(self.pages)}")
+        self.pages.append(page.page_id)
+
+    @precondition(lambda self: self.live_users and self.pages)
+    @rule(data=st.data())
+    def like(self, data):
+        user = data.draw(st.sampled_from(sorted(self.live_users)))
+        page = data.draw(st.sampled_from(self.pages))
+        was_new = (user, page) not in self.expected_likes
+        assert self.net.like_page(user, page, self._tick()) == was_new
+        self.expected_likes.add((user, page))
+
+    @precondition(lambda self: self.expected_likes)
+    @rule(data=st.data())
+    def unlike(self, data):
+        user, page = data.draw(st.sampled_from(sorted(self.expected_likes)))
+        assert self.net.remove_like(user, page, self._tick())
+        self.expected_likes.discard((user, page))
+
+    @precondition(lambda self: len(self.live_users) >= 2)
+    @rule(data=st.data())
+    def befriend(self, data):
+        pair = data.draw(
+            st.lists(st.sampled_from(sorted(self.live_users)),
+                     min_size=2, max_size=2, unique=True)
+        )
+        self.net.add_friendship(pair[0], pair[1])
+        assert self.net.graph.are_friends(pair[1], pair[0])
+
+    @precondition(lambda self: self.live_users)
+    @rule(data=st.data(), purge=st.booleans())
+    def terminate(self, data, purge):
+        user = data.draw(st.sampled_from(sorted(self.live_users)))
+        self.net.terminate_account(user, self._tick(), purge_likes=purge)
+        self.live_users.discard(user)
+        if purge:
+            self.expected_likes = {
+                (u, p) for (u, p) in self.expected_likes if u != user
+            }
+
+    @invariant()
+    def like_counts_consistent(self):
+        if not hasattr(self, "net"):
+            return
+        for page in self.pages:
+            expected = {u for (u, p) in self.expected_likes if p == page}
+            # purged/unliked users are gone; non-purged terminated users stay
+            current = set(self.net.page_liker_ids(page))
+            assert expected <= current
+
+    @invariant()
+    def per_user_counts_match(self):
+        if not hasattr(self, "net"):
+            return
+        for user in self.users:
+            expected = {p for (u, p) in self.expected_likes if u == user}
+            if user in self.live_users:
+                assert self.net.user_liked_page_ids(user) == expected
+
+    @invariant()
+    def terminated_users_have_no_friends(self):
+        if not hasattr(self, "net"):
+            return
+        for user in set(self.users) - self.live_users:
+            assert self.net.friend_count(user) == 0
+
+    @invariant()
+    def friendship_degree_sum_even(self):
+        if not hasattr(self, "net"):
+            return
+        total = sum(self.net.friend_count(u) for u in self.users)
+        assert total == 2 * self.net.graph.edge_count
+
+
+TestSocialNetworkStateful = SocialNetworkMachine.TestCase
+TestSocialNetworkStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

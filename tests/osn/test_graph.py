@@ -1,0 +1,118 @@
+"""Tests for repro.osn.graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.osn.graph import FriendshipGraph
+from repro.util.validation import ValidationError
+
+
+class TestFriendshipGraph:
+    def test_add_friendship_symmetric(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        assert graph.are_friends(1, 2)
+        assert graph.are_friends(2, 1)
+
+    def test_idempotent_edges(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(2, 1)
+        assert graph.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        graph = FriendshipGraph()
+        with pytest.raises(ValidationError):
+            graph.add_friendship(1, 1)
+
+    def test_degree(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(1, 3)
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+        assert graph.degree(99) == 0
+
+    def test_neighbors_copy(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        neighbors = graph.neighbors(1)
+        neighbors.add(99)
+        assert graph.neighbors(1) == {2}
+
+    def test_remove_user(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(1, 3)
+        graph.remove_user(1)
+        assert graph.edge_count == 0
+        assert not graph.are_friends(2, 1)
+        assert 1 not in graph
+
+    def test_two_hop(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(2, 3)
+        graph.add_friendship(3, 4)
+        assert graph.two_hop_neighbors(1) == {3}
+        assert graph.two_hop_neighbors(2) == {4}
+
+    def test_two_hop_excludes_direct_and_self(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(1, 3)
+        graph.add_friendship(2, 3)  # triangle
+        assert graph.two_hop_neighbors(1) == set()
+
+    def test_edges_each_once(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(2, 3)
+        assert sorted(graph.edges()) == [(1, 2), (2, 3)]
+
+    def test_edges_within(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(2, 3)
+        graph.add_friendship(3, 4)
+        assert sorted(graph.edges_within({1, 2, 3})) == [(1, 2), (2, 3)]
+
+    def test_mutual_friend_pairs(self):
+        graph = FriendshipGraph()
+        # hub 100 connects likers 1, 2, 3; liker 4 is isolated
+        for liker in (1, 2, 3):
+            graph.add_friendship(liker, 100)
+        pairs = set(graph.mutual_friend_pairs([1, 2, 3, 4]))
+        assert pairs == {(1, 2), (1, 3), (2, 3)}
+
+    def test_mutual_friend_pairs_direct_edge_no_mutual(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        assert set(graph.mutual_friend_pairs([1, 2])) == set()
+
+    def test_to_networkx_full(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_user(3)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 1
+
+    def test_to_networkx_subgraph(self):
+        graph = FriendshipGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(2, 3)
+        sub = graph.to_networkx(users=[1, 2])
+        assert sub.number_of_edges() == 1
+        assert set(sub.nodes) == {1, 2}
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda e: e[0] != e[1]),
+        max_size=100,
+    ))
+    def test_property_degree_sum_is_twice_edges(self, edge_list):
+        graph = FriendshipGraph()
+        for a, b in edge_list:
+            graph.add_friendship(a, b)
+        nodes = {n for e in edge_list for n in e}
+        assert sum(graph.degree(n) for n in nodes) == 2 * graph.edge_count

@@ -1,0 +1,145 @@
+"""Tests for repro.osn.network."""
+
+import pytest
+
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def net():
+    return SocialNetwork()
+
+
+def make_user(net, **kwargs):
+    defaults = dict(gender=Gender.FEMALE, age=25, country="US")
+    defaults.update(kwargs)
+    return net.create_user(**defaults)
+
+
+class TestUsers:
+    def test_create_and_lookup(self, net):
+        profile = make_user(net)
+        assert net.user(profile.user_id) is profile
+        assert net.has_user(profile.user_id)
+        assert net.user_count == 1
+
+    def test_unique_ids(self, net):
+        ids = {make_user(net).user_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_unknown_user_raises(self, net):
+        with pytest.raises(KeyError):
+            net.user(12345)
+
+    def test_users_in_cohort(self, net):
+        make_user(net, cohort="organic")
+        make_user(net, cohort="clickworker")
+        assert len(net.users_in_cohort("clickworker")) == 1
+
+
+class TestPages:
+    def test_create_and_lookup(self, net):
+        page = net.create_page("P")
+        assert net.page(page.page_id) is page
+        assert net.page_count == 1
+
+    def test_owner_must_exist(self, net):
+        with pytest.raises(ValidationError):
+            net.create_page("P", owner_id=999)
+
+    def test_honeypot_listing(self, net):
+        net.create_page("normal")
+        net.create_page("trap", category="honeypot")
+        assert [p.name for p in net.honeypot_pages()] == ["trap"]
+
+
+class TestFriendships:
+    def test_add(self, net):
+        a, b = make_user(net), make_user(net)
+        net.add_friendship(a.user_id, b.user_id)
+        assert net.friend_count(a.user_id) == 1
+
+    def test_unknown_user_rejected(self, net):
+        a = make_user(net)
+        with pytest.raises(ValidationError):
+            net.add_friendship(a.user_id, 999)
+
+    def test_terminated_cannot_befriend(self, net):
+        a, b = make_user(net), make_user(net)
+        net.terminate_account(a.user_id, time=10)
+        with pytest.raises(ValidationError):
+            net.add_friendship(a.user_id, b.user_id)
+
+    def test_declared_friend_count(self, net):
+        a, b = make_user(net), make_user(net)
+        net.add_friendship(a.user_id, b.user_id)
+        a.background_friend_count = 100
+        assert net.declared_friend_count(a.user_id) == 101
+
+
+class TestLikes:
+    def test_like_records_event(self, net):
+        user = make_user(net)
+        page = net.create_page("P")
+        assert net.like_page(user.user_id, page.page_id, time=5)
+        assert net.page_like_count(page.page_id) == 1
+        assert net.user_like_count(user.user_id) == 1
+        assert net.likes.for_page(page.page_id)[0].time == 5
+
+    def test_like_idempotent(self, net):
+        user = make_user(net)
+        page = net.create_page("P")
+        assert net.like_page(user.user_id, page.page_id, time=5)
+        assert not net.like_page(user.user_id, page.page_id, time=6)
+        assert net.page_like_count(page.page_id) == 1
+
+    def test_liker_order_preserved(self, net):
+        users = [make_user(net) for _ in range(3)]
+        page = net.create_page("P")
+        for i, user in enumerate(users):
+            net.like_page(user.user_id, page.page_id, time=i)
+        assert net.page_liker_ids(page.page_id) == [u.user_id for u in users]
+
+    def test_terminated_cannot_like(self, net):
+        user = make_user(net)
+        page = net.create_page("P")
+        net.terminate_account(user.user_id, time=0)
+        with pytest.raises(ValidationError):
+            net.like_page(user.user_id, page.page_id, time=1)
+
+    def test_declared_like_count(self, net):
+        user = make_user(net)
+        page = net.create_page("P")
+        net.like_page(user.user_id, page.page_id, time=0)
+        user.background_like_count = 500
+        assert net.declared_like_count(user.user_id) == 501
+
+    def test_unknown_page_rejected(self, net):
+        user = make_user(net)
+        with pytest.raises(ValidationError):
+            net.like_page(user.user_id, 9999, time=0)
+
+
+class TestTermination:
+    def test_marks_profile_and_severs_edges(self, net):
+        a, b = make_user(net), make_user(net)
+        net.add_friendship(a.user_id, b.user_id)
+        net.terminate_account(a.user_id, time=99)
+        assert a.is_terminated
+        assert a.terminated_at == 99
+        assert net.friend_count(b.user_id) == 0
+
+    def test_keeps_like_history(self, net):
+        user = make_user(net)
+        page = net.create_page("P")
+        net.like_page(user.user_id, page.page_id, time=0)
+        net.terminate_account(user.user_id, time=10)
+        assert user.user_id in net.page_liker_ids(page.page_id)
+
+    def test_double_termination_rejected(self, net):
+        user = make_user(net)
+        net.terminate_account(user.user_id, time=0)
+        with pytest.raises(ValidationError):
+            net.terminate_account(user.user_id, time=1)

@@ -1,0 +1,118 @@
+"""Tests for repro.osn.population."""
+
+import numpy as np
+import pytest
+
+from repro.osn.network import SocialNetwork
+from repro.osn.population import (
+    DemographicProfile,
+    PopulationConfig,
+    WorldBuilder,
+    sample_age,
+)
+from repro.osn.profile import AGE_BRACKETS, Gender
+from repro.util.distributions import Categorical
+from repro.util.rng import RngStream
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = SocialNetwork()
+    config = PopulationConfig(n_users=600, n_normal_pages=300, n_spam_pages=80)
+    world = WorldBuilder(config).build(net, RngStream(42, "world"))
+    return net, world, config
+
+
+class TestSampleAge:
+    def test_within_bracket(self, rng):
+        dist = Categorical({"25-34": 1.0})
+        for _ in range(50):
+            assert 25 <= sample_age(rng, dist) <= 34
+
+    def test_unknown_bracket_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_age(rng, Categorical({"99-100": 1.0}))
+
+
+class TestDemographicProfile:
+    def test_global_age_pmf_covers_brackets(self):
+        pmf = DemographicProfile.global_facebook().global_age_pmf()
+        assert set(pmf) == set(AGE_BRACKETS)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+
+class TestPopulationConfig:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            PopulationConfig(n_users=0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValidationError):
+            PopulationConfig(friend_list_public_rate=1.5)
+
+    def test_small_preset(self):
+        assert PopulationConfig.small().n_users <= 1000
+
+
+class TestWorldBuilder:
+    def test_counts(self, built):
+        net, world, config = built
+        assert len(world.organic_user_ids) == config.n_users
+        assert len(world.normal_page_ids) == config.n_normal_pages
+        assert len(world.spam_page_ids) == config.n_spam_pages
+
+    def test_all_users_organic(self, built):
+        net, world, _ = built
+        assert all(net.user(u).cohort == "organic" for u in world.organic_user_ids)
+
+    def test_median_like_count_near_baseline(self, built):
+        net, world, _ = built
+        counts = [net.user_like_count(u) for u in world.organic_user_ids]
+        # paper baseline median is ~34; allow sampling noise
+        assert 20 <= float(np.median(counts)) <= 50
+
+    def test_friendships_exist_and_symmetric(self, built):
+        net, world, _ = built
+        assert net.graph.edge_count > 0
+        some = world.organic_user_ids[0]
+        for friend in net.graph.neighbors(some):
+            assert net.graph.are_friends(friend, some)
+
+    def test_gender_split_roughly_global(self, built):
+        net, world, _ = built
+        males = sum(
+            1 for u in world.organic_user_ids if net.user(u).gender == Gender.MALE
+        )
+        share = males / len(world.organic_user_ids)
+        assert 0.44 <= share <= 0.64  # target 0.54
+
+    def test_spam_likes_rare(self, built):
+        net, world, _ = built
+        spam = set(world.spam_page_ids)
+        with_spam = sum(
+            1
+            for u in world.organic_user_ids
+            if net.user_liked_page_ids(u) & spam
+        )
+        assert with_spam / len(world.organic_user_ids) < 0.1
+
+    def test_deterministic(self):
+        def build(seed):
+            net = SocialNetwork()
+            world = WorldBuilder(PopulationConfig.small()).build(
+                net, RngStream(seed, "w")
+            )
+            return (
+                net.graph.edge_count,
+                len(net.likes),
+                [net.user(u).country for u in world.organic_user_ids[:20]],
+            )
+
+        assert build(7) == build(7)
+        assert build(7) != build(8)
+
+    def test_universe_attached(self, built):
+        _, world, config = built
+        total_pages = len(world.universe.all_page_ids)
+        assert total_pages == config.n_normal_pages + config.n_spam_pages

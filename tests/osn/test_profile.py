@@ -1,0 +1,123 @@
+"""Tests for repro.osn.profile and repro.osn.events."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.osn.events import LikeEvent, LikeLog
+from repro.osn.ids import IdAllocator
+from repro.osn.profile import (
+    AGE_BRACKETS,
+    Gender,
+    UserProfile,
+    age_bracket,
+    bracket_midpoint_age,
+)
+from repro.util.validation import ValidationError
+
+
+class TestAgeBracket:
+    @pytest.mark.parametrize("age,expected", [
+        (13, "13-17"), (17, "13-17"), (18, "18-24"), (24, "18-24"),
+        (25, "25-34"), (34, "25-34"), (35, "35-44"), (44, "35-44"),
+        (45, "45-54"), (54, "45-54"), (55, "55+"), (90, "55+"),
+    ])
+    def test_boundaries(self, age, expected):
+        assert age_bracket(age) == expected
+
+    def test_underage_rejected(self):
+        with pytest.raises(ValidationError):
+            age_bracket(12)
+
+    @given(st.integers(min_value=13, max_value=120))
+    def test_property_always_a_known_bracket(self, age):
+        assert age_bracket(age) in AGE_BRACKETS
+
+    def test_midpoint_within_bracket(self):
+        for bracket in AGE_BRACKETS:
+            assert age_bracket(bracket_midpoint_age(bracket)) == bracket
+
+    def test_midpoint_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            bracket_midpoint_age("1-2")
+
+
+class TestUserProfile:
+    def make(self, **kwargs):
+        defaults = dict(user_id=1, gender=Gender.MALE, age=30, country="US")
+        defaults.update(kwargs)
+        return UserProfile(**defaults)
+
+    def test_defaults(self):
+        profile = self.make()
+        assert profile.cohort == "organic"
+        assert not profile.is_fake
+        assert not profile.is_terminated
+        assert profile.home_town == "US"
+
+    def test_fake_cohorts(self):
+        assert self.make(cohort="clickworker").is_fake
+        farm = self.make(cohort="farm:BoostLikes.com")
+        assert farm.is_fake
+        assert farm.is_farm_account
+        assert farm.farm_name == "BoostLikes.com"
+
+    def test_farm_name_none_for_non_farm(self):
+        assert self.make().farm_name is None
+
+    def test_age_bracket_property(self):
+        assert self.make(age=20).age_bracket == "18-24"
+
+    def test_underage_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(age=10)
+
+    def test_empty_country_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(country="")
+
+    def test_negative_background_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(background_friend_count=-1)
+        with pytest.raises(ValidationError):
+            self.make(background_like_count=-5)
+
+
+class TestIdAllocator:
+    def test_monotone(self):
+        alloc = IdAllocator(start=100)
+        assert [alloc.allocate() for _ in range(3)] == [100, 101, 102]
+        assert alloc.allocated == 103
+
+
+class TestLikeLog:
+    def test_record_and_query(self):
+        log = LikeLog()
+        log.record(LikeEvent(user_id=1, page_id=10, time=5))
+        log.record(LikeEvent(user_id=2, page_id=10, time=6))
+        log.record(LikeEvent(user_id=1, page_id=11, time=7))
+        assert len(log) == 3
+        assert [e.user_id for e in log.for_page(10)] == [1, 2]
+        assert [e.page_id for e in log.for_user(1)] == [10, 11]
+        assert log.page_like_times(10) == [5, 6]
+
+    def test_out_of_order_rejected(self):
+        log = LikeLog()
+        log.record(LikeEvent(user_id=1, page_id=10, time=5))
+        with pytest.raises(ValidationError):
+            log.record(LikeEvent(user_id=2, page_id=10, time=4))
+
+    def test_different_pages_independent_order(self):
+        log = LikeLog()
+        log.record(LikeEvent(user_id=1, page_id=10, time=5))
+        log.record(LikeEvent(user_id=1, page_id=11, time=3))  # fine: other page
+        assert len(log) == 2
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            LikeEvent(user_id=1, page_id=1, time=-1)
+
+    def test_empty_queries(self):
+        log = LikeLog()
+        assert log.for_page(1) == ()
+        assert log.for_user(1) == ()
+        assert log.page_like_times(1) == []

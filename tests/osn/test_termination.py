@@ -1,0 +1,106 @@
+"""Tests for repro.osn.termination."""
+
+import pytest
+
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+from repro.osn.termination import TerminationPolicy, TerminationSweep
+from repro.util.rng import RngStream
+from repro.util.validation import ValidationError
+
+
+def make_world(n_likers=60, cohort="farm:X", burst=False):
+    """A page with likers; burst=True packs all likes into one minute."""
+    net = SocialNetwork()
+    page = net.create_page("P", category="honeypot")
+    for i in range(n_likers):
+        user = net.create_user(gender=Gender.MALE, age=20, country="US", cohort=cohort)
+        time = 0 if burst else i * 600  # 10-hour gaps when not bursting
+        net.like_page(user.user_id, page.page_id, time=time)
+    return net, page
+
+
+class TestTerminationPolicy:
+    def test_hazard_base(self):
+        policy = TerminationPolicy(base_rates={"farm:X": 0.2}, default_rate=0.01)
+        assert policy.hazard("farm:X", liked_in_burst=False) == 0.2
+        assert policy.hazard("unknown", liked_in_burst=False) == 0.01
+
+    def test_burst_multiplier(self):
+        policy = TerminationPolicy(base_rates={"farm:X": 0.2}, burst_multiplier=3.0)
+        assert policy.hazard("farm:X", liked_in_burst=True) == pytest.approx(0.6)
+
+    def test_hazard_capped_at_one(self):
+        policy = TerminationPolicy(base_rates={"farm:X": 0.8}, burst_multiplier=5.0)
+        assert policy.hazard("farm:X", liked_in_burst=True) == 1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            TerminationPolicy(base_rates={"x": 1.5})
+
+
+class TestBurstDetection:
+    def test_burst_likers_flagged(self):
+        net, page = make_world(n_likers=60, burst=True)
+        sweep = TerminationSweep(TerminationPolicy(burst_threshold=50))
+        flagged = sweep.burst_likers(net, page.page_id)
+        assert len(flagged) == 60
+
+    def test_trickle_likers_not_flagged(self):
+        net, page = make_world(n_likers=60, burst=False)
+        sweep = TerminationSweep(TerminationPolicy(burst_threshold=50))
+        assert sweep.burst_likers(net, page.page_id) == set()
+
+    def test_below_threshold_not_flagged(self):
+        net, page = make_world(n_likers=30, burst=True)
+        sweep = TerminationSweep(TerminationPolicy(burst_threshold=50))
+        assert sweep.burst_likers(net, page.page_id) == set()
+
+
+class TestSweep:
+    def test_high_hazard_terminates_most(self):
+        net, page = make_world(n_likers=100, cohort="farm:X")
+        policy = TerminationPolicy(base_rates={"farm:X": 0.9})
+        terminated = TerminationSweep(policy).run(
+            net, [page.page_id], RngStream(1), time=100_000
+        )
+        assert len(terminated) > 70
+        assert all(net.user(u).is_terminated for u in terminated)
+
+    def test_zero_hazard_terminates_none(self):
+        net, page = make_world(n_likers=50, cohort="organic")
+        policy = TerminationPolicy(base_rates={"organic": 0.0}, default_rate=0.0)
+        terminated = TerminationSweep(policy).run(
+            net, [page.page_id], RngStream(1), time=100_000
+        )
+        assert terminated == []
+
+    def test_burst_increases_termination(self):
+        policy = TerminationPolicy(
+            base_rates={"farm:X": 0.05}, burst_multiplier=8.0, burst_threshold=50
+        )
+
+        def count(burst):
+            net, page = make_world(n_likers=200, burst=burst)
+            return len(
+                TerminationSweep(policy).run(net, [page.page_id], RngStream(3), 10**6)
+            )
+
+        assert count(burst=True) > count(burst=False)
+
+    def test_already_terminated_skipped(self):
+        net, page = make_world(n_likers=10)
+        first = net.page_liker_ids(page.page_id)[0]
+        net.terminate_account(first, time=0)
+        policy = TerminationPolicy(base_rates={"farm:X": 1.0})
+        terminated = TerminationSweep(policy).run(net, [page.page_id], RngStream(1), 10)
+        assert first not in terminated
+        assert len(terminated) == 9
+
+    def test_deterministic(self):
+        def run(seed):
+            net, page = make_world(n_likers=100)
+            policy = TerminationPolicy(base_rates={"farm:X": 0.3})
+            return TerminationSweep(policy).run(net, [page.page_id], RngStream(seed), 10)
+
+        assert run(5) == run(5)

@@ -1,0 +1,82 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import (
+    render_matrix,
+    render_percentage_bars,
+    render_series,
+    render_table,
+)
+from repro.util.validation import ValidationError
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert "33" in lines[3]
+        # all lines align
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table([], [])
+
+    def test_no_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_columns(self):
+        out = render_series({"s1": [1, 2], "s2": [3, 4]}, x_values=[0, 1], x_label="t")
+        assert "t" in out and "s1" in out and "s2" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            render_series({"s": [1]}, x_values=[0, 1])
+
+
+class TestRenderMatrix:
+    def test_square(self):
+        out = render_matrix(["a", "b"], [[1.0, 0.5], [0.5, 1.0]], precision=1)
+        assert "0.5" in out
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            render_matrix(["a", "b"], [[1.0], [0.5]])
+
+    def test_precision_zero_rounds(self):
+        out = render_matrix(["a"], [[0.66]], precision=0)
+        assert "1" in out.splitlines()[-1]
+
+
+class TestRenderPercentageBars:
+    def test_full_and_empty(self):
+        out = render_percentage_bars({"x": 1.0, "y": 0.0}, width=10)
+        lines = out.splitlines()
+        assert "##########" in lines[0]
+        assert "100.0%" in lines[0]
+        assert "0.0%" in lines[1]
+
+    def test_clamps_out_of_range(self):
+        out = render_percentage_bars({"x": 1.7}, width=10)
+        assert "100.0%" in out
+
+    def test_invalid_width(self):
+        with pytest.raises(ValidationError):
+            render_percentage_bars({"x": 0.5}, width=0)

@@ -1,0 +1,52 @@
+"""Tests for repro.util.timeutil."""
+
+import pytest
+
+from repro.util.timeutil import (
+    CRAWL_INTERVAL,
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    days,
+    format_time,
+    hours,
+    minutes,
+    to_days,
+)
+from repro.util.validation import ValidationError
+
+
+class TestConstants:
+    def test_relationships(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+        assert CRAWL_INTERVAL == 2 * HOUR
+
+
+class TestConversions:
+    def test_days(self):
+        assert days(1) == DAY
+        assert days(1.5) == DAY + 12 * HOUR
+
+    def test_hours(self):
+        assert hours(2) == 2 * HOUR
+
+    def test_minutes_rounds(self):
+        assert minutes(1.6) == 2
+
+    def test_to_days_roundtrip(self):
+        assert to_days(days(3.5)) == pytest.approx(3.5)
+
+
+class TestFormatTime:
+    def test_epoch(self):
+        assert format_time(0) == "D0 00:00"
+
+    def test_mixed(self):
+        assert format_time(DAY + 2 * HOUR + 5) == "D1 02:05"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            format_time(-1)

@@ -1,0 +1,55 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_type,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+    def test_is_value_error(self):
+        with pytest.raises(ValueError):
+            require(False, "compatible with ValueError handlers")
+
+
+class TestCheckers:
+    def test_check_positive_returns_value(self):
+        assert check_positive(3.5, "x") == 3.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive(0, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.1, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_fraction_accepts(self, value):
+        assert check_fraction(value, "f") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_check_fraction_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction(value, "f")
+
+    def test_check_type(self):
+        assert check_type("s", str, "x") == "s"
+        with pytest.raises(ValidationError):
+            check_type("s", int, "x")
