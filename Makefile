@@ -2,25 +2,32 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+# Match the tier-1 verify command: run against the checkout without an
+# editable install by putting src/ on PYTHONPATH.
+RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+
+.PHONY: install test bench profile report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(RUN_ENV) $(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(RUN_ENV) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+profile:
+	$(RUN_ENV) $(PYTHON) -m benchmarks.perf.profile_pipeline
 
 report:
-	$(PYTHON) examples/paper_reproduction.py
+	$(RUN_ENV) $(PYTHON) examples/paper_reproduction.py
 
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/custom_farm.py
-	$(PYTHON) examples/fraud_detection.py
-	$(PYTHON) examples/extended_study.py
+	$(RUN_ENV) $(PYTHON) examples/quickstart.py
+	$(RUN_ENV) $(PYTHON) examples/custom_farm.py
+	$(RUN_ENV) $(PYTHON) examples/fraud_detection.py
+	$(RUN_ENV) $(PYTHON) examples/extended_study.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks build dist *.egg-info src/*.egg-info

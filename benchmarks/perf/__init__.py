@@ -1,0 +1,13 @@
+"""Performance benchmarks for the simulation pipeline.
+
+Unlike the figure/table benchmarks in ``benchmarks/``, which check *what*
+the paper-scale study produces, this package tracks *how fast* it runs:
+
+* :mod:`benchmarks.perf.profile_pipeline` — ``make profile``: times and
+  cProfiles ``HoneypotExperiment.paper_scale().run()`` and writes
+  ``BENCH_pipeline.json`` so future PRs have a perf trajectory to regress
+  against.
+* :mod:`benchmarks.perf.microbench` — micro-benchmarks of the hot OSN
+  write paths (scalar vs bulk like recording, friendship wiring, weighted
+  sampling).
+"""

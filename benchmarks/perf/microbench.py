@@ -1,0 +1,141 @@
+"""Micro-benchmarks of the hot OSN write paths.
+
+Run with ``python -m benchmarks.perf.microbench`` (PYTHONPATH=src).  Each
+benchmark times the scalar per-item path against its bulk counterpart on
+the same workload, so the speedup of the batch APIs is visible in
+isolation from the full study:
+
+* ``like_page`` loop vs ``like_pages_bulk`` (the study's dominant cost:
+  ~1.2M like writes at paper scale),
+* ``LikeLog.record`` loop vs ``LikeLog.record_many``,
+* ``add_friendship`` loop vs ``add_friendships_bulk``,
+* ``weighted_sample_without_replacement`` with and without the
+  ``k == len(population)`` short-circuit being applicable.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.osn.events import LikeEvent, LikeLog
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+from repro.util.distributions import (
+    weighted_sample_without_replacement,
+    zipf_weights,
+)
+from repro.util.rng import RngStream
+
+N_USERS = 500
+N_PAGES = 1000
+LIKES_PER_USER = 100
+
+
+def _timed(label: str, fn) -> float:
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<42} {elapsed * 1000:9.1f} ms", flush=True)
+    return result if result is not None else elapsed
+
+
+def _fresh_world() -> tuple:
+    network = SocialNetwork()
+    users = [
+        network.create_user(gender=Gender.FEMALE, age=30, country="US").user_id
+        for _ in range(N_USERS)
+    ]
+    pages = [network.create_page(f"page-{i}").page_id for i in range(N_PAGES)]
+    return network, users, pages
+
+
+def bench_like_writes() -> None:
+    rng = RngStream(7, "microbench")
+    batches = [
+        rng.sample_without_replacement(range(N_PAGES), LIKES_PER_USER)
+        for _ in range(N_USERS)
+    ]
+    print(f"like writes: {N_USERS} users x {LIKES_PER_USER} pages")
+
+    network, users, pages = _fresh_world()
+    def scalar():
+        for user_id, batch in zip(users, batches):
+            for index in batch:
+                network.like_page(user_id, pages[index], time=0)
+    _timed("scalar like_page loop", scalar)
+
+    network, users, pages = _fresh_world()
+    def bulk():
+        for user_id, batch in zip(users, batches):
+            network.like_pages_bulk(user_id, [pages[i] for i in batch], time=0)
+    _timed("like_pages_bulk", bulk)
+
+
+def bench_like_log() -> None:
+    events = [
+        LikeEvent(user_id=1, page_id=page_id, time=0) for page_id in range(50_000)
+    ]
+    print("like log: 50k events, one user")
+    log = LikeLog()
+    _timed("scalar record loop", lambda: [log.record(e) for e in events] and None)
+    log2 = LikeLog()
+    _timed(
+        "record_many",
+        lambda: log2.record_many(1, [e.page_id for e in events], 0),
+    )
+
+
+def bench_friendships() -> None:
+    rng = RngStream(11, "microbench/friends")
+    a = rng.generator.integers(0, N_USERS, size=100_000)
+    b = rng.generator.integers(0, N_USERS, size=100_000)
+    pairs = [(x, y) for x, y in zip(a.tolist(), b.tolist()) if x != y]
+    print(f"friendship wiring: {len(pairs)} stub pairs")
+
+    network, users, _ = _fresh_world()
+    def scalar():
+        for x, y in pairs:
+            network.add_friendship(users[x], users[y])
+    _timed("scalar add_friendship loop", scalar)
+
+    network, users, _ = _fresh_world()
+    _timed(
+        "add_friendships_bulk",
+        lambda: network.add_friendships_bulk(
+            (users[x], users[y]) for x, y in pairs
+        ),
+    )
+
+
+def bench_weighted_sampling() -> None:
+    rng = RngStream(13, "microbench/sampling")
+    items = list(range(400))
+    weights = zipf_weights(len(items), 0.9)
+    print("weighted sampling: 5000 draws from a 400-page segment")
+    _timed(
+        "k=100 (Efraimidis-Spirakis path)",
+        lambda: [
+            weighted_sample_without_replacement(rng, items, weights, 100)
+            for _ in range(5000)
+        ]
+        and None,
+    )
+    _timed(
+        "k=400 (whole-population short-circuit)",
+        lambda: [
+            weighted_sample_without_replacement(rng, items, weights, 400)
+            for _ in range(5000)
+        ]
+        and None,
+    )
+
+
+def main() -> None:
+    bench_like_writes()
+    bench_like_log()
+    bench_friendships()
+    bench_weighted_sampling()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Profile the end-to-end paper-scale study and record a perf snapshot.
+
+Run via ``make profile`` (or ``python -m benchmarks.perf.profile_pipeline``).
+
+Two passes over ``HoneypotExperiment.paper_scale().run()``:
+
+1. a plain timed run — the honest wall-clock number (cProfile roughly
+   triples the runtime because the hot loops are millions of C-method
+   calls), and
+2. a cProfile run — the top cumulative functions, for finding the next
+   bottleneck.
+
+Both land in ``BENCH_pipeline.json`` next to the repo root, which is
+committed so every PR leaves a perf trajectory:
+
+* ``wall_seconds`` — plain run wall time (the regression-gate number),
+* ``like_events_per_second`` — recorded like events / wall seconds,
+* ``top_functions`` — top-10 functions by cumulative profiled time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import platform
+import pstats
+import sys
+import time
+from pathlib import Path
+
+from repro.core.experiment import HoneypotExperiment
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
+TOP_N = 10
+
+
+def _run_once() -> tuple:
+    """One plain paper-scale run; returns (wall seconds, experiment)."""
+    experiment = HoneypotExperiment.paper_scale()
+    start = time.perf_counter()
+    experiment.run()
+    return time.perf_counter() - start, experiment
+
+
+def _top_functions(stats: pstats.Stats, top_n: int = TOP_N) -> list:
+    """The ``top_n`` functions by cumulative time, as JSON-friendly dicts."""
+    rows = []
+    stats.sort_stats("cumulative")
+    for func in stats.fcn_list[:top_n]:  # (file, line, name) in sorted order
+        cc, nc, tt, ct, _ = stats.stats[func]
+        filename, line, name = func
+        filename = filename.replace(str(REPO_ROOT) + "/", "")
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "calls": nc,
+                "tottime_seconds": round(tt, 3),
+                "cumtime_seconds": round(ct, 3),
+            }
+        )
+    return rows
+
+
+def main() -> int:
+    print("pass 1/2: plain timed run ...", flush=True)
+    wall, experiment = _run_once()
+    like_events = len(experiment.artifacts.network.likes)
+    print(f"  wall: {wall:.2f}s, {like_events} like events", flush=True)
+
+    print("pass 2/2: cProfile run ...", flush=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    HoneypotExperiment.paper_scale().run()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+
+    snapshot = {
+        "benchmark": "HoneypotExperiment.paper_scale().run()",
+        "wall_seconds": round(wall, 2),
+        "like_events": like_events,
+        "like_events_per_second": int(like_events / wall),
+        "profiled_seconds": round(stats.total_tt, 2),
+        "python": platform.python_version(),
+        "top_functions": _top_functions(stats),
+    }
+    OUTPUT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {OUTPUT_PATH}")
+    print(json.dumps({k: v for k, v in snapshot.items() if k != "top_functions"}, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from typing import Dict, List, Sequence
 
 from repro.osn.ids import UserId
 from repro.osn.network import SocialNetwork
-from repro.osn.population import sample_age
+from repro.osn.population import sample_age, sample_ages
 from repro.osn.profile import COHORT_CLICKWORKER, Gender
 from repro.osn.universe import CLICKWORKER_MIX, LikeMix, PageUniverse
 from repro.util.distributions import Categorical, LogNormalCount
@@ -135,6 +135,15 @@ class ClickWorkerPopulation:
             pool.extend(new_workers)
         return list(pool)
 
+    def ensure_pools(self, targets: Dict[str, int]) -> None:
+        """Grow several country pools in one call (batch of :meth:`ensure_pool`).
+
+        Countries are processed in the dict's iteration order so the per-pool
+        child RNG streams match the equivalent sequence of scalar calls.
+        """
+        for country, size in targets.items():
+            self.ensure_pool(country, size)
+
     def sample_worker(self, country: str, rng: RngStream, min_pool: int = 50) -> UserId:
         """Draw a worker from the country pool, growing it lazily.
 
@@ -150,34 +159,39 @@ class ClickWorkerPopulation:
         cfg = self.config
         rng = self._rng.child(f"workers/{country}/{len(self._pools.get(country, []))}")
         male_share = CLICKWORKER_MALE_SHARE.get(country, DEFAULT_MALE_SHARE)
+        male = rng.generator.random(count) < male_share
+        ages = sample_ages(rng, cfg.age, count)
+        public = rng.generator.random(count) < cfg.friend_list_public_rate
+        backgrounds = cfg.background_friends.sample_many(rng, count)
         workers: List[UserId] = []
-        for _ in range(count):
-            gender = Gender.MALE if rng.bernoulli(male_share) else Gender.FEMALE
+        for is_male, age, is_public, background in zip(male, ages, public, backgrounds):
             profile = self._network.create_user(
-                gender=gender,
-                age=sample_age(rng, cfg.age),
+                gender=Gender.MALE if is_male else Gender.FEMALE,
+                age=age,
                 country=country,
-                friend_list_public=rng.bernoulli(cfg.friend_list_public_rate),
+                friend_list_public=bool(is_public),
                 searchable=False,
                 cohort=COHORT_CLICKWORKER,
             )
-            profile.background_friend_count = cfg.background_friends.sample(rng)
-            self._assign_page_likes(profile.user_id, rng)
+            profile.background_friend_count = background
             workers.append(profile.user_id)
+        self._assign_page_likes(workers, country, rng)
         self._wire_direct_edges(workers, rng)
         return workers
 
-    def _assign_page_likes(self, user_id: UserId, rng: RngStream) -> None:
+    def _assign_page_likes(
+        self, workers: List[UserId], country: str, rng: RngStream
+    ) -> None:
         cfg = self.config
-        total = cfg.page_like_count.sample(rng)
-        explicit = min(total, cfg.explicit_like_cap)
-        country = self._network.user(user_id).country
-        chosen = self._universe.sample_likes(
-            rng, explicit, cfg.like_mix, country, spam_key="clickworker"
+        totals = cfg.page_like_count.sample_many(rng, len(workers))
+        explicit = [min(total, cfg.explicit_like_cap) for total in totals]
+        chosen_lists = self._universe.sample_likes_many(
+            rng, explicit, cfg.like_mix, [country] * len(workers), spam_key="clickworker"
         )
-        for page_id in chosen:
-            self._network.like_page(user_id, page_id, time=0)
-        self._network.user(user_id).background_like_count = total - len(chosen)
+        network = self._network
+        for user_id, total, chosen in zip(workers, totals, chosen_lists):
+            network.like_pages_bulk(user_id, chosen, time=0)
+            network.user(user_id).background_like_count = total - len(chosen)
 
     def _wire_hubs(self, country: str, workers: List[UserId]) -> None:
         cfg = self.config

@@ -133,6 +133,7 @@ class AdDeliveryEngine:
         already liked the page) and unique likes stall far below what the
         budget pays for.
         """
+        targets: Dict[str, int] = {}
         for country, share in shares.items():
             market = self._cost_model.market(country)
             expected_clicks = share * campaign.total_budget / market.cpc
@@ -143,7 +144,8 @@ class AdDeliveryEngine:
             )
             target = int(np.ceil(expected_worker_likes * self.config.worker_pool_headroom))
             if target >= 1:
-                self._clickworkers.ensure_pool(country, max(target, 1))
+                targets[country] = max(target, 1)
+        self._clickworkers.ensure_pools(targets)
 
     def _click_handler(self, campaign: AdCampaign, country: str, rng: RngStream):
         def handle(time: int) -> None:

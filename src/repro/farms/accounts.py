@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 from repro.farms.base import REGION_USA
 from repro.osn.ids import UserId
 from repro.osn.network import SocialNetwork
-from repro.osn.population import GLOBAL_AGE_WEIGHTS, sample_age
+from repro.osn.population import GLOBAL_AGE_WEIGHTS, sample_ages
 from repro.osn.profile import COHORT_FARM_PREFIX, Gender
 from repro.osn.universe import FARM_MIX, LikeMix, PageUniverse
 from repro.util.distributions import Categorical, LogNormalCount
@@ -126,34 +126,43 @@ class FakeAccountFactory:
     ) -> List[UserId]:
         """Create ``count`` accounts for ``farm_name`` serving ``region``."""
         require(count >= 0, "count must be >= 0")
+        female = rng.generator.random(count) < config.gender_female_share
+        ages = sample_ages(rng, config.age, count)
+        countries = [config.country_for_region(region, rng) for _ in range(count)]
+        public = rng.generator.random(count) < config.friend_list_public_rate
+        backgrounds = config.background_friends.sample_many(rng, count)
         accounts: List[UserId] = []
-        for _ in range(count):
-            gender = (
-                Gender.FEMALE if rng.bernoulli(config.gender_female_share) else Gender.MALE
-            )
+        cohort = f"{COHORT_FARM_PREFIX}{farm_name}"
+        for is_female, age, country, is_public, background in zip(
+            female, ages, countries, public, backgrounds
+        ):
             profile = self._network.create_user(
-                gender=gender,
-                age=sample_age(rng, config.age),
-                country=config.country_for_region(region, rng),
-                friend_list_public=rng.bernoulli(config.friend_list_public_rate),
+                gender=Gender.FEMALE if is_female else Gender.MALE,
+                age=age,
+                country=country,
+                friend_list_public=bool(is_public),
                 searchable=False,
-                cohort=f"{COHORT_FARM_PREFIX}{farm_name}",
+                cohort=cohort,
                 created_at=created_at,
             )
-            profile.background_friend_count = config.background_friends.sample(rng)
-            self._assign_page_likes(profile.user_id, config, rng)
+            profile.background_friend_count = background
             accounts.append(profile.user_id)
+        self._assign_page_likes(accounts, countries, config, rng)
         return accounts
 
     def _assign_page_likes(
-        self, user_id: UserId, config: FarmAccountConfig, rng: RngStream
+        self,
+        accounts: List[UserId],
+        countries: List[str],
+        config: FarmAccountConfig,
+        rng: RngStream,
     ) -> None:
-        total = config.page_like_count.sample(rng)
-        explicit = min(total, config.explicit_like_cap)
-        country = self._network.user(user_id).country
-        chosen = self._universe.sample_likes(
-            rng, explicit, config.like_mix, country, spam_key=config.spam_key
+        totals = config.page_like_count.sample_many(rng, len(accounts))
+        explicit = [min(total, config.explicit_like_cap) for total in totals]
+        chosen_lists = self._universe.sample_likes_many(
+            rng, explicit, config.like_mix, countries, spam_key=config.spam_key
         )
-        for page_id in chosen:
-            self._network.like_page(user_id, page_id, time=0)
-        self._network.user(user_id).background_like_count = total - len(chosen)
+        network = self._network
+        for user_id, total, chosen in zip(accounts, totals, chosen_lists):
+            network.like_pages_bulk(user_id, chosen, time=0)
+            network.user(user_id).background_like_count = total - len(chosen)

@@ -8,7 +8,7 @@ platform, like farms, honeypot crawler — only talk to this facade.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.osn.events import LikeEvent, LikeLog, LikeRemovalEvent
 from repro.osn.graph import FriendshipGraph
@@ -16,7 +16,7 @@ from repro.osn.ids import IdAllocator, PageId, UserId
 from repro.osn.page import CATEGORY_HONEYPOT, Page
 from repro.osn.privacy import PrivacyPolicy
 from repro.osn.profile import Gender, UserProfile
-from repro.util.validation import require
+from repro.util.validation import ValidationError, require
 
 _USER_ID_BASE = 1_000_000
 _PAGE_ID_BASE = 9_000_000
@@ -148,6 +148,26 @@ class SocialNetwork:
         require(not self._users[b].is_terminated, f"user {b} is terminated")
         self.graph.add_friendship(a, b)
 
+    def add_friendships_bulk(self, pairs: Iterable[Tuple[UserId, UserId]]) -> int:
+        """Create many friendships at once; returns the number of new edges.
+
+        Semantically identical to calling :meth:`add_friendship` per pair
+        (idempotent edges, self-loops rejected, both endpoints must be live
+        accounts), but account liveness is validated once per distinct user
+        instead of once per pair.  The paper-scale world wires ~370k stub
+        pairs, which makes the per-pair validation the dominant cost.
+        """
+        pairs = list(pairs)
+        users = self._users
+        distinct: Set[UserId] = set()
+        for a, b in pairs:
+            distinct.add(a)
+            distinct.add(b)
+        for user_id in distinct:
+            require(user_id in users, f"unknown user {user_id}")
+            require(not users[user_id].is_terminated, f"user {user_id} is terminated")
+        return self.graph.add_friendships_bulk(pairs)
+
     def friend_count(self, user_id: UserId) -> int:
         """Ground-truth friend count (the crawler sees this only if public)."""
         return self.graph.degree(user_id)
@@ -180,6 +200,81 @@ class SocialNetwork:
         self._page_likers[page_id].append(user_id)
         self.likes.record(LikeEvent(user_id=user_id, page_id=page_id, time=time))
         return True
+
+    def like_pages_bulk(
+        self, user_id: UserId, page_ids: Iterable[PageId], time: int
+    ) -> int:
+        """Record ``user_id`` liking every page in ``page_ids`` at ``time``.
+
+        The batch counterpart of :meth:`like_page`: one user, many pages, a
+        single timestamp (the world generators assign a user's whole liked
+        set at once).  User and time validity are checked once per batch;
+        already-liked and duplicate pages are skipped, matching the scalar
+        idempotence.  Returns the number of *new* likes recorded.  Final
+        network state is identical to looping :meth:`like_page` over
+        ``page_ids`` in order — except on validation failure, where the
+        batch applies nothing (a scalar loop would apply the prefix before
+        the bad page; it never leaves likes half-recorded, and neither does
+        this).
+        """
+        require(user_id in self._users, f"unknown user {user_id}")
+        profile = self._users[user_id]
+        require(not profile.is_terminated, f"terminated user {user_id} cannot like")
+        require(time >= 0, "like time must be >= 0")
+        liked = self._user_liked_pages[user_id]
+        page_likers = self._page_likers
+        fresh: List[PageId] = []
+        targets: List[List[UserId]] = []
+        seen: Set[PageId] = set()
+        for page_id in page_ids:
+            if page_id in liked or page_id in seen:
+                continue
+            likers = page_likers.get(page_id)
+            if likers is None:
+                raise ValidationError(f"unknown page {page_id}")
+            seen.add(page_id)
+            fresh.append(page_id)
+            targets.append(likers)
+        if fresh:
+            # record_many validates chronology before touching the log, so
+            # mutating the liker sets after it keeps the batch atomic.
+            self.likes.record_many(user_id, fresh, time)
+            liked.update(fresh)
+            for likers in targets:
+                likers.append(user_id)
+        return len(fresh)
+
+    def like_page_many(self, events: Iterable[LikeEvent]) -> int:
+        """Record a heterogeneous batch of like events (many users/pages/times).
+
+        Validates users and pages once per batch, then applies each event in
+        order with the scalar idempotence rules.  Events must respect the
+        per-page chronological invariant, as with :meth:`like_page`.  Returns
+        the number of new likes recorded.
+        """
+        events = list(events)
+        users = self._users
+        page_likers = self._page_likers
+        for user_id in {e.user_id for e in events}:
+            require(user_id in users, f"unknown user {user_id}")
+            require(
+                not users[user_id].is_terminated,
+                f"terminated user {user_id} cannot like",
+            )
+        for page_id in {e.page_id for e in events}:
+            require(page_id in page_likers, f"unknown page {page_id}")
+        liked_pages = self._user_liked_pages
+        record = self.likes.record
+        count = 0
+        for event in events:
+            liked = liked_pages[event.user_id]
+            if event.page_id in liked:
+                continue
+            liked.add(event.page_id)
+            page_likers[event.page_id].append(event.user_id)
+            record(event)
+            count += 1
+        return count
 
     def page_liker_ids(self, page_id: PageId) -> List[UserId]:
         """Likers of ``page_id`` in arrival order (terminated accounts included).

@@ -64,12 +64,23 @@ _AGE_BRACKET_RANGES = {
 }
 
 
+def _bracket_bounds(bracket: str) -> tuple:
+    """``randint`` bounds for an age bracket (validated)."""
+    require(bracket in _AGE_BRACKET_RANGES, f"unknown age bracket {bracket!r}")
+    low, high = _AGE_BRACKET_RANGES[bracket]
+    return low, high + 1
+
+
 def sample_age(rng: RngStream, bracket_dist: Categorical) -> int:
     """Draw an integer age: bracket from ``bracket_dist``, uniform inside it."""
     bracket = bracket_dist.sample(rng)
-    require(bracket in _AGE_BRACKET_RANGES, f"unknown age bracket {bracket!r}")
-    low, high = _AGE_BRACKET_RANGES[bracket]
-    return rng.randint(low, high + 1)
+    return rng.randint(*_bracket_bounds(bracket))
+
+
+def sample_ages(rng: RngStream, bracket_dist: Categorical, n: int) -> List[int]:
+    """Draw ``n`` ages: brackets in one vectorised draw, uniform inside each."""
+    brackets = bracket_dist.sample_many(rng, n)
+    return [rng.randint(*_bracket_bounds(bracket)) for bracket in brackets]
 
 
 @dataclass
@@ -196,13 +207,18 @@ class WorldBuilder:
 
     def _create_users(self, network: SocialNetwork, rng: RngStream) -> List[int]:
         demo = self.config.demographics
+        n = self.config.n_users
+        genders = demo.gender.sample_many(rng, n)
+        ages = sample_ages(rng, demo.age, n)
+        countries = demo.country.sample_many(rng, n)
+        public = rng.generator.random(n) < self.config.friend_list_public_rate
         user_ids: List[int] = []
-        for _ in range(self.config.n_users):
+        for gender, age, country, is_public in zip(genders, ages, countries, public):
             profile = network.create_user(
-                gender=demo.gender.sample(rng),
-                age=sample_age(rng, demo.age),
-                country=demo.country.sample(rng),
-                friend_list_public=rng.bernoulli(self.config.friend_list_public_rate),
+                gender=gender,
+                age=age,
+                country=country,
+                friend_list_public=bool(is_public),
                 searchable=True,
                 cohort="organic",
             )
@@ -212,17 +228,25 @@ class WorldBuilder:
     def _wire_friendships(
         self, network: SocialNetwork, user_ids: List[int], rng: RngStream
     ) -> None:
-        """Configuration-model wiring: pair up degree 'stubs' at random."""
-        degrees = self.config.friend_count.sample_many(rng, len(user_ids))
-        stubs: List[int] = []
-        for user_id, degree in zip(user_ids, degrees):
-            # cap each user's stub count so tiny test worlds stay sparse
-            stubs.extend([user_id] * min(degree, len(user_ids) - 1))
-        stubs = rng.shuffled(stubs)
-        for i in range(0, len(stubs) - 1, 2):
-            a, b = stubs[i], stubs[i + 1]
-            if a != b:
-                network.add_friendship(a, b)
+        """Configuration-model wiring: pair up degree 'stubs' at random.
+
+        Fully vectorised: stub expansion, shuffling, and pairing are array
+        ops, and the resulting edge list lands through
+        :meth:`SocialNetwork.add_friendships_bulk`.  The shuffle consumes a
+        single permutation draw, exactly as the scalar version did.
+        """
+        degrees = np.asarray(self.config.friend_count.sample_many(rng, len(user_ids)))
+        # cap each user's stub count so tiny test worlds stay sparse
+        degrees = np.minimum(degrees, len(user_ids) - 1)
+        stubs = np.repeat(np.asarray(user_ids, dtype=np.int64), degrees)
+        stubs = stubs[rng.generator.permutation(len(stubs))]
+        paired = (len(stubs) // 2) * 2
+        a = stubs[0:paired:2]
+        b = stubs[1:paired:2]
+        keep = a != b
+        network.add_friendships_bulk(
+            zip(a[keep].tolist(), b[keep].tolist())
+        )
 
     def _assign_likes(
         self,
@@ -233,11 +257,12 @@ class WorldBuilder:
     ) -> None:
         spam_pages = universe.spam_pages
         like_counts = self.config.like_count.sample_many(rng, len(user_ids))
-        for user_id, count in zip(user_ids, like_counts):
-            country = network.user(user_id).country
-            for page_id in universe.sample_likes(rng, count, ORGANIC_MIX, country):
-                network.like_page(user_id, page_id, time=0)
+        countries = [network.user(user_id).country for user_id in user_ids]
+        chosen_lists = universe.sample_likes_many(
+            rng, like_counts, ORGANIC_MIX, countries
+        )
+        for user_id, chosen in zip(user_ids, chosen_lists):
             if spam_pages and rng.bernoulli(self.config.spam_like_rate):
                 noise = rng.randint(1, min(4, len(spam_pages)) + 1)
-                for page_id in rng.sample_without_replacement(spam_pages, noise):
-                    network.like_page(user_id, page_id, time=0)
+                chosen.extend(rng.sample_without_replacement(spam_pages, noise))
+            network.like_pages_bulk(user_id, chosen, time=0)

@@ -23,7 +23,8 @@ Each cohort samples its likes with a :class:`LikeMix` over the segments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -59,12 +60,21 @@ class LikeMix:
         )
 
     def counts(self, total: int) -> Dict[str, int]:
-        """Integer per-segment counts for ``total`` likes."""
-        remainder = max(0.0, 1.0 - self.regional_frac - self.spam_frac)
-        parts = interpolate_counts(
-            total, [remainder, self.regional_frac, self.spam_frac]
-        )
+        """Integer per-segment counts for ``total`` likes.
+
+        Cached per ``(mix, total)``: the generators call this once per user
+        over a handful of distinct totals, so the largest-remainder rounding
+        runs a few hundred times instead of tens of thousands.
+        """
+        parts = _mix_counts(self, total)
         return {"global": parts[0], "regional": parts[1], "spam": parts[2]}
+
+
+@lru_cache(maxsize=None)
+def _mix_counts(mix: "LikeMix", total: int) -> Tuple[int, int, int]:
+    remainder = max(0.0, 1.0 - mix.regional_frac - mix.spam_frac)
+    parts = interpolate_counts(total, [remainder, mix.regional_frac, mix.spam_frac])
+    return (parts[0], parts[1], parts[2])
 
 
 #: Default cohort mixes (calibration for Figure 5a's block structure).
@@ -182,6 +192,30 @@ class PageUniverse:
                 )
             )
         return chosen
+
+    def sample_likes_many(
+        self,
+        rng: RngStream,
+        totals: Sequence[int],
+        mix: LikeMix,
+        countries: Sequence[str],
+        spam_key: str = None,
+    ) -> List[List[PageId]]:
+        """Draw liked-page sets for a whole cohort in one call.
+
+        ``totals[i]`` pages are drawn for the user in ``countries[i]``; all
+        users share ``mix`` and ``spam_key``.  Draws are made user-by-user in
+        order from ``rng``, so the result is bit-identical to calling
+        :meth:`sample_likes` per user — this is the batch entry point the
+        generators use, amortising the per-call segment bookkeeping (cached
+        Zipf weight arrays, cached mix counts) across the cohort.
+        """
+        require(len(totals) == len(countries), "totals and countries must align")
+        sample = self.sample_likes
+        return [
+            sample(rng, total, mix, country, spam_key=spam_key)
+            for total, country in zip(totals, countries)
+        ]
 
     def _sample_spam(
         self, rng: RngStream, count: int, spam_key: str, chosen: List[PageId]

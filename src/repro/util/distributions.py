@@ -146,14 +146,31 @@ def weighted_sample_without_replacement(
     if k == 0:
         return []
     weights = np.asarray(weights, dtype=float)
-    require(bool(np.all(weights >= 0)), "weights must be non-negative")
-    positive = weights > 0
-    require(int(positive.sum()) >= k, "not enough positive-weight items to sample")
-    keys = np.full(len(weights), -np.inf)
-    draws = rng.generator.random(int(positive.sum()))
-    keys[positive] = np.log(draws) / weights[positive]
+    min_weight = float(weights.min())
+    require(min_weight >= 0, "weights must be non-negative")
+    if k == len(items):
+        # Short-circuit: the "sample" is the whole population.  Skip the key
+        # computation but consume the same number of uniform draws as the
+        # weighted path, so downstream draws from the shared stream stay
+        # aligned.  Items come back in population order rather than the
+        # weighted path's key order (callers treat results as sets).
+        require(min_weight > 0, "not enough positive-weight items to sample")
+        rng.generator.random(len(weights))
+        return list(items)
+    if min_weight > 0:
+        # All-positive fast path (the common case: Zipf popularity weights):
+        # no mask allocation or fancy indexing, but bit-identical keys —
+        # and therefore an identical sample — to the masked path below.
+        draws = rng.generator.random(len(weights))
+        keys = np.log(draws) / weights
+    else:
+        positive = weights > 0
+        require(int(positive.sum()) >= k, "not enough positive-weight items to sample")
+        keys = np.full(len(weights), -np.inf)
+        draws = rng.generator.random(int(positive.sum()))
+        keys[positive] = np.log(draws) / weights[positive]
     chosen = np.argpartition(keys, -k)[-k:]
-    return [items[int(i)] for i in chosen]
+    return [items[i] for i in chosen.tolist()]
 
 
 def interpolate_counts(total: int, fractions: Sequence[float]) -> List[int]:

@@ -1,0 +1,219 @@
+"""Scalar-vs-bulk equivalence for the OSN write paths.
+
+The bulk APIs (`like_pages_bulk`, `like_page_many`, `add_friendships_bulk`,
+`LikeLog.record_many`) exist purely for speed; their contract is that final
+network state is identical to looping the scalar calls in the same order.
+These tests pin that contract at the unit level and end-to-end: a seeded
+small study must produce the identical dataset whether the generators write
+through the bulk fast path or through per-item scalar calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.honeypot.study import HoneypotStudy, StudyConfig
+from repro.osn.events import LikeEvent, LikeLog
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import Gender
+from repro.util.validation import ValidationError
+
+
+def _network_with(n_users: int, n_pages: int) -> tuple:
+    network = SocialNetwork()
+    users = [
+        network.create_user(gender=Gender.FEMALE, age=30, country="US").user_id
+        for _ in range(n_users)
+    ]
+    pages = [network.create_page(f"p{i}").page_id for i in range(n_pages)]
+    return network, users, pages
+
+
+def _like_state(network: SocialNetwork, users, pages) -> tuple:
+    return (
+        [network.page_liker_ids(p) for p in pages],
+        [sorted(network.user_liked_page_ids(u)) for u in users],
+        [network.likes.for_page(p) for p in pages],
+        [network.likes.for_user(u) for u in users],
+        len(network.likes),
+    )
+
+
+class TestLikePagesBulk:
+    def test_matches_scalar_loop(self):
+        scalar_net, users, pages = _network_with(3, 10)
+        bulk_net, bulk_users, bulk_pages = _network_with(3, 10)
+        batches = [pages[0:6], pages[3:9], pages[2:10:2]]
+        for user_id, batch in zip(users, batches):
+            for page_id in batch:
+                scalar_net.like_page(user_id, page_id, time=4)
+        for user_id, batch in zip(bulk_users, batches):
+            bulk_net.like_pages_bulk(user_id, batch, time=4)
+        assert _like_state(scalar_net, users, pages) == _like_state(
+            bulk_net, bulk_users, bulk_pages
+        )
+
+    def test_skips_duplicates_and_already_liked(self):
+        network, (alice, *_), pages = _network_with(1, 4)
+        network.like_page(alice, pages[0], time=0)
+        added = network.like_pages_bulk(
+            alice, [pages[0], pages[1], pages[1], pages[2]], time=1
+        )
+        assert added == 2
+        assert sorted(network.user_liked_page_ids(alice)) == sorted(pages[:3])
+        # the pre-existing like kept its original timestamp
+        assert network.likes.for_page(pages[0])[0].time == 0
+
+    def test_rejects_unknown_page_and_bad_time(self):
+        network, (alice, *_), pages = _network_with(1, 2)
+        with pytest.raises(ValidationError):
+            network.like_pages_bulk(alice, [pages[0], 424242], time=0)
+        with pytest.raises(ValidationError):
+            network.like_pages_bulk(alice, pages, time=-1)
+
+    def test_failed_batch_applies_nothing(self):
+        # A rejected batch must not leave the liker sets and the like log
+        # disagreeing: either every valid page before the bad one is fully
+        # recorded, or none is.  We guarantee the stronger form — nothing.
+        network, (alice, *_), pages = _network_with(1, 3)
+        with pytest.raises(ValidationError):
+            network.like_pages_bulk(alice, [pages[0], 424242, pages[1]], time=0)
+        assert network.user_liked_page_ids(alice) == set()
+        assert all(network.page_liker_ids(p) == [] for p in pages)
+        assert len(network.likes) == 0
+
+    def test_rejects_terminated_user(self):
+        network, (alice, *_), pages = _network_with(1, 2)
+        network.terminate_account(alice, time=5)
+        with pytest.raises(ValidationError):
+            network.like_pages_bulk(alice, pages, time=6)
+
+    def test_like_page_many_matches_scalar(self):
+        scalar_net, users, pages = _network_with(2, 5)
+        bulk_net, bulk_users, bulk_pages = _network_with(2, 5)
+        events = [
+            (0, 0, 1), (1, 0, 1), (0, 1, 2), (0, 0, 3),  # last is a repeat
+        ]
+        for u, p, t in events:
+            scalar_net.like_page(users[u], pages[p], time=t)
+        added = bulk_net.like_page_many(
+            LikeEvent(user_id=bulk_users[u], page_id=bulk_pages[p], time=t)
+            for u, p, t in events
+        )
+        assert added == 3
+        assert _like_state(scalar_net, users, pages) == _like_state(
+            bulk_net, bulk_users, bulk_pages
+        )
+
+
+class TestRecordMany:
+    def test_matches_scalar_records(self):
+        scalar_log, bulk_log = LikeLog(), LikeLog()
+        for page_id in (10, 11, 12):
+            scalar_log.record(LikeEvent(user_id=1, page_id=page_id, time=2))
+        bulk_log.record_many(1, [10, 11, 12], 2)
+        for page_id in (10, 11, 12):
+            assert scalar_log.for_page(page_id) == bulk_log.for_page(page_id)
+        assert scalar_log.for_user(1) == bulk_log.for_user(1)
+        assert len(scalar_log) == len(bulk_log) == 3
+
+    def test_rejects_out_of_order_and_negative_time(self):
+        log = LikeLog()
+        log.record_many(1, [10], 5)
+        with pytest.raises(ValidationError):
+            log.record_many(2, [10], 4)
+        with pytest.raises(ValidationError):
+            log.record_many(2, [11], -1)
+
+    def test_failed_batch_leaves_log_untouched(self):
+        log = LikeLog()
+        log.record_many(1, [10], 5)
+        with pytest.raises(ValidationError):
+            # page 11 would be fine; page 10 violates chronology
+            log.record_many(2, [11, 10], 4)
+        assert log.for_page(11) == ()
+        assert log.for_user(2) == ()
+        assert len(log) == 1
+
+
+class TestAddFriendshipsBulk:
+    def test_matches_scalar_loop(self):
+        scalar_net, users, _ = _network_with(6, 1)
+        bulk_net, bulk_users, _ = _network_with(6, 1)
+        pairs = [(0, 1), (1, 2), (0, 1), (3, 4), (2, 0)]
+        for a, b in pairs:
+            scalar_net.add_friendship(users[a], users[b])
+        added = bulk_net.add_friendships_bulk(
+            (bulk_users[a], bulk_users[b]) for a, b in pairs
+        )
+        assert added == 4  # one duplicate pair
+        assert scalar_net.graph.edge_count == bulk_net.graph.edge_count
+        # both networks allocate identical user ids, so edges compare directly
+        for user_id in users:
+            assert scalar_net.graph.neighbors(user_id) == bulk_net.graph.neighbors(
+                user_id
+            )
+
+    def test_rejects_self_loops_and_unknown_users(self):
+        network, users, _ = _network_with(2, 1)
+        with pytest.raises(ValidationError):
+            network.add_friendships_bulk([(users[0], users[0])])
+        with pytest.raises(ValidationError):
+            network.add_friendships_bulk([(users[0], 999999)])
+
+    def test_failed_batch_adds_no_edges(self):
+        network, users, _ = _network_with(3, 1)
+        with pytest.raises(ValidationError):
+            network.add_friendships_bulk(
+                [(users[0], users[1]), (users[2], users[2])]
+            )
+        assert network.graph.edge_count == 0
+        assert all(network.graph.neighbors(u) == set() for u in users)
+
+
+def _scalar_like_pages_bulk(self, user_id, page_ids, time):
+    """The pre-batching write path: one `like_page` call per page."""
+    added = 0
+    for page_id in page_ids:
+        if self.like_page(user_id, page_id, time):
+            added += 1
+    return added
+
+
+def _scalar_add_friendships_bulk(self, pairs):
+    before = self.graph.edge_count
+    for a, b in pairs:
+        self.add_friendship(a, b)
+    return self.graph.edge_count - before
+
+
+def _study_fingerprint(config: StudyConfig) -> dict:
+    artifacts = HoneypotStudy(config).run()
+    network = artifacts.network
+    return {
+        "like_counts": {
+            campaign_id: record.total_likes
+            for campaign_id, record in artifacts.dataset.campaigns.items()
+        },
+        "liker_ids": {
+            campaign_id: sorted(obs.user_id for obs in record.observations)
+            for campaign_id, record in artifacts.dataset.campaigns.items()
+        },
+        "edge_count": network.graph.edge_count,
+        "like_events": len(network.likes),
+        "baseline_ids": sorted(record.user_id for record in artifacts.dataset.baseline),
+    }
+
+
+class TestSeededStudyEquivalence:
+    """A seeded small study is identical via the scalar and bulk write paths."""
+
+    def test_dataset_identical(self, monkeypatch):
+        config = StudyConfig.small(seed=991)
+        bulk = _study_fingerprint(config)
+        monkeypatch.setattr(SocialNetwork, "like_pages_bulk", _scalar_like_pages_bulk)
+        monkeypatch.setattr(
+            SocialNetwork, "add_friendships_bulk", _scalar_add_friendships_bulk
+        )
+        scalar = _study_fingerprint(config)
+        assert scalar == bulk

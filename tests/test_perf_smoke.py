@@ -1,0 +1,35 @@
+"""A coarse wall-time guard against gross performance regressions.
+
+The bulk OSN write paths took the paper-scale study from ~10s to ~4s and
+the small study to well under a second (see ``BENCH_pipeline.json`` and
+``make profile``).  This smoke test runs the small study under a very
+generous budget — 5x the recorded baseline — so that an accidental return
+to per-item writes (or any other order-of-magnitude regression) surfaces
+in tier-1 without making the suite timing-sensitive on slow CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiment import HoneypotExperiment
+
+#: Wall seconds for ``HoneypotExperiment.small().run()`` recorded on the CI
+#: machine alongside BENCH_pipeline.json, rounded up for headroom.
+RECORDED_BASELINE_SECONDS = 0.8
+
+#: Fail only on gross (>5x) regressions; honest perf tracking lives in
+#: ``make profile``, not in the test suite.
+BUDGET_SECONDS = 5 * RECORDED_BASELINE_SECONDS
+
+
+def test_small_study_within_budget():
+    start = time.perf_counter()
+    results = HoneypotExperiment.small().run()
+    elapsed = time.perf_counter() - start
+    assert results.dataset.campaigns, "study produced no campaigns"
+    assert elapsed < BUDGET_SECONDS, (
+        f"small study took {elapsed:.2f}s, budget is {BUDGET_SECONDS:.1f}s "
+        f"(5x the {RECORDED_BASELINE_SECONDS}s recorded baseline); "
+        "see benchmarks/perf and BENCH_pipeline.json for the perf trajectory"
+    )

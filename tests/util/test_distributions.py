@@ -137,6 +137,31 @@ class TestWeightedSampleWithoutReplacement:
         with pytest.raises(ValidationError):
             weighted_sample_without_replacement(rng, ["a"], np.array([1.0, 2.0]), 1)
 
+    def test_whole_population_short_circuit(self, rng):
+        items = list(range(40))
+        weights = zipf_weights(40)
+        out = weighted_sample_without_replacement(rng, items, weights, 40)
+        assert out == items  # population order, no key sort
+
+    def test_whole_population_preserves_stream_alignment(self):
+        # The short-circuit must consume exactly as many uniforms as the
+        # weighted path would, so draws after it are unaffected.
+        from repro.util.rng import RngStream
+
+        items = list(range(25))
+        weights = zipf_weights(25)
+        sampled = RngStream(123, "sampled")
+        weighted_sample_without_replacement(sampled, items, weights, 25)
+        burned = RngStream(123, "burned")
+        burned.generator.random(25)
+        assert sampled.random() == burned.random()
+
+    def test_whole_population_needs_all_positive(self, rng):
+        with pytest.raises(ValidationError):
+            weighted_sample_without_replacement(
+                rng, ["a", "b"], np.array([1.0, 0.0]), 2
+            )
+
 
 class TestInterpolateCounts:
     def test_sums_to_total(self):
