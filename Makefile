@@ -6,7 +6,7 @@ PYTHON ?= python
 # editable install by putting src/ on PYTHONPATH.
 RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench profile report examples clean
+.PHONY: install test bench profile chaos report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,6 +19,11 @@ bench:
 
 profile:
 	$(RUN_ENV) $(PYTHON) -m benchmarks.perf.profile_pipeline
+
+# Chaos harness: the seeded small study under the default FaultProfile,
+# asserting the dataset comes out complete (plus the zero-fault identity).
+chaos:
+	$(RUN_ENV) $(PYTHON) -m pytest tests/test_chaos_smoke.py -v
 
 report:
 	$(RUN_ENV) $(PYTHON) examples/paper_reproduction.py

@@ -2,20 +2,24 @@
 
 Run via ``make profile`` (or ``python -m benchmarks.perf.profile_pipeline``).
 
-Two passes over ``HoneypotExperiment.paper_scale().run()``:
+Three passes over ``HoneypotExperiment.paper_scale().run()``:
 
 1. a plain timed run — the honest wall-clock number (cProfile roughly
    triples the runtime because the hot loops are millions of C-method
-   calls), and
+   calls),
 2. a cProfile run — the top cumulative functions, for finding the next
-   bottleneck.
+   bottleneck, and
+3. a chaos run — the same study crawled through the default
+   ``FaultProfile`` + resilient client, so the snapshot records what
+   crawl retries/backoff cost on top of a clean run.
 
-Both land in ``BENCH_pipeline.json`` next to the repo root, which is
+All land in ``BENCH_pipeline.json`` next to the repo root, which is
 committed so every PR leaves a perf trajectory:
 
 * ``wall_seconds`` — plain run wall time (the regression-gate number),
 * ``like_events_per_second`` — recorded like events / wall seconds,
-* ``top_functions`` — top-10 functions by cumulative profiled time.
+* ``top_functions`` — top-10 functions by cumulative profiled time,
+* ``chaos`` — chaos-run wall time, retry overhead, and fault counters.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ import time
 from pathlib import Path
 
 from repro.core.experiment import HoneypotExperiment
+from repro.honeypot.study import StudyConfig
+from repro.osn.faults import FaultProfile
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
@@ -62,18 +68,46 @@ def _top_functions(stats: pstats.Stats, top_n: int = TOP_N) -> list:
     return rows
 
 
+def _run_chaos(baseline_wall: float) -> dict:
+    """One paper-scale run through the default fault profile; stats + overhead."""
+    config = StudyConfig()
+    config.fault_profile = FaultProfile.default()
+    experiment = HoneypotExperiment(config)
+    start = time.perf_counter()
+    experiment.run()
+    wall = time.perf_counter() - start
+    stats = experiment.artifacts.api.stats
+    return {
+        "wall_seconds": round(wall, 2),
+        "retry_overhead_seconds": round(wall - baseline_wall, 2),
+        "requests": stats.total,
+        "faults_injected": stats.faults_injected,
+        "retries": stats.retries,
+        "failures": stats.failures,
+        "rate_limited": stats.rate_limited,
+        "breaker_trips": stats.breaker_trips,
+        "backoff_minutes_virtual": round(stats.backoff_minutes, 1),
+    }
+
+
 def main() -> int:
-    print("pass 1/2: plain timed run ...", flush=True)
+    print("pass 1/3: plain timed run ...", flush=True)
     wall, experiment = _run_once()
     like_events = len(experiment.artifacts.network.likes)
     print(f"  wall: {wall:.2f}s, {like_events} like events", flush=True)
 
-    print("pass 2/2: cProfile run ...", flush=True)
+    print("pass 2/3: cProfile run ...", flush=True)
     profiler = cProfile.Profile()
     profiler.enable()
     HoneypotExperiment.paper_scale().run()
     profiler.disable()
     stats = pstats.Stats(profiler)
+
+    print("pass 3/3: chaos run (default FaultProfile) ...", flush=True)
+    chaos = _run_chaos(wall)
+    print(f"  wall: {chaos['wall_seconds']:.2f}s "
+          f"({chaos['faults_injected']} faults, {chaos['retries']} retries)",
+          flush=True)
 
     snapshot = {
         "benchmark": "HoneypotExperiment.paper_scale().run()",
@@ -82,6 +116,7 @@ def main() -> int:
         "like_events_per_second": int(like_events / wall),
         "profiled_seconds": round(stats.total_tt, 2),
         "python": platform.python_version(),
+        "chaos": chaos,
         "top_functions": _top_functions(stats),
     }
     OUTPUT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -3,6 +3,11 @@
 Reproduces Figure 1 (liker geolocation per campaign, bucketed to the six
 countries the paper plots) and Table 2 (gender split, age-bracket
 distribution, and KL divergence against the global population).
+
+Partial liker records (failed friend/like crawls) still carry full
+demographics — gender/age/country come from the page-insights reports, not
+the profile crawl — so every function here uses all records unchanged and
+stays exact under crawl faults.
 """
 
 from __future__ import annotations

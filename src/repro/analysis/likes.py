@@ -18,8 +18,17 @@ BASELINE_LABEL = "Facebook"
 
 
 def campaign_like_counts(dataset: HoneypotDataset, campaign_id: str) -> List[int]:
-    """Declared total page-like counts of one campaign's likers."""
-    return [liker.declared_like_count for liker in dataset.likers_of(campaign_id)]
+    """Declared total page-like counts of one campaign's likers.
+
+    Likers whose like crawl failed (``"likes"`` in ``failed_fields``) are
+    excluded: their stored 0 is a crawl artifact, not a measurement, and
+    would drag the campaign median toward the baseline.
+    """
+    return [
+        liker.declared_like_count
+        for liker in dataset.likers_of(campaign_id)
+        if liker.has_like_data
+    ]
 
 
 def baseline_like_counts(dataset: HoneypotDataset) -> List[int]:

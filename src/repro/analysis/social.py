@@ -132,7 +132,14 @@ def provider_social_stats(dataset: HoneypotDataset) -> List[ProviderSocialStats]
         if not likers:
             continue
         ids = {liker.user_id for liker in likers}
-        public = [liker for liker in likers if liker.friend_list_public]
+        # A failed friend crawl is not a private list: partial records are
+        # excluded from the public-list census rather than counted private,
+        # keeping Table 3 the lower bound the paper describes.
+        public = [
+            liker
+            for liker in likers
+            if liker.friend_list_public and liker.has_friend_data
+        ]
         friend_counts = [
             liker.declared_friend_count
             for liker in public

@@ -78,6 +78,44 @@ def removed_likes_by_campaign(dataset: HoneypotDataset) -> Dict[str, int]:
     }
 
 
+@dataclass(frozen=True)
+class CrawlHealth:
+    """How complete the profile crawl was (resilience reporting).
+
+    The paper assembled full tables from a crawl that was throttled and
+    404ed under it; this is the corresponding health line for a simulated
+    run: how many liker records are complete versus degraded, and which
+    field groups were lost.  Fault/retry *request* counters live on
+    :class:`repro.osn.api.RequestStats` (``StudyArtifacts.api.stats``).
+    """
+
+    n_likers: int
+    n_complete: int
+    n_partial: int
+    failed_friend_crawls: int
+    failed_like_crawls: int
+
+    @property
+    def complete_fraction(self) -> float:
+        """Share of liker records with every field group crawled."""
+        if self.n_likers == 0:
+            return 1.0
+        return self.n_complete / self.n_likers
+
+
+def crawl_health(dataset: HoneypotDataset) -> CrawlHealth:
+    """Crawl completeness over all liker records."""
+    likers = list(dataset.likers.values())
+    partial = [liker for liker in likers if liker.failed_fields]
+    return CrawlHealth(
+        n_likers=len(likers),
+        n_complete=len(likers) - len(partial),
+        n_partial=len(partial),
+        failed_friend_crawls=sum(1 for liker in partial if not liker.has_friend_data),
+        failed_like_crawls=sum(1 for liker in partial if not liker.has_like_data),
+    )
+
+
 def paper_comparison(
     dataset: HoneypotDataset, paper_likes: Dict[str, Optional[int]]
 ) -> List[Dict]:

@@ -27,6 +27,7 @@ from repro.detection.features import extract_liker_features
 from repro.detection.rules import RuleBasedDetector
 from repro.honeypot.storage import HoneypotDataset
 from repro.honeypot.study import StudyConfig
+from repro.osn.faults import FaultProfile
 from repro.osn.population import PopulationConfig
 from repro.util.tables import render_table
 
@@ -48,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also print the full text report")
     run.add_argument("--population", type=int, default=None,
                      help="organic world size (default: preset for the scale)")
+    run.add_argument("--chaos", action="store_true",
+                     help="crawl through the default fault-injection profile "
+                          "(retries/backoff/circuit breaking exercised)")
 
     report = sub.add_parser("report", help="render tables/figures from a dataset")
     report.add_argument("dataset", type=Path)
@@ -75,6 +79,8 @@ def _config_for(args: argparse.Namespace) -> StudyConfig:
                 n_spam_pages=max(30, args.population // 10),
             )
         config = StudyConfig(seed=args.seed, scale=args.scale, population=population)
+    if getattr(args, "chaos", False):
+        config.fault_profile = FaultProfile.default()
     return config
 
 
@@ -85,6 +91,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     dataset.to_jsonl(args.out)
     print(f"study complete: {dataset.total_likes} likes, "
           f"{len(dataset.likers)} likers -> {args.out}")
+    stats = experiment.artifacts.api.stats
+    if stats.faults_injected:
+        print(f"crawl faults survived: {stats.faults_injected} injected, "
+              f"{stats.retries} retries, {stats.failures} exhausted, "
+              f"{stats.breaker_trips} breaker trips")
     if args.report:
         print()
         print(full_report(dataset))

@@ -10,39 +10,91 @@ demographics come from the insights reports, which see private attributes
 in aggregate (paper footnote 1).  The output is
 :class:`repro.honeypot.storage.LikerRecord` objects — the analysis layer's
 only view of likers.
+
+The crawl surface may be unreliable (see :mod:`repro.osn.faults`): any API
+call may raise a :class:`~repro.osn.faults.CrawlFault` even after the
+resilient client's retries.  The crawler degrades gracefully instead of
+aborting the study — a liker whose endpoints stay down yields a *partial*
+record (``crawl_status="partial"``, the lost field groups named in
+``failed_fields``), a baseline user who cannot be crawled drops out of the
+sample, and the termination recheck counts an unreachable profile as alive
+(keeping the terminated count the lower bound the paper reports).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
-from repro.honeypot.storage import BaselineRecord, LikerRecord
-from repro.osn.api import PlatformAPI
+from repro.honeypot.storage import (
+    CRAWL_COMPLETE,
+    CRAWL_PARTIAL,
+    BaselineRecord,
+    LikerRecord,
+)
+from repro.osn.api import PlatformAPI, ReadEndpoints
 from repro.osn.directory import PublicDirectory
+from repro.osn.faults import CrawlFault
 from repro.osn.ids import UserId
 from repro.osn.network import SocialNetwork
+from repro.osn.profile import UserProfile
 from repro.util.rng import RngStream
+
+T = TypeVar("T")
 
 
 class ProfileCrawler:
     """Crawls liker profiles and the random baseline sample."""
 
-    def __init__(self, network: SocialNetwork, api: Optional[PlatformAPI] = None) -> None:
+    def __init__(self, network: SocialNetwork, api: Optional[ReadEndpoints] = None) -> None:
         self._network = network
         self.api = api if api is not None else PlatformAPI(network)
+
+    def insights_profile(self, user_id: UserId) -> UserProfile:
+        """Demographics via the page-insights view — the ONE ground-truth read.
+
+        Everything else the crawler collects goes through ``self.api`` so
+        privacy censoring and request accounting happen at the API
+        boundary.  Demographics are the single documented exemption: the
+        paper's page-insights reports aggregated *private* attributes of a
+        page's likers (paper footnote 1), so the crawler may read the
+        profile object directly for gender/age/country — and only here.
+        Any other ``self._network`` read in this class is a bug.
+        """
+        return self._network.user(user_id)
+
+    def _guarded(self, thunk: Callable[[], T], failed: List[str], tag: str) -> Optional[T]:
+        """Run one API call; on a crawl fault, record the lost field group."""
+        try:
+            return thunk()
+        except CrawlFault:
+            if tag not in failed:
+                failed.append(tag)
+            return None
 
     def crawl_liker(self, user_id: UserId, campaign_ids: List[str]) -> LikerRecord:
         """Crawl one liker's public profile.
 
         Demographics come from the insights reports (always available in
         aggregate); friend and like data go through the platform API, so
-        censoring is enforced at the API boundary, not here.
+        censoring is enforced at the API boundary, not here.  A crawl
+        fault on any API call yields a partial record rather than an
+        exception: the study keeps its campaign tables complete even when
+        individual profiles are unreachable.
         """
-        profile = self._network.user(user_id)  # demographics: insights view
-        visible_friends = self.api.get_friend_list(user_id)
-        declared = self.api.get_declared_friend_count(user_id)
-        liked_pages = self.api.get_page_likes(user_id)
-        declared_likes = self.api.get_declared_like_count(user_id)
+        profile = self.insights_profile(user_id)
+        failed: List[str] = []
+        visible_friends = self._guarded(
+            lambda: self.api.get_friend_list(user_id), failed, "friends"
+        )
+        declared = self._guarded(
+            lambda: self.api.get_declared_friend_count(user_id), failed, "friends"
+        )
+        liked_pages = self._guarded(
+            lambda: self.api.get_page_likes(user_id), failed, "likes"
+        )
+        declared_likes = self._guarded(
+            lambda: self.api.get_declared_like_count(user_id), failed, "likes"
+        )
         return LikerRecord(
             user_id=int(user_id),
             gender=profile.gender.value,
@@ -54,6 +106,8 @@ class ProfileCrawler:
             liked_page_ids=liked_pages if liked_pages is not None else [],
             declared_like_count=declared_likes if declared_likes is not None else 0,
             campaign_ids=list(campaign_ids),
+            crawl_status=CRAWL_COMPLETE if not failed else CRAWL_PARTIAL,
+            failed_fields=failed,
         )
 
     def crawl_likers(
@@ -70,7 +124,10 @@ class ProfileCrawler:
 
         Reproduces the paper's baseline: "a random set of 2000 Facebook
         users, extracted from an unbiased sample obtained by randomly
-        sampling Facebook public directory".
+        sampling Facebook public directory".  A sampled user whose count
+        cannot be crawled is dropped (a fake zero would skew the baseline
+        median downward); the surviving sample stays unbiased because
+        faults are independent of user attributes.
         """
         directory = PublicDirectory(self._network)
         listed = directory.searchable_user_ids()
@@ -78,7 +135,10 @@ class ProfileCrawler:
         sample = directory.sample_users(rng, sample_size)
         records: List[BaselineRecord] = []
         for user_id in sample:
-            count = self.api.get_declared_like_count(user_id)
+            try:
+                count = self.api.get_declared_like_count(user_id)
+            except CrawlFault:
+                continue
             records.append(
                 BaselineRecord(
                     user_id=int(user_id),
@@ -91,10 +151,16 @@ class ProfileCrawler:
         """The month-later follow-up: which likers' profiles are gone.
 
         A profile that the API no longer serves is a terminated account —
-        exactly how the paper could tell (profile pages 404ed).
+        exactly how the paper could tell (profile pages 404ed).  A crawl
+        *fault* is not evidence of termination, so an unreachable profile
+        counts as alive and the result stays a lower bound.
         """
-        return sorted(
-            int(user_id)
-            for user_id in set(user_ids)
-            if self.api.get_profile(user_id) is None
-        )
+        terminated: List[int] = []
+        for user_id in sorted(set(int(u) for u in user_ids)):
+            try:
+                profile = self.api.get_profile(UserId(user_id))
+            except CrawlFault:
+                continue
+            if profile is None:
+                terminated.append(user_id)
+        return terminated

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
-from repro.osn.api import PlatformAPI
+from repro.osn.api import PlatformAPI, ReadEndpoints
+from repro.osn.faults import CrawlFault
 from repro.osn.ids import PageId, UserId
 from repro.osn.network import SocialNetwork
 from repro.sim.engine import EventEngine
@@ -67,7 +68,7 @@ class PageMonitor:
         campaign_end: int,
         policy: Optional[MonitorPolicy] = None,
         start: int = 0,
-        api: Optional[PlatformAPI] = None,
+        api: Optional[ReadEndpoints] = None,
     ) -> None:
         require(campaign_end >= start, "campaign_end must be >= start")
         self._network = network
@@ -77,6 +78,7 @@ class PageMonitor:
         self.policy = policy if policy is not None else MonitorPolicy()
         self.start = start
         self.snapshots: List[MonitorSnapshot] = []
+        self.poll_gaps: List[int] = []  # times of polls lost to crawl faults
         self._seen: Set[UserId] = set()
         self._last_new_like_time = start
         self._process: Optional[RecurringProcess] = None
@@ -111,10 +113,25 @@ class PageMonitor:
             ordered.extend(snapshot.new_liker_ids)
         return ordered
 
+    @property
+    def missed_polls(self) -> int:
+        """Polls that failed despite retries (gaps in the snapshot series)."""
+        return len(self.poll_gaps)
+
     # -- internals ----------------------------------------------------------------
 
     def _poll(self, time: int) -> None:
-        page = self.api.get_page(self.page_id)
+        try:
+            page = self.api.get_page(self.page_id)
+        except CrawlFault:
+            # A lost poll is a gap, not a death: no snapshot is recorded,
+            # the quiet-stop clock keeps its last-like time, and the next
+            # interval fires as usual.  Likes that landed in the gap are
+            # first-observed by the next successful poll (the page serves
+            # cumulative liker lists), so nothing is lost permanently —
+            # only observed_at shifts, as it did in the paper's crawl.
+            self.poll_gaps.append(time)
+            return
         new = tuple(u for u in page.liker_ids if u not in self._seen)
         self._seen.update(new)
         if new:

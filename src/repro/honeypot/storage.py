@@ -53,6 +53,11 @@ class CampaignRecord:
         return [obs.user_id for obs in self.observations]
 
 
+#: ``LikerRecord.crawl_status`` values.
+CRAWL_COMPLETE = "complete"
+CRAWL_PARTIAL = "partial"
+
+
 @dataclass
 class LikerRecord:
     """Crawled public information about one liker.
@@ -60,6 +65,14 @@ class LikerRecord:
     ``declared_friend_count`` and ``visible_friend_ids`` are None/empty when
     the friend list was private — the crawler's censoring, kept explicit so
     analyses treat friend data as the lower bound the paper says it is.
+
+    ``crawl_status`` is ``"complete"`` when every endpoint answered and
+    ``"partial"`` when some crawl requests failed permanently;
+    ``failed_fields`` then names the lost field groups (``"friends"``,
+    ``"likes"``).  Demographics always survive — they come from the
+    page-insights reports, not the profile crawl — so a partial record
+    still carries gender/age/country.  Analyses must treat a partial
+    record's missing fields as *uncrawled*, not as empty.
     """
 
     user_id: int
@@ -73,6 +86,18 @@ class LikerRecord:
     declared_like_count: int = 0
     campaign_ids: List[str] = field(default_factory=list)
     terminated: bool = False
+    crawl_status: str = CRAWL_COMPLETE
+    failed_fields: List[str] = field(default_factory=list)
+
+    @property
+    def has_friend_data(self) -> bool:
+        """Whether the friend crawl completed (public or provably private)."""
+        return "friends" not in self.failed_fields
+
+    @property
+    def has_like_data(self) -> bool:
+        """Whether the liked-pages crawl completed."""
+        return "likes" not in self.failed_fields
 
 
 @dataclass(frozen=True)

@@ -31,8 +31,10 @@ from repro.honeypot.storage import (
     HoneypotDataset,
     LikeObservation,
 )
-from repro.osn.api import PlatformAPI
+from repro.osn.api import PlatformAPI, ReadEndpoints
+from repro.osn.faults import FaultProfile, FaultyPlatformAPI
 from repro.osn.ids import PageId, UserId
+from repro.osn.resilient import ResilientAPI, RetryPolicy
 from repro.osn.network import SocialNetwork
 from repro.osn.population import PopulationConfig, WorldBuilder
 from repro.osn.termination import TerminationPolicy, TerminationSweep
@@ -80,6 +82,14 @@ class StudyConfig:
         The follow-up sweep ran "a month after the campaigns".
     horizon_days:
         Simulation end; must exceed campaign + quiet-stop windows.
+    fault_profile:
+        When set, the crawl surface is wrapped in the deterministic
+        fault-injection + resilient-client stack (see
+        :mod:`repro.osn.faults`); ``None`` crawls the raw API.  A profile
+        with all rates zero is byte-identical to ``None``.
+    retry_policy:
+        Backoff/circuit-breaker parameters of the resilient client (only
+        used when ``fault_profile`` is set).
     """
 
     seed: int = 20140312
@@ -94,6 +104,8 @@ class StudyConfig:
     baseline_sample_size: int = 2000
     termination_delay_days: float = 30.0
     horizon_days: float = 50.0
+    fault_profile: Optional[FaultProfile] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         check_positive(self.scale, "scale")
@@ -114,6 +126,13 @@ class StudyConfig:
             ),
             baseline_sample_size=400,
         )
+
+    @staticmethod
+    def chaos(seed: int = 20140312) -> "StudyConfig":
+        """The small study under the default chaos profile (``make chaos``)."""
+        config = StudyConfig.small(seed=seed)
+        config.fault_profile = FaultProfile.default()
+        return config
 
 
 @dataclass
@@ -163,6 +182,13 @@ class HoneypotStudy:
         factory = FakeAccountFactory(network, world.universe)
         catalog = FarmCatalog(network, factory, rng.child("farms"))
         api = PlatformAPI(network)  # one crawl surface; stats aggregate here
+        endpoints: ReadEndpoints = api
+        if config.fault_profile is not None:
+            # The fault stack draws from its own child streams only, so a
+            # zero-rate profile consumes no randomness and the study stays
+            # byte-identical to an unwrapped run (tests/test_chaos_smoke.py).
+            faulty = FaultyPlatformAPI(api, config.fault_profile, rng.child("faults"))
+            endpoints = ResilientAPI(faulty, config.retry_policy, rng.child("backoff"))
 
         page_ids: Dict[str, PageId] = {}
         monitors: Dict[str, PageMonitor] = {}
@@ -196,7 +222,7 @@ class HoneypotStudy:
                 page.page_id,
                 campaign_end=days(spec.duration_days),
                 policy=config.monitor_policy,
-                api=api,
+                api=endpoints,
             )
             monitor.attach(engine)
             monitors[spec.campaign_id] = monitor
@@ -208,7 +234,7 @@ class HoneypotStudy:
             + 1
         )
         engine.run_until(crawl_time)
-        dataset = self._collect(network, monitors, rng, api)
+        dataset = self._collect(network, monitors, rng, endpoints)
         for campaign_id, campaign in ad_campaigns.items():
             dataset.campaigns[campaign_id].total_cost = round(campaign.spend, 2)
         for campaign_id, order in orders.items():
@@ -223,7 +249,7 @@ class HoneypotStudy:
         )
         sweep = TerminationSweep(policy)
         sweep.run(network, page_ids.values(), rng.child("termination"), engine.clock.now)
-        self._record_terminations(network, dataset, monitors, api)
+        self._record_terminations(network, dataset, monitors, endpoints)
 
         return StudyArtifacts(
             dataset=dataset,
@@ -242,7 +268,7 @@ class HoneypotStudy:
         network: SocialNetwork,
         monitors: Dict[str, PageMonitor],
         rng: RngStream,
-        api: PlatformAPI,
+        api: ReadEndpoints,
     ) -> HoneypotDataset:
         crawler = ProfileCrawler(network, api=api)
         dataset = HoneypotDataset()
@@ -288,7 +314,7 @@ class HoneypotStudy:
         network: SocialNetwork,
         dataset: HoneypotDataset,
         monitors: Dict[str, PageMonitor],
-        api: PlatformAPI,
+        api: ReadEndpoints,
     ) -> None:
         crawler = ProfileCrawler(network, api=api)
         for campaign_id, monitor in monitors.items():

@@ -7,7 +7,24 @@ directory of searchable profiles, organic-population generation, and the
 platform's fraud-enforcement (account termination) process.
 """
 
-from repro.osn.api import PlatformAPI, PublicPage, PublicProfile
+from repro.osn.api import (
+    PlatformAPI,
+    PublicPage,
+    PublicProfile,
+    ReadEndpoints,
+    RequestStats,
+)
+from repro.osn.faults import (
+    CrawlFault,
+    CrawlTimeout,
+    EndpointUnavailable,
+    FaultProfile,
+    FaultyPlatformAPI,
+    RateLimited,
+    TransientError,
+    TruncatedResponse,
+)
+from repro.osn.resilient import CircuitBreaker, ResilientAPI, RetryPolicy
 from repro.osn.ids import PageId, UserId
 from repro.osn.metrics import GraphMetrics, cohort_metrics, graph_metrics
 from repro.osn.profile import (
@@ -26,10 +43,23 @@ from repro.osn.termination import TerminationPolicy, TerminationSweep
 
 __all__ = [
     "AGE_BRACKETS",
+    "CircuitBreaker",
+    "CrawlFault",
+    "CrawlTimeout",
+    "EndpointUnavailable",
+    "FaultProfile",
+    "FaultyPlatformAPI",
     "FriendshipGraph",
     "Gender",
     "GraphMetrics",
     "PlatformAPI",
+    "RateLimited",
+    "ReadEndpoints",
+    "RequestStats",
+    "ResilientAPI",
+    "RetryPolicy",
+    "TransientError",
+    "TruncatedResponse",
     "PublicPage",
     "PublicProfile",
     "cohort_metrics",

@@ -12,11 +12,11 @@ weeks plus ~6k profiles).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Protocol
 
 from repro.osn.ids import PageId, UserId
 from repro.osn.network import SocialNetwork
-from repro.util.validation import check_positive, require
+from repro.util.validation import check_positive
 
 
 class RequestBudgetExceeded(RuntimeError):
@@ -25,17 +25,41 @@ class RequestBudgetExceeded(RuntimeError):
 
 @dataclass
 class RequestStats:
-    """How many API calls of each kind were made."""
+    """Crawl-health accounting: request counts plus failure/retry counters.
+
+    The first four fields count requests by kind (every attempt charges,
+    including ones that later fail).  The remaining counters are written
+    by the fault-injection and resilience layers
+    (:mod:`repro.osn.faults`, :mod:`repro.osn.resilient`) and stay zero on
+    a fault-free crawl, so studies can report exactly how hostile the
+    crawl surface was and what surviving it cost.
+    """
 
     profile: int = 0
     friend_list: int = 0
     page_likes: int = 0
     page: int = 0
+    # -- injected faults (written by FaultyPlatformAPI) --
+    transient_errors: int = 0
+    rate_limited: int = 0
+    timeouts: int = 0
+    truncated: int = 0
+    # -- resilience outcomes (written by ResilientAPI) --
+    retries: int = 0
+    failures: int = 0  # requests whose whole retry budget was exhausted
+    breaker_trips: int = 0
+    breaker_fastfails: int = 0
+    backoff_minutes: float = 0.0  # virtual time spent waiting between attempts
 
     @property
     def total(self) -> int:
         """All requests combined."""
         return self.profile + self.friend_list + self.page_likes + self.page
+
+    @property
+    def faults_injected(self) -> int:
+        """All injected faults combined."""
+        return self.transient_errors + self.rate_limited + self.timeouts + self.truncated
 
 
 @dataclass(frozen=True)
@@ -58,6 +82,33 @@ class PublicPage:
     description: str
     like_count: int
     liker_ids: tuple
+
+
+class ReadEndpoints(Protocol):
+    """The crawl surface: everything a logged-out scraper can request.
+
+    :class:`PlatformAPI` is the reliable base implementation;
+    :class:`repro.osn.faults.FaultyPlatformAPI` injects deterministic
+    faults behind the same interface, and
+    :class:`repro.osn.resilient.ResilientAPI` adds retry/backoff and
+    circuit breaking on top of either.  Crawler-side code (the profile
+    crawler, the page monitor) depends only on this protocol, so the
+    whole fault stack is swappable without touching the instrument.
+    """
+
+    stats: RequestStats
+
+    def get_profile(self, user_id: UserId) -> Optional[PublicProfile]: ...
+
+    def get_friend_list(self, user_id: UserId) -> Optional[List[int]]: ...
+
+    def get_declared_friend_count(self, user_id: UserId) -> Optional[int]: ...
+
+    def get_page_likes(self, user_id: UserId) -> Optional[List[int]]: ...
+
+    def get_declared_like_count(self, user_id: UserId) -> Optional[int]: ...
+
+    def get_page(self, page_id: PageId) -> PublicPage: ...
 
 
 @dataclass
@@ -116,8 +167,10 @@ class PlatformAPI:
         return sorted(int(f) for f in friends)
 
     def get_declared_friend_count(self, user_id: UserId) -> Optional[int]:
-        """The count shown on a public friend list, else None."""
-        require(self.network.has_user(user_id), f"unknown user {user_id}")
+        """The count shown on a public friend list, else None when gone."""
+        self._charge("friend_list")
+        if not self.network.has_user(user_id):
+            return None
         profile = self.network.user(user_id)
         if not self.network.privacy.can_view_friend_list(profile):
             return None
@@ -135,7 +188,9 @@ class PlatformAPI:
 
     def get_declared_like_count(self, user_id: UserId) -> Optional[int]:
         """Total like count on the profile, else None when gone."""
-        require(self.network.has_user(user_id), f"unknown user {user_id}")
+        self._charge("page_likes")
+        if not self.network.has_user(user_id):
+            return None
         profile = self.network.user(user_id)
         if not self.network.privacy.can_view_page_likes(profile):
             return None

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.honeypot.crawler import ProfileCrawler
+from repro.osn.api import PlatformAPI
+from repro.osn.faults import EndpointUnavailable, FaultProfile, FaultyPlatformAPI
 from repro.osn.network import SocialNetwork
 from repro.osn.profile import Gender
 from repro.util.rng import RngStream
@@ -90,3 +92,85 @@ class TestTerminationRecheck:
         crawler = ProfileCrawler(net)
         result = crawler.recheck_terminations([alive.user_id, dead.user_id])
         assert result == [dead.user_id]
+
+
+class BrokenEndpointsAPI:
+    """A real PlatformAPI with selected endpoints permanently failing."""
+
+    def __init__(self, network, broken=()):
+        self._inner = PlatformAPI(network)
+        self._broken = set(broken)
+
+    def __getattr__(self, name):
+        if name in self._broken:
+            def fail(*args, **kwargs):
+                raise EndpointUnavailable(name)
+            return fail
+        return getattr(self._inner, name)
+
+
+class TestGracefulDegradation:
+    def test_complete_crawl_is_marked_complete(self, net):
+        user = make_user(net)
+        record = ProfileCrawler(net).crawl_liker(user.user_id, ["C1"])
+        assert record.crawl_status == "complete"
+        assert record.failed_fields == []
+        assert record.has_friend_data and record.has_like_data
+
+    def test_failed_friend_endpoints_yield_partial_record(self, net):
+        user = make_user(net, public=True)
+        friend = make_user(net)
+        net.add_friendship(user.user_id, friend.user_id)
+        page = net.create_page("P")
+        net.like_page(user.user_id, page.page_id, time=0)
+        api = BrokenEndpointsAPI(
+            net, broken={"get_friend_list", "get_declared_friend_count"}
+        )
+        record = ProfileCrawler(net, api=api).crawl_liker(user.user_id, ["C1"])
+        assert record.crawl_status == "partial"
+        assert record.failed_fields == ["friends"]
+        assert not record.has_friend_data
+        assert not record.friend_list_public  # unknown, not claimed public
+        assert record.visible_friend_ids == []
+        assert record.declared_friend_count is None
+        # the like crawl still succeeded
+        assert record.has_like_data
+        assert record.liked_page_ids == [page.page_id]
+        # demographics always survive: they come from the insights view
+        assert record.gender == "F" and record.country == "US"
+
+    def test_all_user_endpoints_failing_still_yields_a_record(self, net):
+        user = make_user(net)
+        api = FaultyPlatformAPI(
+            PlatformAPI(net),
+            FaultProfile(profile_permafail_rate=1.0),
+            RngStream(3, "faults"),
+        )
+        record = ProfileCrawler(net, api=api).crawl_liker(user.user_id, ["C1"])
+        assert record.crawl_status == "partial"
+        assert record.failed_fields == ["friends", "likes"]
+        assert record.campaign_ids == ["C1"]
+        assert record.age_bracket == "18-24"
+
+    def test_baseline_drops_uncrawlable_users(self, net):
+        for _ in range(10):
+            make_user(net)
+        api = BrokenEndpointsAPI(net, broken={"get_declared_like_count"})
+        records = ProfileCrawler(net, api=api).crawl_baseline(RngStream(1), 10)
+        assert records == []  # dropped, not recorded as fake zeros
+
+    def test_recheck_counts_unreachable_profiles_as_alive(self, net):
+        dead = make_user(net)
+        net.terminate_account(dead.user_id, time=5)
+        api = BrokenEndpointsAPI(net, broken={"get_profile"})
+        crawler = ProfileCrawler(net, api=api)
+        # even a genuinely dead profile is not reported when the crawl
+        # itself fails: the terminated count stays a lower bound
+        assert crawler.recheck_terminations([dead.user_id]) == []
+
+    def test_insights_accessor_is_the_ground_truth_exemption(self, net):
+        user = make_user(net)
+        crawler = ProfileCrawler(net)
+        profile = crawler.insights_profile(user.user_id)
+        assert profile.country == "US"
+        assert profile.gender is Gender.FEMALE

@@ -4,6 +4,8 @@ import pytest
 
 from repro.honeypot.monitor import MonitorPolicy, PageMonitor
 from repro.honeypot.page import HONEYPOT_DESCRIPTION, create_honeypot_page
+from repro.osn.api import PlatformAPI
+from repro.osn.faults import TransientError
 from repro.osn.network import SocialNetwork
 from repro.osn.profile import Gender
 from repro.sim.engine import EventEngine
@@ -125,3 +127,91 @@ class TestPageMonitor:
         monitor.attach(engine)
         with pytest.raises(ValidationError):
             monitor.attach(engine)
+
+
+class TestStopRuleBoundaries:
+    """The quiet-stop rule at its exact edges."""
+
+    def test_poll_exactly_at_quiet_threshold_continues(self, setup):
+        # quiet_stop is strict (>): a poll landing exactly quiet_stop after
+        # the last new like keeps monitoring; only the next one stops.
+        net, page, engine = setup
+        add_like(net, engine, page.page_id, 0)
+        policy = MonitorPolicy(active_interval=10, idle_interval=10, quiet_stop=30)
+        monitor = PageMonitor(net, page.page_id, campaign_end=0, policy=policy)
+        monitor.attach(engine)
+        engine.run_until(10_000)
+        assert monitor.stopped
+        assert [s.time for s in monitor.snapshots] == [0, 10, 20, 30, 40]
+
+    def test_like_landing_on_campaign_end_is_observed(self, setup):
+        # The first idle-phase poll fires at campaign_end itself, so a like
+        # arriving on the boundary minute is still picked up and resets the
+        # quiet clock from there.
+        net, page, engine = setup
+        liker = add_like(net, engine, page.page_id, 20)
+        policy = MonitorPolicy(active_interval=10, idle_interval=10, quiet_stop=30)
+        monitor = PageMonitor(net, page.page_id, campaign_end=20, policy=policy)
+        monitor.attach(engine)
+        engine.run_until(10_000)
+        boundary = [s for s in monitor.snapshots if s.time == 20]
+        assert boundary and boundary[0].new_liker_ids == (liker,)
+        assert monitor.snapshots[-1].time == 20 + 30 + 10
+        assert monitor.observed_liker_ids() == [liker]
+
+    def test_zero_likes_ever_stops_after_quiet_window(self, setup):
+        net, page, engine = setup
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY)
+        monitor.attach(engine)
+        engine.run_until(30 * DAY)
+        assert monitor.stopped
+        assert monitor.observed_liker_ids() == []
+        assert all(s.cumulative_likes == 0 for s in monitor.snapshots)
+        # campaign day + quiet week, give or take the daily cadence
+        assert 7 <= monitor.monitored_days <= 9
+
+
+class FlakyAPI:
+    """Delegates to a real PlatformAPI but fails chosen get_page calls."""
+
+    def __init__(self, network, fail_calls):
+        self._inner = PlatformAPI(network)
+        self._fail_calls = set(fail_calls)
+        self._count = 0
+
+    def get_page(self, page_id):
+        self._count += 1
+        if self._count in self._fail_calls:
+            raise TransientError("poll lost")
+        return self._inner.get_page(page_id)
+
+
+class TestPollFaultTolerance:
+    def test_failed_poll_records_gap_and_next_poll_recovers(self, setup):
+        net, page, engine = setup
+        liker = add_like(net, engine, page.page_id, HOUR)
+        api = FlakyAPI(net, fail_calls={2})  # the 2h poll is lost
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY, api=api)
+        monitor.attach(engine)
+        engine.run_until(DAY)
+        assert monitor.poll_gaps == [2 * HOUR]
+        assert monitor.missed_polls == 1
+        times = [s.time for s in monitor.snapshots]
+        assert 2 * HOUR not in times  # a gap, not a fake empty snapshot
+        assert 4 * HOUR in times  # cadence unbroken
+        # the like that landed in the gap is first observed one poll later
+        by_time = {s.time: s for s in monitor.snapshots}
+        assert by_time[4 * HOUR].new_liker_ids == (liker,)
+        assert monitor.observed_liker_ids() == [liker]
+
+    def test_every_poll_failing_yields_empty_but_finished_monitor(self, setup):
+        net, page, engine = setup
+        add_like(net, engine, page.page_id, HOUR)
+        api = FlakyAPI(net, fail_calls=set(range(1, 10_000)))
+        monitor = PageMonitor(net, page.page_id, campaign_end=DAY, api=api)
+        monitor.attach(engine)
+        engine.run_until(30 * DAY)
+        assert monitor.stopped
+        assert monitor.snapshots == []
+        assert monitor.missed_polls > 10
+        assert monitor.monitored_days == 0.0

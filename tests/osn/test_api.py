@@ -55,6 +55,32 @@ class TestProfileEndpoints:
         assert api.get_declared_friend_count(public.user_id) == 11
         assert api.get_declared_friend_count(private.user_id) is None
 
+    def test_declared_counts_unknown_user_none(self, world):
+        # consistent with every sibling endpoint: unknown -> None, not raise
+        net, _, _, _ = world
+        api = PlatformAPI(net)
+        assert api.get_declared_friend_count(424242) is None
+        assert api.get_declared_like_count(424242) is None
+
+    def test_declared_counts_are_charged(self, world):
+        # the count lives on the friend-list/likes pages, so reading it
+        # costs a request of that kind — even for unknown users
+        net, public, _, _ = world
+        api = PlatformAPI(net)
+        api.get_declared_friend_count(public.user_id)
+        api.get_declared_like_count(public.user_id)
+        api.get_declared_friend_count(424242)
+        assert api.stats.friend_list == 2
+        assert api.stats.page_likes == 1
+        assert api.stats.total == 3
+
+    def test_declared_counts_respect_budget(self, world):
+        net, public, _, _ = world
+        api = PlatformAPI(net, max_requests=1)
+        api.get_declared_like_count(public.user_id)
+        with pytest.raises(RequestBudgetExceeded):
+            api.get_declared_friend_count(public.user_id)
+
     def test_page_likes_and_count(self, world):
         net, public, _, page = world
         api = PlatformAPI(net)
