@@ -6,7 +6,7 @@ PYTHON ?= python
 # editable install by putting src/ on PYTHONPATH.
 RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench profile chaos report examples clean
+.PHONY: install test bench profile chaos metrics report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,6 +24,12 @@ profile:
 # asserting the dataset comes out complete (plus the zero-fault identity).
 chaos:
 	$(RUN_ENV) $(PYTHON) -m pytest tests/test_chaos_smoke.py -v
+
+# Observability smoke: the chaos study with metrics enabled, emitting the
+# run manifest (config hash, seed, every counter/gauge) to metrics.json.
+metrics:
+	$(RUN_ENV) $(PYTHON) -m repro.cli run --chaos --metrics metrics.json --out study.jsonl
+	$(RUN_ENV) $(PYTHON) -m pytest tests/test_metrics_manifest.py -v
 
 report:
 	$(RUN_ENV) $(PYTHON) examples/paper_reproduction.py

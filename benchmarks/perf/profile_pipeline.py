@@ -20,6 +20,11 @@ committed so every PR leaves a perf trajectory:
 * ``like_events_per_second`` — recorded like events / wall seconds,
 * ``top_functions`` — top-10 functions by cumulative profiled time,
 * ``chaos`` — chaos-run wall time, retry overhead, and fault counters.
+
+The chaos pass runs with observability enabled and additionally writes its
+full run manifest (every counter, gauge, and timing span) to
+``BENCH_metrics.json``, so each PR's perf trajectory carries the metrics
+snapshot alongside the wall-clock numbers.
 """
 
 from __future__ import annotations
@@ -34,10 +39,12 @@ from pathlib import Path
 
 from repro.core.experiment import HoneypotExperiment
 from repro.honeypot.study import StudyConfig
+from repro.obs import ObservabilityConfig, build_manifest, write_manifest
 from repro.osn.faults import FaultProfile
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
+METRICS_PATH = REPO_ROOT / "BENCH_metrics.json"
 TOP_N = 10
 
 
@@ -69,13 +76,28 @@ def _top_functions(stats: pstats.Stats, top_n: int = TOP_N) -> list:
 
 
 def _run_chaos(baseline_wall: float) -> dict:
-    """One paper-scale run through the default fault profile; stats + overhead."""
+    """One paper-scale run through the default fault profile; stats + overhead.
+
+    Runs with observability on and writes the run manifest to
+    ``BENCH_metrics.json`` — the ``make profile`` metrics snapshot.
+    """
     config = StudyConfig()
     config.fault_profile = FaultProfile.default()
+    config.observability = ObservabilityConfig(enabled=True)
     experiment = HoneypotExperiment(config)
     start = time.perf_counter()
-    experiment.run()
+    results = experiment.run()
     wall = time.perf_counter() - start
+    registry = experiment.artifacts.metrics
+    manifest = build_manifest(
+        config,
+        registry,
+        wall_seconds=round(wall, 3),
+        virtual_minutes=int(registry.gauge("sim.virtual_minutes")),
+        dataset=results.dataset,
+    )
+    write_manifest(METRICS_PATH, manifest)
+    print(f"  metrics manifest -> {METRICS_PATH}", flush=True)
     stats = experiment.artifacts.api.stats
     return {
         "wall_seconds": round(wall, 2),
@@ -117,6 +139,7 @@ def main() -> int:
         "profiled_seconds": round(stats.total_tt, 2),
         "python": platform.python_version(),
         "chaos": chaos,
+        "metrics_manifest": METRICS_PATH.name,
         "top_functions": _top_functions(stats),
     }
     OUTPUT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")

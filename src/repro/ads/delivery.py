@@ -17,13 +17,14 @@ likes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.ads.campaign import AdCampaign
 from repro.ads.clickworkers import ClickWorkerPopulation
 from repro.ads.costmodel import CostModel
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.osn.ids import UserId
 from repro.osn.network import SocialNetwork
 from repro.sim.engine import EventEngine
@@ -94,12 +95,14 @@ class AdDeliveryEngine:
         clickworkers: ClickWorkerPopulation,
         rng: RngStream,
         config: DeliveryConfig = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._network = network
         self._cost_model = cost_model
         self._clickworkers = clickworkers
         self._rng = rng
         self.config = config if config is not None else DeliveryConfig()
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._organic_by_country = self._index_organics()
         self._diurnal = Categorical(_DIURNAL_WEIGHTS)
         self._campaign_counter = 0
@@ -110,12 +113,14 @@ class AdDeliveryEngine:
         rng = self._rng.child(f"campaign/{self._campaign_counter}")
         shares = self._cost_model.budget_shares(campaign.targeting)
         self._presize_pools(campaign, shares)
+        scheduled = 0
         for day in range(campaign.duration_days):
             day_start = campaign.start_time + day * DAY
             for country, share in shares.items():
                 market = self._cost_model.market(country)
                 expected_clicks = share * campaign.daily_budget / market.cpc
                 n_clicks = rng.poisson(expected_clicks)
+                scheduled += n_clicks
                 for _ in range(n_clicks):
                     time = day_start + self._sample_minute_of_day(rng)
                     engine.schedule(
@@ -123,6 +128,14 @@ class AdDeliveryEngine:
                         self._click_handler(campaign, country, rng),
                         label=f"ad-click:{country}",
                     )
+        self.metrics.inc("ads.campaigns_launched")
+        self.metrics.inc("ads.clicks_scheduled", scheduled)
+        self.metrics.trace_event(
+            "ad_campaign_launched",
+            time=campaign.start_time,
+            page_id=int(campaign.page_id),
+            clicks_scheduled=scheduled,
+        )
 
     # -- internals ----------------------------------------------------------------
 
@@ -148,11 +161,16 @@ class AdDeliveryEngine:
         self._clickworkers.ensure_pools(targets)
 
     def _click_handler(self, campaign: AdCampaign, country: str, rng: RngStream):
+        metrics = self.metrics
+
         def handle(time: int) -> None:
             market = self._cost_model.market(country)
             if campaign.spend + market.cpc > campaign.total_budget:
+                metrics.inc("ads.clicks_budget_capped")
                 return  # daily pacing already bounds spend; this is the hard cap
             campaign.record_click(market.cpc)
+            metrics.inc("ads.clicks")
+            metrics.inc("ads.spend_microusd", round(market.cpc * 1_000_000))
             clicker = self._pick_clicker(country, market.clickworker_share, rng)
             if clicker is None:
                 return
@@ -167,6 +185,7 @@ class AdDeliveryEngine:
             if rng.bernoulli(like_rate):
                 if self._network.like_page(clicker, campaign.page_id, time):
                     campaign.record_like(clicker)
+                    metrics.inc("ads.likes")
 
         return handle
 

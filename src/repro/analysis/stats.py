@@ -88,6 +88,12 @@ def summary_stats(values: Iterable[float]) -> SummaryStats:
 def max_count_in_window(times: Sequence[int], window: int) -> int:
     """The largest number of events inside any sliding window of ``window``.
 
+    Windows are **half-open** ``[t, t + window)``: an event exactly
+    ``window`` after another is in the *next* window, so a window of one
+    day counts at most one event of a strictly daily series.  (The old
+    inclusive behaviour over-counted every boundary event, inflating the
+    burstiness of slow trickle deliveries.)
+
     Used for burstiness: the paper observed 700+ likes within a few hours.
     """
     require(window > 0, "window must be > 0")
@@ -95,7 +101,7 @@ def max_count_in_window(times: Sequence[int], window: int) -> int:
     best = 0
     left = 0
     for right in range(len(ordered)):
-        while ordered[right] - ordered[left] > window:
+        while ordered[right] - ordered[left] >= window:
             left += 1
         best = max(best, right - left + 1)
     return best

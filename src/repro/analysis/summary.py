@@ -116,6 +116,67 @@ def crawl_health(dataset: HoneypotDataset) -> CrawlHealth:
     )
 
 
+@dataclass(frozen=True)
+class RunHealth:
+    """One health line for a whole study run.
+
+    Combines dataset-level crawl completeness (:class:`CrawlHealth`) with
+    the run's request/fault/resilience accounting, read from the study's
+    :class:`~repro.osn.api.RequestStats` (``StudyArtifacts.api.stats``).
+    ``missed_polls`` counts monitor polls lost to crawl faults across all
+    campaigns — the gaps behind ``observed_at`` shifts in the dataset.
+    """
+
+    crawl: CrawlHealth
+    requests: int
+    faults_injected: int
+    retries: int
+    failures: int
+    breaker_trips: int
+    missed_polls: int
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything at all was lost (partial records, gaps, failures)."""
+        return bool(self.crawl.n_partial or self.failures or self.missed_polls)
+
+    def as_dict(self) -> Dict[str, object]:
+        """A flat JSON-ready view (the summary's ``run_health`` section)."""
+        return {
+            "n_likers": self.crawl.n_likers,
+            "n_complete": self.crawl.n_complete,
+            "n_partial": self.crawl.n_partial,
+            "complete_fraction": round(self.crawl.complete_fraction, 6),
+            "requests": self.requests,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "failures": self.failures,
+            "breaker_trips": self.breaker_trips,
+            "missed_polls": self.missed_polls,
+            "degraded": self.degraded,
+        }
+
+
+def run_health(dataset: HoneypotDataset, artifacts=None) -> RunHealth:
+    """The run-health summary; pass ``StudyArtifacts`` for request counters.
+
+    Works from the dataset alone (request fields zero) so persisted
+    datasets can still be summarised; with ``artifacts`` the request,
+    fault, and poll-gap accounting of the live run is folded in.
+    """
+    stats = artifacts.api.stats if artifacts is not None else None
+    monitors = artifacts.monitors if artifacts is not None else {}
+    return RunHealth(
+        crawl=crawl_health(dataset),
+        requests=stats.total if stats is not None else 0,
+        faults_injected=stats.faults_injected if stats is not None else 0,
+        retries=stats.retries if stats is not None else 0,
+        failures=stats.failures if stats is not None else 0,
+        breaker_trips=stats.breaker_trips if stats is not None else 0,
+        missed_polls=sum(m.missed_polls for m in monitors.values()),
+    )
+
+
 def paper_comparison(
     dataset: HoneypotDataset, paper_likes: Dict[str, Optional[int]]
 ) -> List[Dict]:

@@ -61,7 +61,7 @@ class TemporalProfile:
     span_days: float  # first to last observed like
     max_2h_likes: int  # largest 2-hour window
     max_2h_fraction: float  # ... as a fraction of all likes
-    days_to_half: float  # how long until half the likes had arrived
+    days_to_half: float  # first observed like -> half the likes arrived
 
 
 def temporal_profile(dataset: HoneypotDataset, campaign_id: str) -> TemporalProfile:
@@ -86,7 +86,7 @@ def temporal_profile(dataset: HoneypotDataset, campaign_id: str) -> TemporalProf
         span_days=(times[-1] - times[0]) / DAY,
         max_2h_likes=max_2h,
         max_2h_fraction=max_2h / total,
-        days_to_half=times[half_index] / DAY,
+        days_to_half=(times[half_index] - times[0]) / DAY,
     )
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -27,6 +28,7 @@ from repro.detection.features import extract_liker_features
 from repro.detection.rules import RuleBasedDetector
 from repro.honeypot.storage import HoneypotDataset
 from repro.honeypot.study import StudyConfig
+from repro.obs import ObservabilityConfig, build_manifest, write_manifest
 from repro.osn.faults import FaultProfile
 from repro.osn.population import PopulationConfig
 from repro.util.tables import render_table
@@ -52,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chaos", action="store_true",
                      help="crawl through the default fault-injection profile "
                           "(retries/backoff/circuit breaking exercised)")
+    run.add_argument("--metrics", type=Path, default=None,
+                     help="enable observability and write the run manifest "
+                          "(config hash, seed, counters, timings) to this "
+                          "JSON file")
 
     report = sub.add_parser("report", help="render tables/figures from a dataset")
     report.add_argument("dataset", type=Path)
@@ -81,16 +87,33 @@ def _config_for(args: argparse.Namespace) -> StudyConfig:
         config = StudyConfig(seed=args.seed, scale=args.scale, population=population)
     if getattr(args, "chaos", False):
         config.fault_profile = FaultProfile.default()
+    if getattr(args, "metrics", None) is not None:
+        config.observability = ObservabilityConfig(enabled=True)
     return config
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     experiment = HoneypotExperiment(_config_for(args))
+    started = time.perf_counter()
     results = experiment.run()
+    wall_seconds = time.perf_counter() - started
     dataset = results.dataset
     dataset.to_jsonl(args.out)
     print(f"study complete: {dataset.total_likes} likes, "
           f"{len(dataset.likers)} likers -> {args.out}")
+    if args.metrics is not None:
+        registry = experiment.artifacts.metrics
+        manifest = build_manifest(
+            experiment.config,
+            registry,
+            wall_seconds=wall_seconds,
+            virtual_minutes=int(registry.gauge("sim.virtual_minutes")),
+            dataset=dataset,
+        )
+        write_manifest(args.metrics, manifest)
+        print(f"run manifest: {len(manifest['counters'])} counters, "
+              f"{len(manifest['gauges'])} gauges, "
+              f"config {manifest['config_hash']} -> {args.metrics}")
     stats = experiment.artifacts.api.stats
     if stats.faults_injected:
         print(f"crawl faults survived: {stats.faults_injected} injected, "

@@ -41,6 +41,7 @@ from repro.farms.topology import (
     HubTopology,
     PairTripletTopology,
 )
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.osn.ids import PageId
 from repro.osn.network import SocialNetwork
 from repro.osn.universe import STEALTH_FARM_MIX
@@ -113,6 +114,11 @@ class DeliveryStrategy:
         return trickle_schedule(accounts, start, rng, duration_days=duration)
 
 
+def _brand_slug(name: str) -> str:
+    """A metric-key-safe brand label (``BoostLikes.com`` -> ``boostlikes``)."""
+    return name.split(".")[0].lower()
+
+
 class LikeFarmService:
     """One storefront: account recipe + topology + delivery strategy."""
 
@@ -127,6 +133,7 @@ class LikeFarmService:
         rng: RngStream,
         inactive_regions: FrozenSet[str] = frozenset(),
         fulfillment_range: Tuple[float, float] = (0.6, 1.05),
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         require(bool(name), "service name must be non-empty")
         require(
@@ -142,6 +149,7 @@ class LikeFarmService:
         self._rng = rng
         self.inactive_regions = inactive_regions
         self.fulfillment_range = fulfillment_range
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.orders: list = []
 
     def price(self, region: str) -> float:
@@ -177,8 +185,17 @@ class LikeFarmService:
             placed_at=placed_at,
         )
         self.orders.append(order)
+        brand = _brand_slug(self.name)
         if region in self.inactive_regions:
             order.status = OrderStatus.INACTIVE
+            self.metrics.inc(f"farms.orders_inactive.{brand}")
+            self.metrics.trace_event(
+                "farm_order_inactive",
+                time=placed_at,
+                farm=self.name,
+                page_id=int(page_id),
+                region=region,
+            )
             return order
         rng = self._rng.child(f"order/{len(self.orders)}")
         if fulfillment is None:
@@ -205,14 +222,38 @@ class LikeFarmService:
                 self._delivery_handler(order, account),
                 label=f"farm-like:{self.name}",
             )
+        metrics = self.metrics
+        metrics.inc(f"farms.orders_placed.{brand}")
+        metrics.inc(f"farms.likes_scheduled.{brand}", len(plan))
+        if plan:
+            # Burst-timing shape of this brand's latest delivery plan, in
+            # minutes after order placement (Figure 2b's burst-vs-trickle
+            # signature, readable straight off the run manifest).
+            first = min(max(time, placed_at) for time, _ in plan)
+            last = max(max(time, placed_at) for time, _ in plan)
+            metrics.set_gauge(f"farms.delivery.{brand}.first_like_minute", first - placed_at)
+            metrics.set_gauge(f"farms.delivery.{brand}.last_like_minute", last - placed_at)
+            metrics.set_gauge(f"farms.delivery.{brand}.span_minutes", last - first)
+        metrics.trace_event(
+            "farm_order_placed",
+            time=placed_at,
+            farm=self.name,
+            page_id=int(page_id),
+            region=region,
+            scheduled_likes=len(plan),
+        )
         return order
 
     def _delivery_handler(self, order: FarmOrder, account) :
+        metrics = self.metrics
+        brand = _brand_slug(self.name)
+
         def deliver(time: int) -> None:
             if self._network.user(account).is_terminated:
                 return
             if self._network.like_page(account, order.page_id, time):
                 order.record_delivery()
+                metrics.inc(f"farms.likes_delivered.{brand}")
 
         return deliver
 
@@ -225,10 +266,12 @@ class FarmCatalog:
         network: SocialNetwork,
         factory: FakeAccountFactory,
         rng: RngStream,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._network = network
         self._factory = factory
         self._rng = rng
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.services: Dict[str, LikeFarmService] = {}
         self._build()
 
@@ -265,6 +308,7 @@ class FarmCatalog:
             ),
             strategy=DeliveryStrategy(kind="trickle", duration_days=15.0),
             rng=rng.child("svc/bl"),
+            metrics=self.metrics,
             inactive_regions=frozenset({REGION_WORLDWIDE}),
         )
 
@@ -300,6 +344,7 @@ class FarmCatalog:
             ),
             strategy=DeliveryStrategy(kind="burst", spread_days=3.0, n_bursts=4),
             rng=rng.child("svc/sf"),
+            metrics=self.metrics,
         )
 
         # --- AuthenticLikes + MammothSocials: one operator, two storefronts -
@@ -333,6 +378,7 @@ class FarmCatalog:
                 first_burst_delay=DAY,
             ),
             rng=rng.child("svc/al"),
+            metrics=self.metrics,
         )
         self.services[MAMMOTHSOCIALS] = LikeFarmService(
             name=MAMMOTHSOCIALS,
@@ -355,5 +401,6 @@ class FarmCatalog:
             ),
             strategy=DeliveryStrategy(kind="burst", spread_days=3.0, n_bursts=2),
             rng=rng.child("svc/ms"),
+            metrics=self.metrics,
             inactive_regions=frozenset({REGION_WORLDWIDE}),
         )

@@ -31,6 +31,7 @@ from repro.honeypot.storage import (
     BaselineRecord,
     LikerRecord,
 )
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.osn.api import PlatformAPI, ReadEndpoints
 from repro.osn.directory import PublicDirectory
 from repro.osn.faults import CrawlFault
@@ -45,9 +46,15 @@ T = TypeVar("T")
 class ProfileCrawler:
     """Crawls liker profiles and the random baseline sample."""
 
-    def __init__(self, network: SocialNetwork, api: Optional[ReadEndpoints] = None) -> None:
+    def __init__(
+        self,
+        network: SocialNetwork,
+        api: Optional[ReadEndpoints] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._network = network
         self.api = api if api is not None else PlatformAPI(network)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def insights_profile(self, user_id: UserId) -> UserProfile:
         """Demographics via the page-insights view — the ONE ground-truth read.
@@ -95,6 +102,9 @@ class ProfileCrawler:
         declared_likes = self._guarded(
             lambda: self.api.get_declared_like_count(user_id), failed, "likes"
         )
+        self.metrics.inc("crawl.likers_total")
+        if failed:
+            self.metrics.inc("crawl.likers_partial")
         return LikerRecord(
             user_id=int(user_id),
             gender=profile.gender.value,
@@ -114,10 +124,11 @@ class ProfileCrawler:
         self, liker_campaigns: Dict[UserId, List[str]]
     ) -> Dict[int, LikerRecord]:
         """Crawl every liker; ``liker_campaigns`` maps liker -> campaign ids."""
-        return {
-            int(user_id): self.crawl_liker(user_id, campaigns)
-            for user_id, campaigns in sorted(liker_campaigns.items())
-        }
+        with self.metrics.span("crawl.likers"):
+            return {
+                int(user_id): self.crawl_liker(user_id, campaigns)
+                for user_id, campaigns in sorted(liker_campaigns.items())
+            }
 
     def crawl_baseline(self, rng: RngStream, sample_size: int) -> List[BaselineRecord]:
         """Sample the public directory and record page-like counts.
@@ -134,17 +145,20 @@ class ProfileCrawler:
         sample_size = min(sample_size, len(listed))
         sample = directory.sample_users(rng, sample_size)
         records: List[BaselineRecord] = []
-        for user_id in sample:
-            try:
-                count = self.api.get_declared_like_count(user_id)
-            except CrawlFault:
-                continue
-            records.append(
-                BaselineRecord(
-                    user_id=int(user_id),
-                    declared_like_count=count if count is not None else 0,
+        with self.metrics.span("crawl.baseline"):
+            for user_id in sample:
+                try:
+                    count = self.api.get_declared_like_count(user_id)
+                except CrawlFault:
+                    self.metrics.inc("crawl.baseline_dropped")
+                    continue
+                records.append(
+                    BaselineRecord(
+                        user_id=int(user_id),
+                        declared_like_count=count if count is not None else 0,
+                    )
                 )
-            )
+        self.metrics.inc("crawl.baseline_sampled", len(records))
         return records
 
     def recheck_terminations(self, user_ids: Iterable[UserId]) -> List[int]:
@@ -156,11 +170,14 @@ class ProfileCrawler:
         counts as alive and the result stays a lower bound.
         """
         terminated: List[int] = []
-        for user_id in sorted(set(int(u) for u in user_ids)):
-            try:
-                profile = self.api.get_profile(UserId(user_id))
-            except CrawlFault:
-                continue
-            if profile is None:
-                terminated.append(user_id)
+        with self.metrics.span("crawl.termination_recheck"):
+            for user_id in sorted(set(int(u) for u in user_ids)):
+                try:
+                    profile = self.api.get_profile(UserId(user_id))
+                except CrawlFault:
+                    self.metrics.inc("crawl.termination_recheck_unreachable")
+                    continue
+                if profile is None:
+                    terminated.append(user_id)
+        self.metrics.inc("crawl.terminated_confirmed", len(terminated))
         return terminated

@@ -76,8 +76,11 @@ def build_dashboard(record: CampaignRecord) -> CampaignDashboard:
         days_active=len(active_days),
         peak_day=peak.day if peak and peak.new_likes else 0,
         peak_day_likes=peak.new_likes if peak else 0,
+        # Mean over what the monitor actually observed, not the
+        # platform-declared total: when polls were lost the declared count
+        # can exceed the observation series and would inflate the mean.
         mean_daily_likes=(
-            record.total_likes / len(active_days) if active_days else 0.0
+            daily[-1].cumulative / len(active_days) if active_days else 0.0
         ),
         daily=daily,
     )

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.osn.api import PlatformAPI, ReadEndpoints
 from repro.osn.faults import CrawlFault
 from repro.osn.ids import PageId, UserId
@@ -69,10 +70,12 @@ class PageMonitor:
         policy: Optional[MonitorPolicy] = None,
         start: int = 0,
         api: Optional[ReadEndpoints] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         require(campaign_end >= start, "campaign_end must be >= start")
         self._network = network
         self.api = api if api is not None else PlatformAPI(network)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.page_id = page_id
         self.campaign_end = campaign_end
         self.policy = policy if policy is not None else MonitorPolicy()
@@ -121,6 +124,7 @@ class PageMonitor:
     # -- internals ----------------------------------------------------------------
 
     def _poll(self, time: int) -> None:
+        self.metrics.inc("honeypot.polls")
         try:
             page = self.api.get_page(self.page_id)
         except CrawlFault:
@@ -131,6 +135,10 @@ class PageMonitor:
             # cumulative liker lists), so nothing is lost permanently —
             # only observed_at shifts, as it did in the paper's crawl.
             self.poll_gaps.append(time)
+            self.metrics.inc("honeypot.poll_gaps")
+            self.metrics.trace_event(
+                "poll_gap", time=time, page_id=int(self.page_id)
+            )
             return
         new = tuple(u for u in page.liker_ids if u not in self._seen)
         self._seen.update(new)

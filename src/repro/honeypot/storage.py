@@ -17,8 +17,6 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.util.validation import require
-
 
 @dataclass(frozen=True)
 class LikeObservation:
@@ -140,41 +138,63 @@ class HoneypotDataset:
     # -- persistence --------------------------------------------------------------
 
     def to_jsonl(self, path: Path) -> None:
-        """Write the dataset as JSON Lines (one typed record per line)."""
+        """Write the dataset as JSON Lines (one typed record per line).
+
+        The write is atomic: rows go to a sibling temp file which replaces
+        ``path`` only after everything was written and flushed, so a crash
+        mid-write can never leave a truncated dataset where a previous good
+        one stood.
+        """
         path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            meta = {
-                "type": "meta",
-                "global_gender": self.global_gender,
-                "global_age": self.global_age,
-                "global_country": self.global_country,
-            }
-            handle.write(json.dumps(meta) + "\n")
-            for campaign in self.campaigns.values():
-                row = asdict(campaign)
-                row["type"] = "campaign"
-                handle.write(json.dumps(row) + "\n")
-            for liker in self.likers.values():
-                row = asdict(liker)
-                row["type"] = "liker"
-                handle.write(json.dumps(row) + "\n")
-            for record in self.baseline:
-                row = asdict(record)
-                row["type"] = "baseline"
-                handle.write(json.dumps(row) + "\n")
+        tmp_path = path.with_name(path.name + ".tmp")
+        try:
+            with tmp_path.open("w", encoding="utf-8") as handle:
+                meta = {
+                    "type": "meta",
+                    "global_gender": self.global_gender,
+                    "global_age": self.global_age,
+                    "global_country": self.global_country,
+                }
+                handle.write(json.dumps(meta) + "\n")
+                for campaign in self.campaigns.values():
+                    row = asdict(campaign)
+                    row["type"] = "campaign"
+                    handle.write(json.dumps(row) + "\n")
+                for liker in self.likers.values():
+                    row = asdict(liker)
+                    row["type"] = "liker"
+                    handle.write(json.dumps(row) + "\n")
+                for record in self.baseline:
+                    row = asdict(record)
+                    row["type"] = "baseline"
+                    handle.write(json.dumps(row) + "\n")
+            tmp_path.replace(path)
+        except BaseException:
+            tmp_path.unlink(missing_ok=True)
+            raise
 
     @classmethod
     def from_jsonl(cls, path: Path) -> "HoneypotDataset":
-        """Load a dataset previously written by :meth:`to_jsonl`."""
+        """Load a dataset previously written by :meth:`to_jsonl`.
+
+        Raises :class:`ValueError` naming the file, line number, and cause
+        when a line is not valid JSON or is not a recognised record — a
+        corrupt dataset fails loudly instead of half-loading.
+        """
         dataset = cls()
         path = Path(path)
         with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                row = json.loads(line)
-                kind = row.pop("type")
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"{path}:{line_number}: unparseable JSON line ({error.msg})"
+                    ) from error
+                kind = row.pop("type", None)
                 if kind == "meta":
                     dataset.global_gender = row["global_gender"]
                     dataset.global_age = row["global_age"]
@@ -191,5 +211,7 @@ class HoneypotDataset:
                 elif kind == "baseline":
                     dataset.baseline.append(BaselineRecord(**row))
                 else:
-                    require(False, f"unknown record type {kind!r}")
+                    raise ValueError(
+                        f"{path}:{line_number}: unknown record type {kind!r}"
+                    )
         return dataset

@@ -31,7 +31,8 @@ from repro.honeypot.storage import (
     HoneypotDataset,
     LikeObservation,
 )
-from repro.osn.api import PlatformAPI, ReadEndpoints
+from repro.obs.metrics import MetricsRegistry, ObservabilityConfig
+from repro.osn.api import PlatformAPI, ReadEndpoints, RequestStats
 from repro.osn.faults import FaultProfile, FaultyPlatformAPI
 from repro.osn.ids import PageId, UserId
 from repro.osn.resilient import ResilientAPI, RetryPolicy
@@ -90,6 +91,10 @@ class StudyConfig:
     retry_policy:
         Backoff/circuit-breaker parameters of the resilient client (only
         used when ``fault_profile`` is set).
+    observability:
+        Metrics/trace collection (see :mod:`repro.obs`).  Disabled by
+        default: every subsystem then instruments against the shared
+        no-op registry, which adds no measurable overhead.
     """
 
     seed: int = 20140312
@@ -106,6 +111,7 @@ class StudyConfig:
     horizon_days: float = 50.0
     fault_profile: Optional[FaultProfile] = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
         check_positive(self.scale, "scale")
@@ -150,6 +156,7 @@ class StudyArtifacts:
     monitors: Dict[str, PageMonitor]
     page_ids: Dict[str, PageId]
     api: PlatformAPI
+    metrics: MetricsRegistry = None
 
 
 class HoneypotStudy:
@@ -161,11 +168,13 @@ class HoneypotStudy:
     def run(self) -> StudyArtifacts:
         """Execute the study end to end and return all artifacts."""
         config = self.config
+        metrics = config.observability.build_registry()
         rng = RngStream(config.seed, "study")
         network = SocialNetwork()
-        engine = EventEngine()
+        engine = EventEngine(metrics=metrics)
 
-        world = WorldBuilder(config.population).build(network, rng.child("world"))
+        with metrics.span("study.build_world"):
+            world = WorldBuilder(config.population).build(network, rng.child("world"))
         clickworkers = ClickWorkerPopulation(
             network,
             world.universe,
@@ -178,10 +187,16 @@ class HoneypotStudy:
             clickworkers,
             rng.child("ads"),
             config=config.delivery,
+            metrics=metrics,
         )
         factory = FakeAccountFactory(network, world.universe)
-        catalog = FarmCatalog(network, factory, rng.child("farms"))
-        api = PlatformAPI(network)  # one crawl surface; stats aggregate here
+        catalog = FarmCatalog(network, factory, rng.child("farms"), metrics=metrics)
+        # One crawl surface; request stats aggregate here.  When observability
+        # is on, the stats counters live in the shared registry so they appear
+        # in the run manifest; when off, RequestStats keeps its own private
+        # registry (a null one would silently stop counting requests).
+        stats = RequestStats(metrics=metrics) if metrics.enabled else RequestStats()
+        api = PlatformAPI(network, stats=stats)
         endpoints: ReadEndpoints = api
         if config.fault_profile is not None:
             # The fault stack draws from its own child streams only, so a
@@ -223,6 +238,7 @@ class HoneypotStudy:
                 campaign_end=days(spec.duration_days),
                 policy=config.monitor_policy,
                 api=endpoints,
+                metrics=metrics,
             )
             monitor.attach(engine)
             monitors[spec.campaign_id] = monitor
@@ -233,8 +249,10 @@ class HoneypotStudy:
             + self.config.monitor_policy.quiet_stop / DAY
             + 1
         )
-        engine.run_until(crawl_time)
-        dataset = self._collect(network, monitors, rng, endpoints)
+        with metrics.span("study.simulate"):
+            engine.run_until(crawl_time)
+        with metrics.span("study.collect"):
+            dataset = self._collect(network, monitors, rng, endpoints, metrics)
         for campaign_id, campaign in ad_campaigns.items():
             dataset.campaigns[campaign_id].total_cost = round(campaign.spend, 2)
         for campaign_id, order in orders.items():
@@ -248,8 +266,14 @@ class HoneypotStudy:
             else default_termination_policy(config.scale)
         )
         sweep = TerminationSweep(policy)
-        sweep.run(network, page_ids.values(), rng.child("termination"), engine.clock.now)
-        self._record_terminations(network, dataset, monitors, endpoints)
+        with metrics.span("study.termination_sweep"):
+            sweep.run(
+                network, page_ids.values(), rng.child("termination"), engine.clock.now
+            )
+            self._record_terminations(network, dataset, monitors, endpoints, metrics)
+
+        if metrics.enabled:
+            self._publish_campaign_metrics(metrics, dataset, ad_campaigns, monitors)
 
         return StudyArtifacts(
             dataset=dataset,
@@ -259,6 +283,7 @@ class HoneypotStudy:
             monitors=monitors,
             page_ids=page_ids,
             api=api,
+            metrics=metrics,
         )
 
     # -- internals ----------------------------------------------------------------
@@ -269,8 +294,9 @@ class HoneypotStudy:
         monitors: Dict[str, PageMonitor],
         rng: RngStream,
         api: ReadEndpoints,
+        metrics: MetricsRegistry = None,
     ) -> HoneypotDataset:
-        crawler = ProfileCrawler(network, api=api)
+        crawler = ProfileCrawler(network, api=api, metrics=metrics)
         dataset = HoneypotDataset()
 
         liker_campaigns: Dict[UserId, List[str]] = {}
@@ -315,8 +341,9 @@ class HoneypotStudy:
         dataset: HoneypotDataset,
         monitors: Dict[str, PageMonitor],
         api: ReadEndpoints,
+        metrics: MetricsRegistry = None,
     ) -> None:
-        crawler = ProfileCrawler(network, api=api)
+        crawler = ProfileCrawler(network, api=api, metrics=metrics)
         for campaign_id, monitor in monitors.items():
             terminated = crawler.recheck_terminations(monitor.observed_liker_ids())
             record = dataset.campaigns[campaign_id]
@@ -327,3 +354,24 @@ class HoneypotStudy:
             for user_id in terminated:
                 if user_id in dataset.likers:
                     dataset.likers[user_id].terminated = True
+
+    @staticmethod
+    def _publish_campaign_metrics(
+        metrics: MetricsRegistry,
+        dataset: HoneypotDataset,
+        ad_campaigns: Dict[str, AdCampaign],
+        monitors: Dict[str, PageMonitor],
+    ) -> None:
+        """Per-campaign rollups for the run manifest (all deterministic)."""
+        for campaign_id, record in dataset.campaigns.items():
+            prefix = f"campaign.{campaign_id}"
+            metrics.set_gauge(f"{prefix}.total_likes", record.total_likes)
+            metrics.set_gauge(f"{prefix}.monitored_days", round(record.monitored_days, 4))
+            metrics.set_gauge(f"{prefix}.terminated_likers", len(record.terminated_liker_ids))
+            monitor = monitors.get(campaign_id)
+            if monitor is not None:
+                metrics.set_gauge(f"{prefix}.missed_polls", monitor.missed_polls)
+            campaign = ad_campaigns.get(campaign_id)
+            if campaign is not None:
+                metrics.set_gauge(f"{prefix}.spend_microusd", round(campaign.spend * 1_000_000))
+                metrics.set_gauge(f"{prefix}.clicks", campaign.clicks)

@@ -1,0 +1,86 @@
+"""A bounded, structured event trace (JSON Lines on disk).
+
+Counters say *how much*; the trace says *when and what*.  Subsystems emit
+sparse, high-signal events — a monitor poll lost to a crawl fault, a farm
+order placed, a circuit breaker tripping, a study phase completing — and
+the trace keeps the most recent ``limit`` of them in a ring buffer, so a
+pathological run (millions of faults) costs bounded memory and the tail
+of the story survives.
+
+Events carry the *simulated* timestamp (minutes since the study epoch)
+when the emitter has one; the trace never reads the wall clock, keeping
+serialised traces deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace event.
+
+    ``sequence`` is the global emission index (monotone, survives ring
+    eviction, so gaps reveal exactly where events were dropped);
+    ``time`` is simulated minutes since the epoch, or None for events
+    outside the simulation clock (e.g. the post-run crawl phases).
+    """
+
+    sequence: int
+    kind: str
+    time: Optional[int] = None
+    fields: Dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One JSON line, keys in a fixed order."""
+        row = {"seq": self.sequence, "kind": self.kind, "time": self.time}
+        row.update(sorted(self.fields.items()))
+        return json.dumps(row)
+
+
+class EventTrace:
+    """A ring buffer of :class:`TraceEvent` with an emission counter."""
+
+    def __init__(self, limit: int = 10_000) -> None:
+        check_positive(limit, "limit")
+        self.limit = limit
+        self._events: Deque[TraceEvent] = deque(maxlen=limit)
+        self._emitted = 0
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted, including any evicted from the buffer."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self._emitted - len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def emit(self, kind: str, time: Optional[int] = None, **fields) -> None:
+        """Record one event; evicts the oldest when the buffer is full."""
+        self._events.append(
+            TraceEvent(sequence=self._emitted, kind=kind, time=time, fields=fields)
+        )
+        self._emitted += 1
+
+    def to_jsonl(self, path: Path) -> None:
+        """Write the buffered events as JSON Lines (atomically)."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for event in self._events:
+                handle.write(event.to_json() + "\n")
+        tmp.replace(path)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol
 
+from repro.obs.metrics import MetricsRegistry
 from repro.osn.ids import PageId, UserId
 from repro.osn.network import SocialNetwork
 from repro.util.validation import check_positive
@@ -23,33 +24,60 @@ class RequestBudgetExceeded(RuntimeError):
     """Raised when the crawler exceeds its configured request budget."""
 
 
-@dataclass
+def _stat_view(key: str, cast):
+    """A RequestStats attribute backed by a registry counter."""
+
+    def getter(self) -> int:
+        return cast(self.metrics.value(key))
+
+    def setter(self, value) -> None:
+        self.metrics.set_counter(key, value)
+
+    return property(getter, setter, doc=f"View over the {key!r} counter.")
+
+
 class RequestStats:
     """Crawl-health accounting: request counts plus failure/retry counters.
 
-    The first four fields count requests by kind (every attempt charges,
-    including ones that later fail).  The remaining counters are written
-    by the fault-injection and resilience layers
+    The first four attributes count requests by kind (every attempt
+    charges, including ones that later fail).  The remaining counters are
+    written by the fault-injection and resilience layers
     (:mod:`repro.osn.faults`, :mod:`repro.osn.resilient`) and stay zero on
     a fault-free crawl, so studies can report exactly how hostile the
     crawl surface was and what surviving it cost.
+
+    Every attribute is a *view* over a named counter in a
+    :class:`~repro.obs.metrics.MetricsRegistry` — pass the study's shared
+    registry and the crawl counters land in the run manifest next to
+    every other subsystem's; pass nothing and the stats keep a private
+    registry, preserving the original standalone behaviour.  Reads and
+    writes (``stats.retries += 1``) work exactly as they did when these
+    were dataclass fields.
     """
 
-    profile: int = 0
-    friend_list: int = 0
-    page_likes: int = 0
-    page: int = 0
-    # -- injected faults (written by FaultyPlatformAPI) --
-    transient_errors: int = 0
-    rate_limited: int = 0
-    timeouts: int = 0
-    truncated: int = 0
-    # -- resilience outcomes (written by ResilientAPI) --
-    retries: int = 0
-    failures: int = 0  # requests whose whole retry budget was exhausted
-    breaker_trips: int = 0
-    breaker_fastfails: int = 0
-    backoff_minutes: float = 0.0  # virtual time spent waiting between attempts
+    #: attribute name -> (registry counter key, cast on read)
+    COUNTER_KEYS = {
+        "profile": "osn.requests.profile",
+        "friend_list": "osn.requests.friend_list",
+        "page_likes": "osn.requests.page_likes",
+        "page": "osn.requests.page",
+        # -- injected faults (written by FaultyPlatformAPI) --
+        "transient_errors": "osn.faults.transient_errors",
+        "rate_limited": "osn.faults.rate_limited",
+        "timeouts": "osn.faults.timeouts",
+        "truncated": "osn.faults.truncated",
+        # -- resilience outcomes (written by ResilientAPI) --
+        "retries": "osn.resilience.retries",
+        "failures": "osn.resilience.failures",
+        "breaker_trips": "osn.resilience.breaker_trips",
+        "breaker_fastfails": "osn.resilience.breaker_fastfails",
+        "backoff_minutes": "osn.resilience.backoff_minutes",
+    }
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        # A NullMetricsRegistry would silently discard request accounting
+        # that predates the observability layer, so default to a real one.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     @property
     def total(self) -> int:
@@ -60,6 +88,28 @@ class RequestStats:
     def faults_injected(self) -> int:
         """All injected faults combined."""
         return self.transient_errors + self.rate_limited + self.timeouts + self.truncated
+
+    def as_dict(self) -> dict:
+        """All counters by attribute name (stable order, for reports)."""
+        return {name: getattr(self, name) for name in self.COUNTER_KEYS}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RequestStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={value}" for name, value in self.as_dict().items())
+        return f"RequestStats({body})"
+
+
+for _name, _key in RequestStats.COUNTER_KEYS.items():
+    setattr(
+        RequestStats,
+        _name,
+        _stat_view(_key, float if _name == "backoff_minutes" else int),
+    )
+del _name, _key
 
 
 @dataclass(frozen=True)
@@ -129,8 +179,9 @@ class PlatformAPI:
             check_positive(self.max_requests, "max_requests")
 
     def _charge(self, kind: str) -> None:
-        setattr(self.stats, kind, getattr(self.stats, kind) + 1)
-        if self.max_requests is not None and self.stats.total > self.max_requests:
+        stats = self.stats
+        stats.metrics.inc(RequestStats.COUNTER_KEYS[kind])
+        if self.max_requests is not None and stats.total > self.max_requests:
             raise RequestBudgetExceeded(
                 f"request budget of {self.max_requests} exceeded"
             )

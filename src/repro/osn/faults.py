@@ -231,32 +231,40 @@ class FaultyPlatformAPI:
         profile = self.profile
         if profile.is_null:
             return result  # no draw: the stream stays untouched
+        stats = self.stats
+        # Per-endpoint injected-fault counters, next to the aggregates.
+        metrics = stats.metrics
         if (
             user_id is not None
             and endpoint in _USER_ENDPOINTS
             and self._is_permafailed(user_id)
         ):
-            self.stats.transient_errors += 1
+            stats.transient_errors += 1
+            metrics.inc(f"osn.endpoint.{endpoint}.faults_injected")
             raise TransientError(f"{endpoint}({int(user_id)}) unreachable")
         draw = self._rng.random()
         edge = profile.transient_error_rate
         if draw < edge:
-            self.stats.transient_errors += 1
+            stats.transient_errors += 1
+            metrics.inc(f"osn.endpoint.{endpoint}.faults_injected")
             raise TransientError(f"{endpoint} failed")
         edge += profile.rate_limit_rate
         if draw < edge:
             low, high = profile.retry_after_range
             retry_after = self._rng.randint(low, high + 1)
-            self.stats.rate_limited += 1
+            stats.rate_limited += 1
+            metrics.inc(f"osn.endpoint.{endpoint}.faults_injected")
             raise RateLimited(retry_after)
         edge += profile.timeout_rate
         if draw < edge:
-            self.stats.timeouts += 1
+            stats.timeouts += 1
+            metrics.inc(f"osn.endpoint.{endpoint}.faults_injected")
             raise CrawlTimeout(f"{endpoint} timed out")
         edge += profile.truncation_rate
         if draw < edge and endpoint in _LIST_ENDPOINTS and result:
             truncated = self._truncate(endpoint, result)
-            self.stats.truncated += 1
+            stats.truncated += 1
+            metrics.inc(f"osn.endpoint.{endpoint}.faults_injected")
             raise TruncatedResponse(truncated)
         return result
 

@@ -192,14 +192,20 @@ class ResilientAPI:
         policy = self.policy
         breaker = self.breaker(endpoint)
         stats = self.stats
+        # Per-endpoint resilience counters land next to the aggregate
+        # RequestStats views in the same registry, so the run manifest can
+        # show *which* endpoint burned the retry budget.
+        metrics = stats.metrics
         best_partial = _NO_PARTIAL
         for attempt in range(1, policy.max_attempts + 1):
             if not breaker.allow():
                 stats.breaker_fastfails += 1
                 stats.failures += 1
+                metrics.inc(f"osn.endpoint.{endpoint}.breaker_fastfails")
                 raise EndpointUnavailable(f"{endpoint}: circuit open")
             if attempt > 1:
                 stats.retries += 1
+                metrics.inc(f"osn.endpoint.{endpoint}.retries")
             try:
                 result = thunk()
             except RateLimited as fault:
@@ -210,6 +216,8 @@ class ResilientAPI:
             except (TransientError, CrawlTimeout):
                 if breaker.record_failure():
                     stats.breaker_trips += 1
+                    metrics.inc(f"osn.endpoint.{endpoint}.breaker_trips")
+                    metrics.trace_event("breaker_trip", endpoint=endpoint)
                 if attempt < policy.max_attempts:
                     stats.backoff_minutes += self._jittered(policy.backoff_for(attempt))
                 continue
@@ -226,8 +234,10 @@ class ResilientAPI:
             breaker.record_success()
             return result
         stats.failures += 1
+        metrics.inc(f"osn.endpoint.{endpoint}.failures")
         if best_partial is not _NO_PARTIAL:
             # Graceful degradation: partial data beats no data.
+            metrics.inc(f"osn.endpoint.{endpoint}.partial_recoveries")
             return best_partial  # type: ignore[return-value]
         raise EndpointUnavailable(
             f"{endpoint}: retry budget of {policy.max_attempts} attempts exhausted"

@@ -79,6 +79,12 @@ class Categorical:
         weights.update(overrides)
         return Categorical(weights)
 
+    def __repr__(self) -> str:
+        # Value-based (no object address): reprs feed the run-manifest
+        # config fingerprint, which must be stable across processes.
+        pmf = ", ".join(f"{label!r}: {p:.6g}" for label, p in self.as_dict().items())
+        return f"Categorical({{{pmf}}})"
+
 
 class LogNormalCount:
     """Integer counts drawn from a clipped log-normal distribution.
@@ -119,6 +125,13 @@ class LogNormalCount:
         raw = rng.generator.lognormal(self._mu, self.sigma, size=n)
         clipped = np.clip(np.round(raw), self.minimum, self.maximum)
         return [int(c) for c in clipped]
+
+    def __repr__(self) -> str:
+        # Value-based for the same reason as Categorical.__repr__.
+        return (
+            f"LogNormalCount(median={self.median!r}, sigma={self.sigma!r}, "
+            f"minimum={self.minimum!r}, maximum={self.maximum!r})"
+        )
 
 
 def zipf_weights(n: int, exponent: float = 1.0) -> np.ndarray:

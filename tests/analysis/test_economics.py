@@ -88,6 +88,30 @@ class TestDashboard:
         assert dashboard.mean_daily_likes == 0.0
         assert dashboard.delivered_by_day == 0
 
+    def test_mean_from_observed_not_declared(self):
+        # Regression: a gap-ridden record whose platform-declared total
+        # exceeds what the monitor observed.  The mean must come from the
+        # observed cumulative series, not the declared count.
+        from repro.honeypot.storage import CampaignRecord, LikeObservation
+        from repro.util.timeutil import DAY
+
+        record = CampaignRecord(
+            campaign_id="GAP", provider="test", kind="farm",
+            location_label="ALL", budget_label="-", duration_days=15.0,
+            monitored_days=10.0, page_id=1,
+            total_likes=100,  # platform-declared; 94 observations lost to gaps
+            observations=[
+                LikeObservation(observed_at=0, user_id=1),
+                LikeObservation(observed_at=0, user_id=2),
+                LikeObservation(observed_at=DAY, user_id=3),
+                LikeObservation(observed_at=DAY, user_id=4),
+                LikeObservation(observed_at=2 * DAY, user_id=5),
+                LikeObservation(observed_at=2 * DAY, user_id=6),
+            ],
+        )
+        dashboard = build_dashboard(record)
+        assert dashboard.mean_daily_likes == 2.0  # 6 observed / 3 active days
+
     def test_daily_cumulative_monotone(self, small_dataset):
         for campaign_id in small_dataset.campaign_ids():
             dashboard = build_dashboard(small_dataset.campaign(campaign_id))

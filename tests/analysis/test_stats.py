@@ -118,10 +118,23 @@ class TestMaxCountInWindow:
         assert max_count_in_window([0, 100, 200], window=60) == 1
 
     def test_sliding(self):
-        assert max_count_in_window([0, 50, 100, 150], window=100) == 3
+        # Half-open windows: [0, 100) holds 0 and 50 only; 100 starts the
+        # next window.
+        assert max_count_in_window([0, 50, 100, 150], window=100) == 2
 
     def test_unsorted_input(self):
-        assert max_count_in_window([200, 0, 100, 50], window=100) == 3
+        assert max_count_in_window([200, 0, 100, 50], window=100) == 2
+
+    def test_boundary_exactly_window_apart(self):
+        # Two events exactly `window` apart never share a half-open window.
+        assert max_count_in_window([0, 100], window=100) == 1
+        assert max_count_in_window([0, 99], window=100) == 2
+
+    def test_daily_series_in_daily_window(self):
+        # A strictly daily trickle counts one event per one-day window —
+        # the inclusive bug counted two at every boundary.
+        day = 1440
+        assert max_count_in_window([0, day, 2 * day, 3 * day], window=day) == 1
 
     def test_empty(self):
         assert max_count_in_window([], window=60) == 0

@@ -11,7 +11,22 @@ from repro.analysis.temporal import (
     cumulative_series,
     temporal_profile,
 )
+from repro.honeypot.storage import CampaignRecord, HoneypotDataset, LikeObservation
+from repro.util.timeutil import DAY, HOUR
 from repro.util.validation import ValidationError
+
+
+def _dataset_with_observations(times):
+    dataset = HoneypotDataset()
+    dataset.campaigns["X"] = CampaignRecord(
+        campaign_id="X", provider="test", kind="farm",
+        location_label="ALL", budget_label="-", duration_days=15.0,
+        monitored_days=30.0, page_id=1, total_likes=len(times),
+        observations=[
+            LikeObservation(observed_at=t, user_id=i) for i, t in enumerate(times)
+        ],
+    )
+    return dataset
 
 
 class TestCumulativeSeries:
@@ -68,6 +83,22 @@ class TestTemporalProfile:
     def test_trickle_long_span(self, small_dataset):
         profile = temporal_profile(small_dataset, "BL-USA")
         assert profile.span_days >= 10
+
+    def test_days_to_half_measured_from_first_like(self):
+        # Regression: a burst starting on day 20 reaches its half-point
+        # within the hour.  The old code measured from the study epoch and
+        # reported ~20 days for this campaign.
+        start = 20 * DAY
+        times = [start + i * (HOUR // 10) for i in range(10)]
+        profile = temporal_profile(_dataset_with_observations(times), "X")
+        assert profile.days_to_half < 1.0
+        assert profile.days_to_half == pytest.approx((times[4] - start) / DAY)
+
+    def test_days_to_half_epoch_start_unchanged(self):
+        # A campaign whose first like lands at t=0 is unaffected by the fix.
+        times = [0, DAY, 2 * DAY, 3 * DAY]
+        profile = temporal_profile(_dataset_with_observations(times), "X")
+        assert profile.days_to_half == pytest.approx(1.0)
 
 
 class TestClassifyStrategy:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.honeypot.storage import (
+    CRAWL_PARTIAL,
     BaselineRecord,
     CampaignRecord,
     HoneypotDataset,
@@ -112,3 +113,73 @@ class TestJsonlRoundTrip:
         assert loaded.campaign_ids() == small_dataset.campaign_ids()
         assert len(loaded.likers) == len(small_dataset.likers)
         assert len(loaded.baseline) == len(small_dataset.baseline)
+
+    def test_partial_liker_round_trip(self, tmp_path):
+        # A degraded crawl (crawl_status="partial") must survive the round
+        # trip with its failed-field annotations intact.
+        dataset = make_dataset()
+        dataset.likers[3] = LikerRecord(
+            user_id=3, gender="F", age_bracket="25-34", country="TR",
+            friend_list_public=False, declared_friend_count=None,
+            campaign_ids=["C1"],
+            crawl_status=CRAWL_PARTIAL, failed_fields=["friends", "likes"],
+        )
+        path = tmp_path / "partial.jsonl"
+        dataset.to_jsonl(path)
+        loaded = HoneypotDataset.from_jsonl(path)
+        liker = loaded.likers[3]
+        assert liker.crawl_status == CRAWL_PARTIAL
+        assert liker.failed_fields == ["friends", "likes"]
+        assert not liker.has_friend_data and not liker.has_like_data
+
+    def test_poll_gap_campaign_round_trip(self, tmp_path):
+        # A campaign whose declared total exceeds its observations (polls
+        # lost to crawl faults) round-trips without reconciling the two.
+        dataset = make_dataset()
+        record = dataset.campaigns["C1"]
+        record.total_likes = 10  # 8 likes were never observed
+        path = tmp_path / "gaps.jsonl"
+        dataset.to_jsonl(path)
+        loaded = HoneypotDataset.from_jsonl(path)
+        assert loaded.campaign("C1").total_likes == 10
+        assert len(loaded.campaign("C1").observations) == 2
+
+
+class TestJsonlRobustness:
+    def test_write_is_atomic_on_failure(self, tmp_path):
+        # A write that blows up mid-stream must leave the previous good
+        # file untouched (temp file + rename, never truncate-in-place).
+        path = tmp_path / "study.jsonl"
+        good = make_dataset()
+        good.to_jsonl(path)
+        before = path.read_text()
+        bad = make_dataset()
+        bad.global_gender = {"F": object()}  # not JSON serialisable
+        with pytest.raises(TypeError):
+            bad.to_jsonl(path)
+        assert path.read_text() == before
+        assert not (tmp_path / "study.jsonl.tmp").exists()
+
+    def test_unparseable_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        good = make_dataset()
+        good.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"type": "liker", "user_id": 1, TRUNCATED'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"corrupt\.jsonl:3: unparseable"):
+            HoneypotDataset.from_jsonl(path)
+
+    def test_unknown_record_type_names_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "global_gender": {}, '
+                        '"global_age": {}, "global_country": {}}\n'
+                        '{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2: unknown record type 'mystery'"):
+            HoneypotDataset.from_jsonl(path)
+
+    def test_missing_type_field_rejected(self, tmp_path):
+        path = tmp_path / "untyped.jsonl"
+        path.write_text('{"user_id": 1}\n')
+        with pytest.raises(ValueError, match="unknown record type None"):
+            HoneypotDataset.from_jsonl(path)

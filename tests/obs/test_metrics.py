@@ -1,0 +1,122 @@
+"""Tests for repro.obs.metrics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    ObservabilityConfig,
+)
+from repro.obs.trace import EventTrace
+from repro.util.validation import ValidationError
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b")
+        registry.inc("a.b")
+        assert registry.value("a.b") == 2
+
+    def test_inc_with_amount_and_floats(self):
+        registry = MetricsRegistry()
+        registry.inc("backoff", 2.5)
+        registry.inc("backoff", 0.5)
+        assert registry.value("backoff") == 3.0
+
+    def test_untouched_counter_reads_zero(self):
+        assert MetricsRegistry().value("never") == 0
+
+    def test_set_counter_overwrites(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 5)
+        registry.set_counter("x", 2)
+        assert registry.value("x") == 2
+
+    def test_snapshot_sorted_and_int_tidied(self):
+        registry = MetricsRegistry()
+        registry.inc("z.last", 1)
+        registry.inc("a.first", 2.0)
+        snap = registry.counters_snapshot()
+        assert list(snap) == ["a.first", "z.last"]
+        assert snap["a.first"] == 2
+        assert isinstance(snap["a.first"], int)
+
+
+class TestGaugesAndTimings:
+    def test_gauge_set_and_read(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("virtual_minutes", 1440)
+        assert registry.gauge("virtual_minutes") == 1440
+        assert registry.gauge("missing") == 0
+
+    def test_span_records_timing(self):
+        registry = MetricsRegistry()
+        with registry.span("phase"):
+            pass
+        timing = registry.timings_snapshot()["phase"]
+        assert timing["count"] == 1
+        assert timing["total_seconds"] >= 0
+
+    def test_observe_accumulates(self):
+        registry = MetricsRegistry()
+        registry.observe("crawl", 1.0)
+        registry.observe("crawl", 3.0)
+        timing = registry.timings_snapshot()["crawl"]
+        assert timing["count"] == 2
+        assert timing["total_seconds"] == pytest.approx(4.0)
+        assert timing["max_seconds"] == pytest.approx(3.0)
+
+    def test_full_snapshot_sections(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1)
+        registry.observe("t", 0.1)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "timings"}
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        null = NullMetricsRegistry()
+        null.inc("a")
+        null.set_counter("a", 9)
+        null.set_gauge("g", 1)
+        null.observe("t", 1.0)
+        null.trace_event("kind", time=0, detail="x")
+        with null.span("phase"):
+            pass
+        assert null.snapshot() == {"counters": {}, "gauges": {}, "timings": {}}
+
+    def test_disabled_flag(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_shared_instance_stays_empty(self):
+        NULL_METRICS.inc("polluted")
+        assert NULL_METRICS.value("polluted") == 0
+
+
+class TestObservabilityConfig:
+    def test_disabled_builds_shared_null(self):
+        registry = ObservabilityConfig(enabled=False).build_registry()
+        assert registry is NULL_METRICS
+
+    def test_enabled_builds_real_registry_with_trace(self):
+        registry = ObservabilityConfig(enabled=True, trace_limit=5).build_registry()
+        assert registry.enabled
+        assert isinstance(registry.trace, EventTrace)
+        assert registry.trace.limit == 5
+
+    def test_trace_limit_validated(self):
+        with pytest.raises(ValidationError):
+            ObservabilityConfig(trace_limit=0)
+
+    def test_trace_event_forwarded(self):
+        registry = ObservabilityConfig(enabled=True).build_registry()
+        registry.trace_event("poll_gap", time=120, page=3)
+        [event] = registry.trace.events
+        assert event.kind == "poll_gap"
+        assert event.time == 120
+        assert event.fields == {"page": 3}

@@ -1,0 +1,43 @@
+"""Tests for repro.obs.trace."""
+
+import json
+
+from repro.obs.trace import EventTrace
+
+
+class TestEventTrace:
+    def test_emit_and_read_back(self):
+        trace = EventTrace()
+        trace.emit("order_placed", time=60, brand="BoostLikes.com")
+        trace.emit("poll_gap", time=120)
+        kinds = [event.kind for event in trace.events]
+        assert kinds == ["order_placed", "poll_gap"]
+        assert trace.emitted == 2
+        assert trace.dropped == 0
+
+    def test_ring_bound_drops_oldest(self):
+        trace = EventTrace(limit=3)
+        for i in range(10):
+            trace.emit("tick", time=i)
+        assert trace.emitted == 10
+        assert trace.dropped == 7
+        assert [event.time for event in trace.events] == [7, 8, 9]
+        # sequence numbers survive eviction, exposing the gap
+        assert [event.sequence for event in trace.events] == [7, 8, 9]
+
+    def test_to_jsonl_round_trip(self, tmp_path):
+        trace = EventTrace()
+        trace.emit("phase", time=None, name="crawl")
+        trace.emit("poll_gap", time=240, page=7)
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0] == {"seq": 0, "kind": "phase", "time": None, "name": "crawl"}
+        assert rows[1] == {"seq": 1, "kind": "poll_gap", "time": 240, "page": 7}
+
+    def test_to_jsonl_leaves_no_tmp_file(self, tmp_path):
+        trace = EventTrace()
+        trace.emit("x")
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]

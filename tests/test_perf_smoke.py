@@ -6,6 +6,12 @@ the small study to well under a second (see ``BENCH_pipeline.json`` and
 generous budget — 5x the recorded baseline — so that an accidental return
 to per-item writes (or any other order-of-magnitude regression) surfaces
 in tier-1 without making the suite timing-sensitive on slow CI machines.
+
+The default study runs with observability *disabled* (the shared no-op
+registry), so ``test_small_study_within_budget`` also gates the disabled
+registry's overhead: instrumented call sites must stay within the same
+budget the uninstrumented pipeline met.  A second test holds the enabled
+registry to the same bound.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 import time
 
 from repro.core.experiment import HoneypotExperiment
+from repro.honeypot.study import StudyConfig
+from repro.obs.metrics import ObservabilityConfig
 
 #: Wall seconds for ``HoneypotExperiment.small().run()`` recorded on the CI
 #: machine alongside BENCH_pipeline.json, rounded up for headroom.
@@ -24,6 +32,8 @@ BUDGET_SECONDS = 5 * RECORDED_BASELINE_SECONDS
 
 
 def test_small_study_within_budget():
+    # The default config keeps observability off, so this run doubles as
+    # the no-measurable-overhead gate for the disabled (no-op) registry.
     start = time.perf_counter()
     results = HoneypotExperiment.small().run()
     elapsed = time.perf_counter() - start
@@ -32,4 +42,19 @@ def test_small_study_within_budget():
         f"small study took {elapsed:.2f}s, budget is {BUDGET_SECONDS:.1f}s "
         f"(5x the {RECORDED_BASELINE_SECONDS}s recorded baseline); "
         "see benchmarks/perf and BENCH_pipeline.json for the perf trajectory"
+    )
+
+
+def test_small_study_with_observability_within_budget():
+    # The enabled registry batches hot-loop updates, so even full metrics
+    # collection must fit the same generous budget.
+    config = StudyConfig.small()
+    config.observability = ObservabilityConfig(enabled=True)
+    start = time.perf_counter()
+    results = HoneypotExperiment(config).run()
+    elapsed = time.perf_counter() - start
+    assert results.dataset.campaigns, "study produced no campaigns"
+    assert elapsed < BUDGET_SECONDS, (
+        f"observed small study took {elapsed:.2f}s, budget is "
+        f"{BUDGET_SECONDS:.1f}s — metrics collection must stay cheap"
     )
