@@ -6,13 +6,22 @@ PYTHON ?= python
 # editable install by putting src/ on PYTHONPATH.
 RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench profile chaos metrics report examples clean
+.PHONY: install test lint check bench profile chaos metrics report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(RUN_ENV) $(PYTHON) -m pytest tests/
+
+# Determinism & simulation-hygiene linter (repro.lint): src/ must come out
+# at zero non-baselined findings with every suppression used.
+lint:
+	$(RUN_ENV) $(PYTHON) -m repro.lint src --baseline lint-baseline.json
+
+# The full pre-merge gate: static determinism lint + the tier-1 suite.
+check: lint
+	$(RUN_ENV) $(PYTHON) -m pytest -x -q
 
 bench:
 	$(RUN_ENV) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -11,7 +11,10 @@ Three passes over ``HoneypotExperiment.paper_scale().run()``:
    bottleneck, and
 3. a chaos run — the same study crawled through the default
    ``FaultProfile`` + resilient client, so the snapshot records what
-   crawl retries/backoff cost on top of a clean run.
+   crawl retries/backoff cost on top of a clean run,
+
+plus a timed ``repro.lint`` pass over ``src/`` — the static determinism
+gate every ``make check`` pays — recorded under ``lint``.
 
 All land in ``BENCH_pipeline.json`` next to the repo root, which is
 committed so every PR leaves a perf trajectory:
@@ -39,6 +42,8 @@ from pathlib import Path
 
 from repro.core.experiment import HoneypotExperiment
 from repro.honeypot.study import StudyConfig
+from repro.lint.baseline import Baseline
+from repro.lint.runner import lint_paths
 from repro.obs import ObservabilityConfig, build_manifest, write_manifest
 from repro.osn.faults import FaultProfile
 
@@ -112,6 +117,20 @@ def _run_chaos(baseline_wall: float) -> dict:
     }
 
 
+def _run_lint() -> dict:
+    """Time the full determinism lint over src/ (the make-check gate)."""
+    src = REPO_ROOT / "src"
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    start = time.perf_counter()
+    result = lint_paths([src], baseline=baseline)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": round(wall, 3),
+        "checked_files": result.checked_files,
+        "findings": len(result.findings),
+    }
+
+
 def main() -> int:
     print("pass 1/3: plain timed run ...", flush=True)
     wall, experiment = _run_once()
@@ -131,6 +150,12 @@ def main() -> int:
           f"({chaos['faults_injected']} faults, {chaos['retries']} retries)",
           flush=True)
 
+    print("lint pass: repro.lint over src/ ...", flush=True)
+    lint = _run_lint()
+    print(f"  wall: {lint['wall_seconds']:.3f}s, "
+          f"{lint['checked_files']} files, {lint['findings']} findings",
+          flush=True)
+
     snapshot = {
         "benchmark": "HoneypotExperiment.paper_scale().run()",
         "wall_seconds": round(wall, 2),
@@ -139,6 +164,7 @@ def main() -> int:
         "profiled_seconds": round(stats.total_tt, 2),
         "python": platform.python_version(),
         "chaos": chaos,
+        "lint": lint,
         "metrics_manifest": METRICS_PATH.name,
         "top_functions": _top_functions(stats),
     }

@@ -57,6 +57,7 @@ def shared_liker_counts(dataset: HoneypotDataset) -> Dict[Tuple[str, str], int]:
     Only pairs with at least one shared liker are returned.
     """
     liker_sets = {
+        # repro-lint: allow-DET003 values consumed via len(a & b) only
         campaign_id: set(dataset.campaign(campaign_id).liker_ids)
         for campaign_id in dataset.campaign_ids()
     }

@@ -42,6 +42,7 @@ def campaign_page_sets(dataset: HoneypotDataset) -> Dict[str, Set[int]]:
     """Union of pages liked by each campaign's likers."""
     sets: Dict[str, Set[int]] = {}
     for campaign_id in dataset.campaign_ids():
+        # repro-lint: allow-DET003 values feed jaccard() set algebra only; matrices index by campaign order
         pages: Set[int] = set()
         for liker in dataset.likers_of(campaign_id):
             pages.update(liker.liked_page_ids)
@@ -52,6 +53,7 @@ def campaign_page_sets(dataset: HoneypotDataset) -> Dict[str, Set[int]]:
 def campaign_liker_sets(dataset: HoneypotDataset) -> Dict[str, Set[int]]:
     """The liker-id set of each campaign."""
     return {
+        # repro-lint: allow-DET003 values feed jaccard() set algebra only; matrices index by campaign order
         campaign_id: set(dataset.campaign(campaign_id).liker_ids)
         for campaign_id in dataset.campaign_ids()
     }

@@ -65,6 +65,7 @@ def observed_direct_edges(dataset: HoneypotDataset) -> Set[Tuple[int, int]]:
     the other liker.
     """
     liker_ids = set(dataset.likers.keys())
+    # repro-lint: allow-DET003 consumers aggregate order-free (sum of indicator counts, nx component census)
     edges: Set[Tuple[int, int]] = set()
     for liker in dataset.likers.values():
         for friend in liker.visible_friend_ids:
@@ -86,6 +87,7 @@ def observed_mutual_friend_pairs(dataset: HoneypotDataset) -> Set[Tuple[int, int
         for friend in liker.visible_friend_ids:
             if friend != liker.user_id:
                 index[friend].append(liker.user_id)
+    # repro-lint: allow-DET003 consumers aggregate order-free (sum of indicator counts, nx component census)
     pairs: Set[Tuple[int, int]] = set()
     for listers in index.values():
         if len(listers) < 2:
@@ -230,6 +232,7 @@ def provider_membership(dataset: HoneypotDataset) -> Dict[int, str]:
 def groups_as_frozensets(dataset: HoneypotDataset) -> Dict[str, FrozenSet[int]]:
     """Provider group memberships as frozensets of liker ids."""
     return {
+        # repro-lint: allow-DET003 frozenset values consumed via set algebra and len() only
         provider: frozenset(liker.user_id for liker in likers)
         for provider, likers in group_likers_by_provider(dataset).items()
     }

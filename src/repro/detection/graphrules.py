@@ -106,6 +106,7 @@ class GraphCommunityDetector:
 
     def flagged_users(self, dataset: HoneypotDataset) -> Set[int]:
         """Likers inside any suspicious component."""
+        # repro-lint: allow-DET003 consumers evaluate via set algebra and len() (evaluate_flags)
         flagged: Set[int] = set()
         for component in self.suspicious_components(dataset):
             flagged.update(component.user_ids)
@@ -125,7 +126,9 @@ def combined_flags(
     detector = graph_detector if graph_detector is not None else GraphCommunityDetector()
     graph_flagged = detector.flagged_users(dataset)
     return {
+        # repro-lint: allow-DET003 values evaluated via set algebra and len() (evaluate_flags)
         "rules": set(rule_flagged),
         "graph": graph_flagged,
+        # repro-lint: allow-DET003 values evaluated via set algebra and len() (evaluate_flags)
         "combined": set(rule_flagged) | graph_flagged,
     }

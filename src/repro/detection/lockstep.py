@@ -70,6 +70,7 @@ class LockstepDetector:
 
     def flagged_users(self, dataset: HoneypotDataset) -> Set[int]:
         """All users appearing in at least one lockstep group."""
+        # repro-lint: allow-DET003 consumers evaluate via set algebra and len() (evaluate_flags)
         flagged: Set[int] = set()
         for group in self.find_groups(dataset):
             flagged.update(group.user_ids)

@@ -39,7 +39,7 @@ DEFAULT_WORLDWIDE_COUNTRIES = {
 DEFAULT_USA_COUNTRIES = {"US": 0.93, "OTHER": 0.07}
 
 
-@dataclass
+@dataclass(slots=True)
 class FarmAccountConfig:
     """Recipe for one brand's fake accounts.
 

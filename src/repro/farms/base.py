@@ -30,7 +30,7 @@ class OrderStatus(enum.Enum):
     INACTIVE = "inactive"  # paid but never fulfilled (BL-ALL, MS-ALL)
 
 
-@dataclass
+@dataclass(slots=True)
 class FarmOrder:
     """A purchase of likes from a farm.
 

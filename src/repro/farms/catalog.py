@@ -70,7 +70,7 @@ PRICE_LIST: Dict[Tuple[str, str], float] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveryStrategy:
     """How a brand paces an order's likes.
 

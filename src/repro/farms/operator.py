@@ -22,7 +22,7 @@ from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, require
 
 
-@dataclass
+@dataclass(slots=True)
 class PoolStats:
     """Bookkeeping for one regional pool."""
 

@@ -29,7 +29,7 @@ from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, check_positive, require
 
 
-@dataclass
+@dataclass(slots=True)
 class PairTripletTopology:
     """Isolated accounts plus occasional pairs/triplets (burst farms).
 
@@ -57,7 +57,7 @@ class PairTripletTopology:
         return edges
 
 
-@dataclass
+@dataclass(slots=True)
 class DenseCommunityTopology:
     """A Watts-Strogatz-like ring community (stealth farms).
 
@@ -97,7 +97,7 @@ class DenseCommunityTopology:
         return edges
 
 
-@dataclass
+@dataclass(slots=True)
 class HubTopology:
     """Shared mutual-friend hubs creating 2-hop links between likers.
 
@@ -155,7 +155,7 @@ class HubTopology:
         return hubs
 
 
-@dataclass
+@dataclass(slots=True)
 class FarmTopology:
     """The full social wiring recipe for one farm's pool.
 

@@ -1,0 +1,42 @@
+"""``repro.lint`` — the determinism & simulation-hygiene linter.
+
+The reproduction's contract is *byte-identical runs*: the same seed must
+produce the same study artifacts and the same metrics manifest, byte for
+byte (pinned dynamically by ``tests/test_chaos_smoke.py`` and
+``tests/test_metrics_manifest.py``).  This package enforces the contract
+*statically*, by walking the AST of every module under ``src/`` and
+flagging the three ways PRs keep threatening it:
+
+* wall-clock reads leaking into simulated quantities (``DET001``),
+* randomness drawn outside the seeded ``RngStream`` hierarchy (``DET002``),
+* unordered ``set`` iteration escaping into ordered output (``DET003``),
+
+plus three general simulation-hygiene rules: mutable default arguments
+(``HYG001``), bare/broad ``except`` (``HYG002``), and non-``slots``
+dataclasses in hot modules (``HYG003``).
+
+Run it as ``python -m repro.lint src/`` or via the ``repro-lint`` console
+script.  Findings can be silenced inline::
+
+    edges = set()  # repro-lint: allow-DET003 consumed membership-only
+
+Every suppression must carry a justification and must actually match a
+finding — unused suppressions are themselves findings (``LNT001``), so
+the allowlist can never silently rot.
+"""
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, all_rules, get_rule, register
+from repro.lint.runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "register",
+    "get_rule",
+    "all_rules",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,107 @@
+"""Baseline file: accepted pre-existing findings.
+
+The baseline lets the linter land with the build red-free while debt is
+paid down: findings recorded in it are subtracted from the run, and
+anything *new* still fails.  Entries match on ``(path, code,
+source_line)`` — the stripped text of the offending line — so ordinary
+line-number drift does not invalidate them, while any edit to the
+offending line itself surfaces the finding again.
+
+The repo's committed baseline (``lint-baseline.json``) is empty: PR 4
+fixed or justified every finding the first full run surfaced, and the
+self-lint test keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def _key(path: str, code: str, source_line: str) -> Tuple[str, str, str]:
+    return (path, code, source_line)
+
+
+@dataclass(slots=True)
+class Baseline:
+    """A multiset of accepted findings."""
+
+    entries: Counter
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=Counter())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls.empty()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        entries: Counter = Counter()
+        for entry in data.get("entries", []):
+            entries[_key(entry["path"], entry["code"], entry["source_line"])] += 1
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Counter = Counter()
+        for finding in findings:
+            entries[_key(finding.path, finding.code, finding.source_line)] += 1
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        rows = []
+        for (entry_path, code, source_line), count in sorted(self.entries.items()):
+            for _ in range(count):
+                rows.append(
+                    {"path": entry_path, "code": code, "source_line": source_line}
+                )
+        payload = {"version": BASELINE_VERSION, "entries": rows}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def filter(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], int, List[Tuple[str, str, str]]]:
+        """Subtract baselined findings.
+
+        Returns ``(new_findings, matched_count, stale_entries)`` where
+        stale entries are baseline rows that matched nothing — debt that
+        has been paid and should be pruned from the file.
+        """
+        remaining = Counter(self.entries)
+        new: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = _key(finding.path, finding.code, finding.source_line)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                new.append(finding)
+        stale = sorted(
+            key for key, count in remaining.items() for _ in range(count)
+        )
+        return new, matched, stale
+
+
+def load_baseline(path: Optional[Path]) -> Baseline:
+    """The baseline at ``path``, or an empty one when ``path`` is None."""
+    if path is None:
+        return Baseline.empty()
+    return Baseline.load(path)

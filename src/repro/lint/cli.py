@@ -1,0 +1,115 @@
+"""The ``repro-lint`` command line (also ``python -m repro.lint``).
+
+Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import all_rules, known_codes
+from repro.lint.runner import lint_paths
+from repro.lint.suppress import META_CODES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & simulation-hygiene linter: statically "
+            "enforces the byte-identical-run contract over src/."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, default=[Path("src")],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON of accepted findings (missing file = empty)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", type=str, default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule code with its severity and description",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.severity.value:7s}  {rule.description}")
+    for code, description in sorted(META_CODES.items()):
+        lines.append(f"{code}  error    {description} (framework meta rule)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        unknown = [
+            code
+            for code in select
+            if code not in known_codes() and code not in META_CODES
+        ]
+        if unknown:
+            print(
+                f"error: unknown rule code(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    missing = [str(path) for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else Baseline.empty()
+    except (ValueError, OSError) as error:
+        print(f"error: cannot load baseline: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("error: --write-baseline requires --baseline", file=sys.stderr)
+            return 2
+        result = lint_paths(args.paths, baseline=None, select=select)
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {args.baseline}"
+        )
+        return 0
+
+    result = lint_paths(args.paths, baseline=baseline, select=select)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Finding and severity types shared by every rule and reporter."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How hard a finding blocks the build.
+
+    ``ERROR`` findings break the determinism contract directly and always
+    fail the run.  ``WARNING`` findings are hygiene debt: they still fail
+    a default run (the self-lint test keeps ``src/`` at zero), but can be
+    accepted into a baseline file during incremental adoption.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        File the finding is in, as given to the runner (usually relative).
+    line / column:
+        1-based line and 0-based column of the offending node.
+    code:
+        Stable rule code (``DET001``, ``HYG002``, ``LNT001``, ...).
+    message:
+        Human-readable description, specific to the site.
+    severity:
+        See :class:`Severity`.
+    source_line:
+        The stripped text of the offending line; used by the baseline file
+        to survive line-number drift.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    source_line: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line text form: ``file:line code message``."""
+        return f"{self.path}:{self.line} {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready form used by the JSON reporter and the baseline."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+        }

@@ -1,0 +1,168 @@
+"""Simulation-hygiene rules: HYG001-HYG003.
+
+Not determinism violations per se, but the failure modes that keep
+producing them: shared mutable default arguments (state leaking between
+calls), broad exception handlers (swallowing the loud failures the
+resilience layer depends on), and ``__dict__``-carrying dataclasses on
+the hot per-event paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Severity
+from repro.lint.rules import Finding, ModuleContext, Rule, register
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """HYG001: mutable default argument values."""
+
+    code = "HYG001"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    description = (
+        "mutable default argument (list/dict/set); defaults are shared "
+        "across calls — use None and initialise inside"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                label = self._mutable_label(default)
+                if label is not None:
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default {label} in {node.name}(); the "
+                        "object is created once and shared by every call — "
+                        "default to None and build it inside",
+                    )
+
+    def _mutable_label(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.List):
+            return "[]"
+        if isinstance(node, ast.Dict):
+            return "{}"
+        if isinstance(node, (ast.Set, ast.SetComp, ast.ListComp, ast.DictComp)):
+            return "literal"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        ):
+            return f"{node.func.id}()"
+        return None
+
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@register
+class BroadExceptRule(Rule):
+    """HYG002: bare or broad ``except`` without a re-raise."""
+
+    code = "HYG002"
+    name = "broad-except"
+    severity = Severity.ERROR
+    description = (
+        "bare/broad except (Exception/BaseException) that does not "
+        "re-raise; catch the specific failure instead"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if self._reraises(node):
+                continue  # cleanup-then-reraise is the accepted pattern
+            yield self.finding(
+                module,
+                node,
+                f"{broad} swallows every failure; catch the specific "
+                "exception, or re-raise after cleanup",
+            )
+
+    def _broad_name(self, type_node: Optional[ast.AST]) -> Optional[str]:
+        if type_node is None:
+            return "bare 'except:'"
+        names = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in _BROAD_NAMES:
+                return f"'except {name.id}:'"
+        return None
+
+    def _reraises(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                return True
+        return False
+
+
+#: Sub-packages whose modules sit on the per-event hot path; their
+#: dataclasses must opt into ``slots`` (no per-instance ``__dict__``).
+HOT_PACKAGES: Tuple[str, ...] = ("repro.osn", "repro.sim", "repro.farms")
+
+
+@register
+class SlotlessDataclassRule(Rule):
+    """HYG003: non-``slots`` dataclasses in hot modules."""
+
+    code = "HYG003"
+    name = "slotless-dataclass"
+    severity = Severity.WARNING
+    description = (
+        "dataclass without slots=True in a hot package (osn/sim/farms); "
+        "per-instance __dict__ costs memory and attribute-lookup time"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not any(
+            module.module_name == pkg or module.module_name.startswith(pkg + ".")
+            for pkg in HOT_PACKAGES
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if self._is_slotless_dataclass(decorator):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"dataclass {node.name} in hot module "
+                        f"{module.module_name} lacks slots=True",
+                    )
+                    break
+
+    def _is_slotless_dataclass(self, decorator: ast.AST) -> bool:
+        def is_dataclass_ref(node: ast.AST) -> bool:
+            if isinstance(node, ast.Name):
+                return node.id == "dataclass"
+            return isinstance(node, ast.Attribute) and node.attr == "dataclass"
+
+        if is_dataclass_ref(decorator):
+            return True  # @dataclass with no arguments
+        if isinstance(decorator, ast.Call) and is_dataclass_ref(decorator.func):
+            for keyword in decorator.keywords:
+                if keyword.arg == "slots":
+                    return not (
+                        isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    )
+            return True  # @dataclass(...) without a slots keyword
+        return False

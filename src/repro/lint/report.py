@@ -1,0 +1,49 @@
+"""Reporters: the ``file:line code message`` text form and a JSON form."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.runner import LintResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One line per finding plus a summary line."""
+    lines: List[str] = [finding.render() for finding in result.findings]
+    counts = result.counts_by_code()
+    if counts:
+        breakdown = ", ".join(f"{code} x{n}" for code, n in counts.items())
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.checked_files} file(s): {breakdown}"
+        )
+    else:
+        lines.append(f"clean: {result.checked_files} file(s), 0 findings")
+    if result.baseline_matched:
+        lines.append(f"baseline: {result.baseline_matched} finding(s) accepted")
+    for path, code, source_line in result.stale_baseline_entries:
+        lines.append(
+            f"stale baseline entry: {path} {code} {source_line!r} "
+            "(fixed — prune it with --write-baseline)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report (stable key order)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "checked_files": result.checked_files,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "counts_by_code": result.counts_by_code(),
+        "baseline_matched": result.baseline_matched,
+        "stale_baseline_entries": [
+            {"path": path, "code": code, "source_line": source_line}
+            for path, code, source_line in result.stale_baseline_entries
+        ],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,105 @@
+"""Rule framework: module context, rule base class, and the registry.
+
+A rule is a class with a stable ``code``, a ``severity``, and a
+``check(module)`` generator that yields :class:`Finding` objects.  Rules
+register themselves with the :func:`register` decorator; the runner asks
+:func:`all_rules` for one instance of each and feeds every parsed module
+through all of them.  Codes are permanent — a retired rule's code is
+never reused, so baselines and suppressions stay meaningful across
+versions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Type
+
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """Everything a rule may inspect about one source module."""
+
+    path: str  # as given to the runner (used in findings)
+    module_name: str  # dotted import path, e.g. "repro.analysis.social"
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """The stripped text of a 1-based source line ('' if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` (stable, ``<CAT><NNN>``), ``name`` (short
+    kebab-case slug), ``severity``, and ``description`` (one line, shown
+    by ``--list-rules``), then implement :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``module``."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` for this rule."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=module.path,
+            line=line,
+            column=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            severity=self.severity,
+            source_line=module.line_text(line),
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_class`` to the global registry."""
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"rule {rule_class.__name__} has no code")
+    if code in _REGISTRY and _REGISTRY[code] is not rule_class:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def get_rule(code: str) -> Type[Rule]:
+    """The rule class registered under ``code`` (KeyError if unknown)."""
+    return _REGISTRY[code]
+
+
+def known_codes() -> List[str]:
+    """All registered rule codes, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, in stable code order."""
+    # Import the rule modules lazily so the registry is populated even when
+    # a caller imports repro.lint.rules directly.
+    from repro.lint import det, hyg  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]

@@ -1,0 +1,141 @@
+"""The lint runner: file discovery, per-module pipeline, result assembly.
+
+Per module: parse -> run every registered rule -> apply inline
+suppressions (adding LNT001/LNT002 meta findings) -> subtract the
+baseline.  Findings come out sorted by ``(path, line, code)`` so reports
+and baselines are stable across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ModuleContext, all_rules, known_codes
+from repro.lint.suppress import (
+    META_CODES,
+    PARSE_ERROR,
+    apply_suppressions,
+    scan_suppressions,
+)
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "build", "dist"})
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    baseline_matched: int = 0
+    stale_baseline_entries: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any finding survived the baseline."""
+        return 1 if self.findings else 0
+
+    def counts_by_code(self) -> dict:
+        counts: dict = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Every ``.py`` file under ``paths``, in sorted walk order."""
+    for path in paths:
+        path = Path(path)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in child.parts):
+                    yield child
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``.
+
+    Uses the path segment after a ``src`` directory when present (the
+    repo layout), otherwise falls back to the file stem — fixture files
+    outside a package simply get no allowlist privileges.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    module_name: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; suppressions applied, no baseline."""
+    if module_name is None:
+        module_name = module_name_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                code=PARSE_ERROR,
+                message=f"file could not be parsed: {error.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    module = ModuleContext(
+        path=path, module_name=module_name, source=source, tree=tree
+    )
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if select and rule.code not in select:
+            continue
+        findings.extend(rule.check(module))
+
+    codes = known_codes() + list(META_CODES)
+    suppressions, malformed = scan_suppressions(source, path, codes)
+    findings = apply_suppressions(findings, suppressions, path, module.lines)
+    findings.extend(malformed)
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    baseline: Optional[Baseline] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every python file under ``paths`` and apply the baseline."""
+    result = LintResult()
+    all_findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        result.checked_files += 1
+        source = file_path.read_text(encoding="utf-8")
+        all_findings.extend(
+            lint_source(source, str(file_path), select=select)
+        )
+    if baseline is None:
+        baseline = Baseline.empty()
+    new, matched, stale = baseline.filter(all_findings)
+    new.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    result.findings = new
+    result.baseline_matched = matched
+    result.stale_baseline_entries = stale
+    return result

@@ -1,0 +1,197 @@
+"""Inline suppressions: ``# repro-lint: allow-<CODE> <justification>``.
+
+A suppression silences findings of the named code(s) on its own line, or
+— when the comment stands alone on its line — on the next non-comment,
+non-blank line.  Two meta rules keep the mechanism honest:
+
+* ``LNT001`` — a suppression that silenced nothing (stale allowlists rot
+  the contract; delete the comment or fix the regression it hid),
+* ``LNT002`` — a malformed suppression: unknown rule code, or no
+  justification text (every exception to the contract must say why).
+
+Meta findings cannot themselves be suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding, Severity
+
+UNUSED_SUPPRESSION = "LNT001"
+MALFORMED_SUPPRESSION = "LNT002"
+PARSE_ERROR = "LNT003"
+
+#: Codes produced by the framework itself rather than a registered rule.
+META_CODES: Dict[str, str] = {
+    UNUSED_SUPPRESSION: "suppression comment that matched no finding",
+    MALFORMED_SUPPRESSION: "suppression with unknown code or no justification",
+    PARSE_ERROR: "file could not be parsed",
+}
+
+_COMMENT_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(
+    r"^allow-(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?:\s+(?P<justification>\S.*))?$"
+)
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed ``allow-`` comment."""
+
+    line: int  # line the comment sits on
+    target_line: int  # line whose findings it silences
+    codes: Tuple[str, ...]
+    justification: str
+    used: bool = field(default=False)
+
+
+def scan_suppressions(
+    source: str, path: str, known_codes: List[str]
+) -> Tuple[List[Suppression], List[Finding]]:
+    """Parse every ``repro-lint:`` comment in ``source``.
+
+    Returns the valid suppressions plus malformed-suppression findings.
+    Comments are found with :mod:`tokenize`, so directive examples inside
+    string literals and docstrings are never misread as live directives.
+    """
+    suppressions: List[Suppression] = []
+    malformed: List[Finding] = []
+    lines = source.splitlines()
+
+    def bad(lineno: int, message: str) -> None:
+        malformed.append(
+            Finding(
+                path=path,
+                line=lineno,
+                column=0,
+                code=MALFORMED_SUPPRESSION,
+                message=message,
+                severity=Severity.ERROR,
+                source_line=lines[lineno - 1].strip(),
+            )
+        )
+
+    for lineno, text, standalone in _comment_tokens(source):
+        comment = _COMMENT_RE.search(text)
+        if comment is None:
+            continue
+        body = comment.group("body").strip()
+        match = _ALLOW_RE.match(body)
+        if match is None:
+            bad(
+                lineno,
+                f"malformed repro-lint directive {body!r}; expected "
+                "'allow-<CODE>[,<CODE>...] <justification>'",
+            )
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        unknown = [code for code in codes if code not in known_codes]
+        if unknown:
+            bad(
+                lineno,
+                f"suppression names unknown rule code(s) "
+                f"{', '.join(unknown)}",
+            )
+            continue
+        justification = (match.group("justification") or "").strip()
+        if not justification:
+            bad(
+                lineno,
+                f"suppression allow-{','.join(codes)} has no justification; "
+                "every exception to the determinism contract must say why",
+            )
+            continue
+        target = lineno
+        if standalone:
+            target = _next_code_line(lines, lineno)
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                target_line=target,
+                codes=codes,
+                justification=justification,
+            )
+        )
+    return suppressions, malformed
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str, bool]]:
+    """``(line, comment_text, standalone)`` for every real comment token.
+
+    ``standalone`` is True when the comment is the only thing on its line.
+    Unparseable tails (the runner reports LNT003 separately) just end the
+    scan early.
+    """
+    comments: List[Tuple[int, str, bool]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                line_before = token.line[: token.start[1]].strip()
+                comments.append((token.start[0], token.string, not line_before))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def _next_code_line(lines: List[str], comment_line: int) -> int:
+    """The first non-blank, non-comment line after ``comment_line``."""
+    for offset, text in enumerate(lines[comment_line:], start=comment_line + 1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return comment_line
+
+
+def apply_suppressions(
+    findings: List[Finding],
+    suppressions: List[Suppression],
+    path: str,
+    lines: List[str],
+) -> List[Finding]:
+    """Drop suppressed findings; append LNT001 for unused suppressions."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.target_line, []).append(suppression)
+
+    kept: List[Finding] = []
+    for finding in findings:
+        silenced = False
+        for suppression in by_line.get(finding.line, []):
+            if finding.code in suppression.codes:
+                suppression.used = True
+                silenced = True
+        if not silenced:
+            kept.append(finding)
+
+    for suppression in suppressions:
+        if not suppression.used:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    column=0,
+                    code=UNUSED_SUPPRESSION,
+                    message=(
+                        f"unused suppression allow-"
+                        f"{','.join(suppression.codes)} (matched no finding "
+                        f"on line {suppression.target_line}); delete it or "
+                        "restore the condition it documents"
+                    ),
+                    severity=Severity.ERROR,
+                    source_line=(
+                        lines[suppression.line - 1].strip()
+                        if suppression.line <= len(lines)
+                        else ""
+                    ),
+                )
+            )
+    return kept

@@ -112,7 +112,7 @@ for _name, _key in RequestStats.COUNTER_KEYS.items():
 del _name, _key
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class PublicProfile:
     """The publicly visible fields of a profile."""
 
@@ -123,7 +123,7 @@ class PublicProfile:
     friend_list_public: bool
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class PublicPage:
     """The publicly visible fields of a page."""
 
@@ -161,7 +161,7 @@ class ReadEndpoints(Protocol):
     def get_page(self, page_id: PageId) -> PublicPage: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class PlatformAPI:
     """Privacy-enforcing read endpoints over a :class:`SocialNetwork`.
 

@@ -90,7 +90,7 @@ class EndpointUnavailable(CrawlFault):
     """
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class FaultProfile:
     """Per-request fault rates and shapes for one study.
 

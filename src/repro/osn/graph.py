@@ -100,6 +100,7 @@ class FriendshipGraph:
 
     def neighbors(self, user_id: UserId) -> Set[UserId]:
         """The friend set of ``user_id`` (empty for unknown users)."""
+        # repro-lint: allow-DET003 defensive copy; PlatformAPI.get_friend_list sorts before serializing
         return set(self._adjacency.get(user_id, set()))
 
     def degree(self, user_id: UserId) -> int:
@@ -113,6 +114,7 @@ class FriendshipGraph:
     def two_hop_neighbors(self, user_id: UserId) -> Set[UserId]:
         """Users exactly two hops away (friends-of-friends, minus friends/self)."""
         direct = self._adjacency.get(user_id, set())
+        # repro-lint: allow-DET003 consumers take len()/membership; never serialized unsorted
         two_hop: Set[UserId] = set()
         for friend in direct:
             two_hop.update(self._adjacency[friend])
@@ -128,10 +130,10 @@ class FriendshipGraph:
                     yield (node, other)
 
     def edges_within(self, users: Iterable[UserId]) -> Iterator[Tuple[UserId, UserId]]:
-        """Edges whose both endpoints are in ``users``."""
+        """Edges whose both endpoints are in ``users``, in sorted-node order."""
         user_set = set(users)
-        for node in user_set:
-            for other in self._adjacency.get(node, set()):
+        for node in sorted(user_set):
+            for other in sorted(self._adjacency.get(node, set())):
                 if other in user_set and node < other:
                     yield (node, other)
 

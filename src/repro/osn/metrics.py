@@ -18,7 +18,7 @@ from repro.osn.network import SocialNetwork
 from repro.util.validation import require
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class GraphMetrics:
     """Structure of the subgraph induced by a user set."""
 

@@ -159,6 +159,7 @@ class SocialNetwork:
         """
         pairs = list(pairs)
         users = self._users
+        # repro-lint: allow-DET003 validation-only loop; each element raises or passes independently
         distinct: Set[UserId] = set()
         for a, b in pairs:
             distinct.add(a)
@@ -255,12 +256,14 @@ class SocialNetwork:
         events = list(events)
         users = self._users
         page_likers = self._page_likers
+        # repro-lint: allow-DET003 validation-only loop; each element raises or passes independently
         for user_id in {e.user_id for e in events}:
             require(user_id in users, f"unknown user {user_id}")
             require(
                 not users[user_id].is_terminated,
                 f"terminated user {user_id} cannot like",
             )
+        # repro-lint: allow-DET003 validation-only loop; each element raises or passes independently
         for page_id in {e.page_id for e in events}:
             require(page_id in page_likers, f"unknown page {page_id}")
         liked_pages = self._user_liked_pages
@@ -293,6 +296,7 @@ class SocialNetwork:
     def user_liked_page_ids(self, user_id: UserId) -> Set[PageId]:
         """The set of pages ``user_id`` likes (ground truth)."""
         require(user_id in self._users, f"unknown user {user_id}")
+        # repro-lint: allow-DET003 defensive copy; PlatformAPI.get_page_likes sorts before serializing
         return set(self._user_liked_pages[user_id])
 
     def user_like_count(self, user_id: UserId) -> int:

@@ -21,7 +21,7 @@ CATEGORY_HONEYPOT = "honeypot"
 _KNOWN_CATEGORIES = (CATEGORY_NORMAL, CATEGORY_SPAM_JOB, CATEGORY_HONEYPOT)
 
 
-@dataclass
+@dataclass(slots=True)
 class Page:
     """A likeable page.
 

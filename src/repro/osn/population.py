@@ -83,7 +83,7 @@ def sample_ages(rng: RngStream, bracket_dist: Categorical, n: int) -> List[int]:
     return [rng.randint(*_bracket_bounds(bracket)) for bracket in brackets]
 
 
-@dataclass
+@dataclass(slots=True)
 class DemographicProfile:
     """A reusable demographic recipe (gender, age, country distributions)."""
 
@@ -106,7 +106,7 @@ class DemographicProfile:
         return {bracket: pmf.get(bracket, 0.0) for bracket in AGE_BRACKETS}
 
 
-@dataclass
+@dataclass(slots=True)
 class PopulationConfig:
     """Sizing and behaviour of the organic world.
 
@@ -157,7 +157,7 @@ class PopulationConfig:
         return PopulationConfig(n_users=300, n_normal_pages=150, n_spam_pages=40)
 
 
-@dataclass
+@dataclass(slots=True)
 class BuiltWorld:
     """Handles to what :class:`WorldBuilder` created."""
 

@@ -51,4 +51,5 @@ class PrivacyPolicy:
         """
         if not self.can_view_friend_list(owner, viewer):
             return set()
+        # repro-lint: allow-DET003 defensive copy; PlatformAPI.get_friend_list sorts before serializing
         return set(friends)

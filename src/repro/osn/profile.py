@@ -57,7 +57,7 @@ COHORT_CLICKWORKER = "clickworker"
 COHORT_FARM_PREFIX = "farm:"
 
 
-@dataclass
+@dataclass(slots=True)
 class UserProfile:
     """A platform user account.
 

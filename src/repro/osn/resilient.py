@@ -46,7 +46,7 @@ T = TypeVar("T")
 _NO_PARTIAL = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class RetryPolicy:
     """Backoff and circuit-breaker parameters of the resilient client.
 

@@ -25,7 +25,7 @@ from repro.util.timeutil import HOUR
 from repro.util.validation import check_fraction, check_positive, require
 
 
-@dataclass
+@dataclass(slots=True)
 class TerminationPolicy:
     """Hazard model for the platform's enforcement sweep.
 
@@ -89,6 +89,7 @@ class TerminationSweep:
         """
         events = network.likes.for_page(page_id)
         times = [event.time for event in events]
+        # repro-lint: allow-DET003 consumed membership-only by run(), which sweeps sorted(candidates)
         flagged: Set[UserId] = set()
         left = 0
         window = self.policy.burst_window

@@ -38,7 +38,7 @@ from repro.util.rng import RngStream
 from repro.util.validation import check_fraction, require
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class LikeMix:
     """How a cohort splits its page likes across universe segments.
 

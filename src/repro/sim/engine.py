@@ -20,7 +20,7 @@ from repro.util.validation import require
 EventCallback = Callable[[int], None]
 
 
-@dataclass(order=True)
+@dataclass(slots=True, order=True)
 class ScheduledEvent:
     """A pending event in the engine's queue."""
 

@@ -1,0 +1,14 @@
+"""DET001 violation: wall-clock reads in a non-allowlisted module."""
+
+import time  # line 3: DET001 (import of the wall-clock module)
+
+from datetime import datetime
+
+
+def simulated_duration() -> float:
+    started = time.perf_counter()  # line 9: DET001 (clock call)
+    return time.perf_counter() - started  # line 10: DET001 (clock call)
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()  # line 14: DET001 (datetime.now)

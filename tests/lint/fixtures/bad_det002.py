@@ -1,0 +1,17 @@
+"""DET002 violation: randomness outside the RngStream hierarchy."""
+
+import random  # line 3: DET002 (stdlib random)
+
+import numpy as np
+
+
+def roll() -> int:
+    return random.randint(1, 6)
+
+
+def noisy() -> float:
+    return float(np.random.normal(0.0, 1.0))  # line 13: DET002 (global numpy RNG)
+
+
+def fresh_generator():
+    return np.random.default_rng(42)  # line 17: DET002 (generator outside rng home)

@@ -1,0 +1,24 @@
+"""DET003 violations: unordered sets reaching ordered output."""
+
+from typing import List, Set
+
+
+def visible_ids(records) -> List[int]:
+    seen: Set[int] = set()  # line 7: DET003 (materialised by list() on line 10)
+    for record in records:
+        seen.add(record.user_id)
+    return list(seen)
+
+
+def serialize(tags) -> str:
+    return ",".join(set(tags))  # line 14: DET003 (inline set joined into a string)
+
+
+def export_rows(ids):
+    for user_id in set(ids):  # line 18: DET003 (inline set iterated by for)
+        yield {"user": user_id}
+
+
+def escaping(records) -> Set[str]:
+    names = {record.name for record in records}  # line 23: DET003 (escapes via return)
+    return names

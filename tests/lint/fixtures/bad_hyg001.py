@@ -1,0 +1,12 @@
+"""HYG001 violation: mutable default arguments."""
+
+
+def collect(item, bucket=[]):  # line 4: HYG001 (shared list default)
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}, seen=set()):  # line 9: HYG001 x2 (dict and set defaults)
+    counts[key] = counts.get(key, 0) + 1
+    seen.add(key)
+    return counts

@@ -1,0 +1,15 @@
+"""HYG002 violation: bare/broad excepts that swallow failures."""
+
+
+def swallow_everything(action):
+    try:
+        return action()
+    except:  # line 7: HYG002 (bare except)
+        return None
+
+
+def swallow_broadly(action):
+    try:
+        return action()
+    except Exception:  # line 14: HYG002 (broad except, no re-raise)
+        return None

@@ -1,0 +1,14 @@
+"""LNT001/LNT002 violations: unused and malformed suppressions."""
+
+
+def add(a: int, b: int) -> int:
+    return a + b  # repro-lint: allow-DET003 nothing here to suppress (line 5: LNT001)
+
+
+def sub(a: int, b: int) -> int:
+    # The next directive carries no justification text -> LNT002.
+    return a - b  # repro-lint: allow-DET003
+
+
+def mul(a: int, b: int) -> int:
+    return a * b  # repro-lint: allow-XYZ999 unknown code (line 13: LNT002)

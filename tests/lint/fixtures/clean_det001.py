@@ -1,0 +1,13 @@
+"""DET001-clean: time comes from the simulation clock, not the wall."""
+
+from datetime import datetime
+
+
+def simulated_duration(start_minute: int, end_minute: int) -> int:
+    return end_minute - start_minute
+
+
+def fixed_epoch() -> "datetime":
+    # Constructing a datetime from literals is deterministic; only the
+    # now()/utcnow()/today() family reads the wall clock.
+    return datetime(2014, 3, 12)

@@ -1,0 +1,10 @@
+"""DET002-clean: every draw flows through a seeded RngStream."""
+
+
+def roll(rng) -> int:
+    """``rng`` is a repro.util.rng.RngStream forked by the caller."""
+    return rng.randint(1, 7)
+
+
+def noisy(rng) -> float:
+    return rng.normal(0.0, 1.0)

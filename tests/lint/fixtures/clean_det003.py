@@ -1,0 +1,23 @@
+"""DET003-clean: sets stay unordered or pass through sorted()."""
+
+from typing import List, Set
+
+
+def visible_ids(records) -> List[int]:
+    seen: Set[int] = set()
+    for record in records:
+        seen.add(record.user_id)
+    return sorted(seen)
+
+
+def serialize(tags) -> str:
+    return ",".join(sorted(set(tags)))
+
+
+def count_shared(a: Set[int], b: Set[int]) -> int:
+    # Membership, len(), and set algebra never observe iteration order.
+    return len(a & b)
+
+
+def has_any(candidates, allowed: Set[int]) -> bool:
+    return any(c in allowed for c in candidates)

@@ -1,0 +1,13 @@
+"""HYG001-clean: None defaults, initialised inside."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def label(prefix: str = "run", count: int = 0) -> str:
+    # Immutable defaults are fine.
+    return f"{prefix}-{count}"

@@ -1,0 +1,18 @@
+"""HYG002-clean: specific exceptions, or cleanup-then-reraise."""
+
+
+def parse_or_default(text: str, default: int = 0) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        return default
+
+
+def cleanup_then_reraise(action, undo):
+    try:
+        return action()
+    except BaseException:
+        # Broad catch is accepted when the handler re-raises: the failure
+        # stays loud, the cleanup still happens.
+        undo()
+        raise

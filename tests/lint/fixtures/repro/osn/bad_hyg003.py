@@ -1,0 +1,21 @@
+"""HYG003 violation: slot-less dataclasses in a hot (osn) module.
+
+This fixture lives under a ``repro/osn/`` directory so the runner derives
+the hot module name ``repro.osn.bad_hyg003``.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass  # line 12: HYG003 (no slots on the hot path)
+class LikeRecord:
+    user_id: int
+    page_id: int
+    time: int
+
+
+@dataclass(frozen=True)  # line 19: HYG003 (arguments but no slots=True)
+class PageStats:
+    page_id: int
+    liker_ids: List[int] = field(default_factory=list)

@@ -1,0 +1,17 @@
+"""HYG003-clean: hot-path dataclasses carry slots=True."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(slots=True)
+class LikeRecord:
+    user_id: int
+    page_id: int
+    time: int
+
+
+@dataclass(slots=True, frozen=True)
+class PageStats:
+    page_id: int
+    liker_ids: List[int] = field(default_factory=list)

@@ -1,0 +1,15 @@
+"""Every finding silenced by a justified suppression -> clean file."""
+
+from typing import List, Set
+
+
+def visible_ids(records) -> List[int]:
+    # repro-lint: allow-DET003 demo fixture; consumer deduplicates and re-sorts downstream
+    seen: Set[int] = set()
+    for record in records:
+        seen.add(record.user_id)
+    return list(seen)
+
+
+def serialize(tags) -> str:
+    return ",".join(set(tags))  # repro-lint: allow-DET003 demo fixture; tags are single-element in this corpus

@@ -1,0 +1,112 @@
+"""Baseline semantics: round-trip, line-drift tolerance, stale entries."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import BASELINE_VERSION, Baseline
+from repro.lint.runner import lint_paths, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_DET003 = FIXTURES / "bad_det003.py"
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert baseline.entries == {}
+
+
+def test_round_trip_silences_the_run(tmp_path):
+    findings = lint_source(BAD_DET003.read_text(), str(BAD_DET003))
+    assert findings  # the fixture is known-bad
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+
+    result = lint_paths([BAD_DET003], baseline=Baseline.load(path))
+    assert result.findings == []
+    assert result.baseline_matched == len(findings)
+    assert result.stale_baseline_entries == []
+    assert result.exit_code == 0
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    source = "def f(xs):\n    seen = set(xs)\n    return list(seen)\n"
+    findings = lint_source(source, "drift.py")
+    assert [f.code for f in findings] == ["DET003"]
+    baseline = Baseline.from_findings(findings)
+
+    # Two blank lines prepended: the finding moves but its source line
+    # text is unchanged, so the baseline still matches.
+    drifted = lint_source("\n\n" + source, "drift.py")
+    new, matched, stale = baseline.filter(drifted)
+    assert new == []
+    assert matched == 1
+    assert stale == []
+
+
+def test_edited_offending_line_resurfaces(tmp_path):
+    source = "def f(xs):\n    seen = set(xs)\n    return list(seen)\n"
+    baseline = Baseline.from_findings(lint_source(source, "drift.py"))
+
+    edited = "def f(xs):\n    seen = set(sorted(xs))\n    return list(seen)\n"
+    findings = lint_source(edited, "drift.py")
+    new, matched, stale = baseline.filter(findings)
+    assert [f.code for f in new] == ["DET003"]  # edited line != baseline entry
+    assert matched == 0
+    assert len(stale) == 1  # the old entry is now stale debt
+
+
+def test_fixed_finding_reports_stale_entry():
+    source = "def f(xs):\n    seen = set(xs)\n    return list(seen)\n"
+    baseline = Baseline.from_findings(lint_source(source, "fixed.py"))
+    fixed = "def f(xs):\n    seen = set(xs)\n    return sorted(seen)\n"
+    new, matched, stale = baseline.filter(lint_source(fixed, "fixed.py"))
+    assert new == []
+    assert matched == 0
+    assert stale == [("fixed.py", "DET003", "seen = set(xs)")]
+
+
+def test_multiset_semantics():
+    # Two identical offending lines need two baseline entries.
+    source = (
+        "def f(xs):\n"
+        "    a = set(xs)\n"
+        "    return list(a)\n"
+        "\n"
+        "def g(xs):\n"
+        "    a = set(xs)\n"
+        "    return list(a)\n"
+    )
+    findings = lint_source(source, "twice.py")
+    assert len(findings) == 2
+    one_entry = Baseline.from_findings(findings[:1])
+    new, matched, _ = one_entry.filter(findings)
+    assert matched == 1
+    assert len(new) == 1
+
+
+def test_save_is_stable_sorted_json(tmp_path):
+    findings = lint_source(BAD_DET003.read_text(), str(BAD_DET003))
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+    data = json.loads(path.read_text())
+    assert data["version"] == BASELINE_VERSION
+    rows = [(e["path"], e["code"], e["source_line"]) for e in data["entries"]]
+    assert rows == sorted(rows)
+
+
+def test_unsupported_version_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        Baseline.load(path)
+
+
+def test_committed_repo_baseline_is_empty():
+    repo_root = Path(__file__).resolve().parents[2]
+    committed = Baseline.load(repo_root / "lint-baseline.json")
+    assert committed.entries == {}, (
+        "lint-baseline.json must stay empty: fix or justify findings "
+        "instead of baselining new debt"
+    )

@@ -1,0 +1,86 @@
+"""CLI contract: exit codes, JSON report shape, select/list-rules."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD_FIXTURES = {
+    "bad_det001.py": "DET001",
+    "bad_det002.py": "DET002",
+    "bad_det003.py": "DET003",
+    "bad_hyg001.py": "HYG001",
+    "bad_hyg002.py": "HYG002",
+    "repro/osn/bad_hyg003.py": "HYG003",
+    "bad_suppressions.py": "LNT001",
+}
+
+
+@pytest.mark.parametrize("fixture,code", sorted(BAD_FIXTURES.items()))
+def test_each_bad_fixture_exits_nonzero_with_code_in_json(
+    fixture, code, capsys
+):
+    exit_code = main([str(FIXTURES / fixture), "--format", "json"])
+    assert exit_code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert code in report["counts_by_code"], fixture
+    assert report["exit_code"] == 1
+    assert any(f["code"] == code for f in report["findings"])
+
+
+def test_clean_fixture_exits_zero_with_empty_findings(capsys):
+    exit_code = main([str(FIXTURES / "clean_det003.py"), "--format", "json"])
+    assert exit_code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["findings"] == []
+    assert report["checked_files"] == 1
+
+
+def test_text_format_renders_path_line_code(capsys):
+    exit_code = main([str(FIXTURES / "bad_hyg001.py")])
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    assert "bad_hyg001.py:4 HYG001" in out
+
+
+def test_select_restricts_rules(capsys):
+    bad = str(FIXTURES / "bad_det001.py")
+    assert main([bad, "--select", "DET002", "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["findings"] == []
+    assert main([bad, "--select", "DET001"]) == 1
+
+
+def test_select_unknown_code_is_usage_error(capsys):
+    assert main([str(FIXTURES), "--select", "NOPE01"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main(["definitely/not/a/path"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_covers_every_code(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "DET002", "DET003", "HYG001", "HYG002", "HYG003",
+                 "LNT001", "LNT002", "LNT003"):
+        assert code in out
+
+
+def test_write_baseline_then_rerun_is_clean(tmp_path, capsys):
+    bad = str(FIXTURES / "bad_det003.py")
+    baseline = tmp_path / "baseline.json"
+    assert main([bad, "--baseline", str(baseline), "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main([bad, "--baseline", str(baseline)]) == 0
+
+
+def test_write_baseline_without_baseline_is_usage_error(capsys):
+    assert main([str(FIXTURES / "bad_det003.py"), "--write-baseline"]) == 2
+    assert "requires --baseline" in capsys.readouterr().err

@@ -1,0 +1,54 @@
+"""The self-lint gate: ``src/`` must be clean with zero unused suppressions.
+
+This is the acceptance criterion of the determinism contract: every rule
+passes over the entire codebase, every inline suppression is justified
+AND currently silencing a real finding (an unused one is an LNT001
+error), and the committed baseline carries no debt.  Run as tier-1 so a
+regression in either the code or the linter itself fails the build.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_lints_clean_with_committed_baseline():
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    result = lint_paths([SRC], baseline=baseline)
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.exit_code == 0, f"src/ is not lint-clean:\n{rendered}"
+    assert result.findings == []
+    assert result.stale_baseline_entries == []
+
+
+def test_no_unused_suppressions_in_src():
+    # LNT001 findings are part of the run; a clean run implies every
+    # suppression silenced something.  Assert it explicitly anyway so the
+    # failure message names the stale directive.
+    result = lint_paths([SRC])
+    unused = [f.render() for f in result.findings if f.code == "LNT001"]
+    assert unused == []
+
+
+def test_module_entry_point_exits_zero_on_src():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(SRC), "--format", "json"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_lint_package_has_coverage_of_itself():
+    # The linter lints its own package: no special-casing of src/repro/lint.
+    result = lint_paths([SRC / "repro" / "lint"])
+    assert result.checked_files >= 8
+    assert result.findings == []

@@ -1,0 +1,94 @@
+"""Suppression mechanics: trailing/standalone targeting, LNT001, LNT002."""
+
+from pathlib import Path
+
+from repro.lint.runner import lint_source
+from repro.lint.suppress import scan_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+KNOWN = ["DET001", "DET002", "DET003", "HYG001", "HYG002", "HYG003"]
+
+
+def codes_at(findings):
+    return sorted((f.line, f.code) for f in findings)
+
+
+class TestScan:
+    def test_trailing_comment_targets_its_own_line(self):
+        source = 'x = ",".join(names)  # repro-lint: allow-DET003 demo\n'
+        suppressions, malformed = scan_suppressions(source, "x.py", KNOWN)
+        assert malformed == []
+        (s,) = suppressions
+        assert (s.line, s.target_line) == (1, 1)
+        assert s.codes == ("DET003",)
+        assert s.justification == "demo"
+
+    def test_standalone_comment_targets_next_code_line(self):
+        source = (
+            "# repro-lint: allow-DET003 consumer sorts downstream\n"
+            "# an unrelated comment in between\n"
+            "seen = set(xs)\n"
+        )
+        suppressions, malformed = scan_suppressions(source, "x.py", KNOWN)
+        assert malformed == []
+        (s,) = suppressions
+        assert (s.line, s.target_line) == (1, 3)
+
+    def test_multiple_codes_in_one_directive(self):
+        source = "pass  # repro-lint: allow-DET001,DET002 demo justification\n"
+        suppressions, malformed = scan_suppressions(source, "x.py", KNOWN)
+        assert malformed == []
+        assert suppressions[0].codes == ("DET001", "DET002")
+
+    def test_directive_examples_in_docstrings_are_ignored(self):
+        source = '"""Use # repro-lint: allow-DET003 to justify a site."""\n'
+        suppressions, malformed = scan_suppressions(source, "x.py", KNOWN)
+        assert suppressions == []
+        assert malformed == []
+
+    def test_unknown_code_is_lnt002(self):
+        source = "pass  # repro-lint: allow-XYZ999 because reasons\n"
+        _, malformed = scan_suppressions(source, "x.py", KNOWN)
+        assert [f.code for f in malformed] == ["LNT002"]
+        assert "XYZ999" in malformed[0].message
+
+    def test_missing_justification_is_lnt002(self):
+        source = "pass  # repro-lint: allow-DET003\n"
+        _, malformed = scan_suppressions(source, "x.py", KNOWN)
+        assert [f.code for f in malformed] == ["LNT002"]
+        assert "justification" in malformed[0].message
+
+    def test_gibberish_body_is_lnt002(self):
+        source = "pass  # repro-lint: please ignore this\n"
+        _, malformed = scan_suppressions(source, "x.py", KNOWN)
+        assert [f.code for f in malformed] == ["LNT002"]
+
+
+class TestEndToEnd:
+    def test_suppressed_fixture_is_fully_clean(self):
+        path = FIXTURES / "suppressed_clean.py"
+        assert lint_source(path.read_text(), str(path)) == []
+
+    def test_bad_suppressions_fixture(self):
+        path = FIXTURES / "bad_suppressions.py"
+        findings = lint_source(path.read_text(), str(path))
+        assert codes_at(findings) == [(5, "LNT001"), (10, "LNT002"), (14, "LNT002")]
+
+    def test_used_suppression_silences_only_its_code(self):
+        # The directive names DET001 but the line violates DET003: the
+        # finding survives AND the suppression is reported unused.
+        source = 'out = ",".join(set(tags))  # repro-lint: allow-DET001 wrong code\n'
+        findings = lint_source(source, "x.py")
+        assert sorted(f.code for f in findings) == ["DET003", "LNT001"]
+
+    def test_meta_findings_cannot_be_suppressed(self):
+        # An LNT002 on a line cannot be silenced by a directive on the same
+        # line — the malformed finding is appended after suppressions apply.
+        source = "pass  # repro-lint: allow-XYZ999 because reasons\n"
+        findings = lint_source(source, "x.py")
+        assert [f.code for f in findings] == ["LNT002"]
+
+    def test_syntax_error_reports_lnt003(self):
+        findings = lint_source("def broken(:\n", "x.py")
+        assert [f.code for f in findings] == ["LNT003"]
