@@ -6,7 +6,7 @@ PYTHON ?= python
 # editable install by putting src/ on PYTHONPATH.
 RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test lint check bench profile chaos metrics report examples clean
+.PHONY: install test lint check bench profile chaos crashtest metrics report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -33,6 +33,12 @@ profile:
 # asserting the dataset comes out complete (plus the zero-fault identity).
 chaos:
 	$(RUN_ENV) $(PYTHON) -m pytest tests/test_chaos_smoke.py -v
+
+# Kill-and-resume harness: SIGKILL a checkpointed study subprocess at
+# seeded points, resume it, and assert the final dataset and deterministic
+# metrics are byte-identical to an uninterrupted run (plain and --chaos).
+crashtest:
+	$(RUN_ENV) $(PYTHON) -m pytest tests/test_checkpoint_resume.py -v
 
 # Observability smoke: the chaos study with metrics enabled, emitting the
 # run manifest (config hash, seed, every counter/gauge) to metrics.json.

@@ -2,7 +2,7 @@
 
 Run via ``make profile`` (or ``python -m benchmarks.perf.profile_pipeline``).
 
-Three passes over ``HoneypotExperiment.paper_scale().run()``:
+Four passes over ``HoneypotExperiment.paper_scale().run()``:
 
 1. a plain timed run — the honest wall-clock number (cProfile roughly
    triples the runtime because the hot loops are millions of C-method
@@ -12,6 +12,10 @@ Three passes over ``HoneypotExperiment.paper_scale().run()``:
 3. a chaos run — the same study crawled through the default
    ``FaultProfile`` + resilient client, so the snapshot records what
    crawl retries/backoff cost on top of a clean run,
+4. a checkpointed run — the same study with ``--checkpoint-dir``
+   durability on (WAL journal fsyncs + phase snapshots), so the snapshot
+   records exactly what crash-safety costs on top of a clean run
+   (``checkpoint``: wall-time delta, snapshot bytes, fsync count),
 
 plus a timed ``repro.lint`` pass over ``src/`` — the static determinism
 gate every ``make check`` pays — recorded under ``lint``.
@@ -22,7 +26,9 @@ committed so every PR leaves a perf trajectory:
 * ``wall_seconds`` — plain run wall time (the regression-gate number),
 * ``like_events_per_second`` — recorded like events / wall seconds,
 * ``top_functions`` — top-10 functions by cumulative profiled time,
-* ``chaos`` — chaos-run wall time, retry overhead, and fault counters.
+* ``chaos`` — chaos-run wall time, retry overhead, and fault counters,
+* ``checkpoint`` — checkpointed-run wall time, overhead vs plain, journal
+  fsync count, and snapshot bytes.
 
 The chaos pass runs with observability enabled and additionally writes its
 full run manifest (every counter, gauge, and timing span) to
@@ -37,9 +43,11 @@ import json
 import platform
 import pstats
 import sys
+import tempfile
 import time
 from pathlib import Path
 
+from repro.ckpt import CheckpointConfig
 from repro.core.experiment import HoneypotExperiment
 from repro.honeypot.study import StudyConfig
 from repro.lint.baseline import Baseline
@@ -117,6 +125,33 @@ def _run_chaos(baseline_wall: float) -> dict:
     }
 
 
+def _run_checkpointed(baseline_wall: float) -> dict:
+    """One paper-scale run with full durability on; overhead accounting.
+
+    ``checkpoint_overhead_seconds`` is the wall-time delta against the
+    plain pass — what the per-record journal fsyncs plus the phase (and
+    weekly mid-simulation) snapshots cost end to end.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-bench-") as tmp:
+        config = StudyConfig()
+        config.checkpoint = CheckpointConfig(
+            directory=Path(tmp) / "ck", every_days=7.0
+        )
+        experiment = HoneypotExperiment(config)
+        start = time.perf_counter()
+        experiment.run()
+        wall = time.perf_counter() - start
+        stats = experiment.artifacts.checkpoint
+    return {
+        "wall_seconds": round(wall, 2),
+        "checkpoint_overhead_seconds": round(wall - baseline_wall, 2),
+        "snapshots_written": stats["snapshots_written"],
+        "snapshot_bytes": stats["snapshot_bytes"],
+        "journal_records": stats["journal_records_written"],
+        "journal_fsyncs": stats["journal_fsyncs"],
+    }
+
+
 def _run_lint() -> dict:
     """Time the full determinism lint over src/ (the make-check gate)."""
     src = REPO_ROOT / "src"
@@ -132,23 +167,30 @@ def _run_lint() -> dict:
 
 
 def main() -> int:
-    print("pass 1/3: plain timed run ...", flush=True)
+    print("pass 1/4: plain timed run ...", flush=True)
     wall, experiment = _run_once()
     like_events = len(experiment.artifacts.network.likes)
     print(f"  wall: {wall:.2f}s, {like_events} like events", flush=True)
 
-    print("pass 2/3: cProfile run ...", flush=True)
+    print("pass 2/4: cProfile run ...", flush=True)
     profiler = cProfile.Profile()
     profiler.enable()
     HoneypotExperiment.paper_scale().run()
     profiler.disable()
     stats = pstats.Stats(profiler)
 
-    print("pass 3/3: chaos run (default FaultProfile) ...", flush=True)
+    print("pass 3/4: chaos run (default FaultProfile) ...", flush=True)
     chaos = _run_chaos(wall)
     print(f"  wall: {chaos['wall_seconds']:.2f}s "
           f"({chaos['faults_injected']} faults, {chaos['retries']} retries)",
           flush=True)
+
+    print("pass 4/4: checkpointed run (journal + snapshots) ...", flush=True)
+    checkpoint = _run_checkpointed(wall)
+    print(f"  wall: {checkpoint['wall_seconds']:.2f}s "
+          f"(+{checkpoint['checkpoint_overhead_seconds']:.2f}s, "
+          f"{checkpoint['journal_fsyncs']} fsyncs, "
+          f"{checkpoint['snapshot_bytes']} snapshot bytes)", flush=True)
 
     print("lint pass: repro.lint over src/ ...", flush=True)
     lint = _run_lint()
@@ -164,6 +206,7 @@ def main() -> int:
         "profiled_seconds": round(stats.total_tt, 2),
         "python": platform.python_version(),
         "chaos": chaos,
+        "checkpoint": checkpoint,
         "lint": lint,
         "metrics_manifest": METRICS_PATH.name,
         "top_functions": _top_functions(stats),

@@ -1,0 +1,14 @@
+"""Checkpoint failure taxonomy.
+
+Everything that can go wrong while writing or loading a checkpoint is a
+:class:`CheckpointError`: refusing to resume against a mismatched
+configuration, a corrupt snapshot, a journal that diverges from the
+deterministic replay.  The CLI maps it to a dedicated exit code so
+operators can tell "the study failed" from "the checkpoint refused".
+"""
+
+from __future__ import annotations
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, loaded, or trusted."""

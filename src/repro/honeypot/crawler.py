@@ -121,16 +121,31 @@ class ProfileCrawler:
         )
 
     def crawl_likers(
-        self, liker_campaigns: Dict[UserId, List[str]]
+        self,
+        liker_campaigns: Dict[UserId, List[str]],
+        on_record: Optional[Callable[[LikerRecord], None]] = None,
     ) -> Dict[int, LikerRecord]:
-        """Crawl every liker; ``liker_campaigns`` maps liker -> campaign ids."""
-        with self.metrics.span("crawl.likers"):
-            return {
-                int(user_id): self.crawl_liker(user_id, campaigns)
-                for user_id, campaigns in sorted(liker_campaigns.items())
-            }
+        """Crawl every liker; ``liker_campaigns`` maps liker -> campaign ids.
 
-    def crawl_baseline(self, rng: RngStream, sample_size: int) -> List[BaselineRecord]:
+        ``on_record`` (when given) is called with each record as soon as it
+        is crawled — the checkpoint journal's write-ahead hook, so a crash
+        mid-crawl loses at most the record in flight.
+        """
+        records: Dict[int, LikerRecord] = {}
+        with self.metrics.span("crawl.likers"):
+            for user_id, campaigns in sorted(liker_campaigns.items()):
+                record = self.crawl_liker(user_id, campaigns)
+                records[int(user_id)] = record
+                if on_record is not None:
+                    on_record(record)
+        return records
+
+    def crawl_baseline(
+        self,
+        rng: RngStream,
+        sample_size: int,
+        on_record: Optional[Callable[[BaselineRecord], None]] = None,
+    ) -> List[BaselineRecord]:
         """Sample the public directory and record page-like counts.
 
         Reproduces the paper's baseline: "a random set of 2000 Facebook
@@ -152,12 +167,13 @@ class ProfileCrawler:
                 except CrawlFault:
                     self.metrics.inc("crawl.baseline_dropped")
                     continue
-                records.append(
-                    BaselineRecord(
-                        user_id=int(user_id),
-                        declared_like_count=count if count is not None else 0,
-                    )
+                record = BaselineRecord(
+                    user_id=int(user_id),
+                    declared_like_count=count if count is not None else 0,
                 )
+                records.append(record)
+                if on_record is not None:
+                    on_record(record)
         self.metrics.inc("crawl.baseline_sampled", len(records))
         return records
 

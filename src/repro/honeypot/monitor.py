@@ -12,8 +12,8 @@ it took them, not the ground-truth event times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.osn.api import PlatformAPI, ReadEndpoints
@@ -85,6 +85,9 @@ class PageMonitor:
         self._seen: Set[UserId] = set()
         self._last_new_like_time = start
         self._process: Optional[RecurringProcess] = None
+        #: Called with each freshly recorded snapshot (the checkpoint
+        #: journal's write-ahead hook); None when checkpointing is off.
+        self.on_snapshot: Optional[Callable[[MonitorSnapshot], None]] = None
 
     def attach(self, engine: EventEngine) -> None:
         """Start polling on ``engine`` at the monitor's start time."""
@@ -121,6 +124,54 @@ class PageMonitor:
         """Polls that failed despite retries (gaps in the snapshot series)."""
         return len(self.poll_gaps)
 
+    # -- checkpoint support -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The monitor's observation state as plain JSON types.
+
+        Captures everything the monitor has *recorded* (snapshots, gaps,
+        quiet-clock position, tick count).  The pending poll event lives in
+        the engine queue and is covered by the engine's own state; the
+        ``_seen`` set is derivable from the snapshots and is rebuilt on
+        load rather than stored.
+        """
+        return {
+            "page_id": int(self.page_id),
+            "snapshots": [
+                [s.time, s.cumulative_likes, [int(u) for u in s.new_liker_ids]]
+                for s in self.snapshots
+            ],
+            "poll_gaps": list(self.poll_gaps),
+            "last_new_like_time": self._last_new_like_time,
+            "stopped": self.stopped,
+            "tick_count": self._process.tick_count if self._process else 0,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore observation state captured by :meth:`state_dict`.
+
+        Scheduling state (the next pending poll) is *not* restored here —
+        it is rebuilt by deterministic replay and verified against the
+        engine's queue signature by the checkpoint layer.
+        """
+        require(
+            int(state["page_id"]) == int(self.page_id),
+            f"monitor state is for page {state['page_id']}, not {int(self.page_id)}",
+        )
+        self.snapshots = [
+            MonitorSnapshot(
+                time=time,
+                cumulative_likes=cumulative,
+                new_liker_ids=tuple(UserId(u) for u in new),
+            )
+            for time, cumulative, new in state["snapshots"]
+        ]
+        self.poll_gaps = list(state["poll_gaps"])
+        self._last_new_like_time = int(state["last_new_like_time"])
+        self._seen = set()
+        for snapshot in self.snapshots:
+            self._seen.update(snapshot.new_liker_ids)
+
     # -- internals ----------------------------------------------------------------
 
     def _poll(self, time: int) -> None:
@@ -144,11 +195,12 @@ class PageMonitor:
         self._seen.update(new)
         if new:
             self._last_new_like_time = time
-        self.snapshots.append(
-            MonitorSnapshot(
-                time=time, cumulative_likes=page.like_count, new_liker_ids=new
-            )
+        snapshot = MonitorSnapshot(
+            time=time, cumulative_likes=page.like_count, new_liker_ids=new
         )
+        self.snapshots.append(snapshot)
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)
 
     def _next_interval(self, time: int) -> Optional[int]:
         if time < self.campaign_end:

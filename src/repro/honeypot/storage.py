@@ -17,6 +17,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.util.durable import fsync_dir, fsync_handle
+
 
 @dataclass(frozen=True)
 class LikeObservation:
@@ -140,10 +142,12 @@ class HoneypotDataset:
     def to_jsonl(self, path: Path) -> None:
         """Write the dataset as JSON Lines (one typed record per line).
 
-        The write is atomic: rows go to a sibling temp file which replaces
-        ``path`` only after everything was written and flushed, so a crash
-        mid-write can never leave a truncated dataset where a previous good
-        one stood.
+        The write is atomic *and durable*: rows go to a sibling temp file
+        which is fsync'd before it replaces ``path``, and the directory
+        entry is fsync'd after the rename.  A crash mid-write can never
+        leave a truncated dataset where a previous good one stood, and a
+        crash immediately after the rename cannot surface an empty file
+        (rename alone orders nothing against the page cache).
         """
         path = Path(path)
         tmp_path = path.with_name(path.name + ".tmp")
@@ -168,50 +172,71 @@ class HoneypotDataset:
                     row = asdict(record)
                     row["type"] = "baseline"
                     handle.write(json.dumps(row) + "\n")
+                fsync_handle(handle, tag="dataset")
             tmp_path.replace(path)
+            fsync_dir(path.parent, tag="dataset")
         except BaseException:
             tmp_path.unlink(missing_ok=True)
             raise
 
     @classmethod
-    def from_jsonl(cls, path: Path) -> "HoneypotDataset":
+    def from_jsonl(
+        cls, path: Path, salvage: bool = False, metrics=None
+    ) -> "HoneypotDataset":
         """Load a dataset previously written by :meth:`to_jsonl`.
 
         Raises :class:`ValueError` naming the file, line number, and cause
         when a line is not valid JSON or is not a recognised record — a
         corrupt dataset fails loudly instead of half-loading.
+
+        With ``salvage=True`` (the journal-recovery mode) a torn *final*
+        record — the signature of a crash mid-append — is dropped instead:
+        loading stops at the last complete line and a ``jsonl_salvage``
+        trace event is emitted on ``metrics`` (a
+        :class:`~repro.obs.metrics.MetricsRegistry`; optional).  Damage
+        anywhere other than the trailing record is corruption, not a torn
+        tail, and still raises.
         """
         dataset = cls()
         path = Path(path)
-        with path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise ValueError(
-                        f"{path}:{line_number}: unparseable JSON line ({error.msg})"
-                    ) from error
-                kind = row.pop("type", None)
-                if kind == "meta":
-                    dataset.global_gender = row["global_gender"]
-                    dataset.global_age = row["global_age"]
-                    dataset.global_country = row["global_country"]
-                elif kind == "campaign":
-                    row["observations"] = [
-                        LikeObservation(**obs) for obs in row["observations"]
-                    ]
-                    record = CampaignRecord(**row)
-                    dataset.campaigns[record.campaign_id] = record
-                elif kind == "liker":
-                    liker = LikerRecord(**row)
-                    dataset.likers[liker.user_id] = liker
-                elif kind == "baseline":
-                    dataset.baseline.append(BaselineRecord(**row))
-                else:
-                    raise ValueError(
-                        f"{path}:{line_number}: unknown record type {kind!r}"
-                    )
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for line_number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                if salvage and line_number == len(lines):
+                    if metrics is not None:
+                        metrics.trace_event(
+                            "jsonl_salvage",
+                            path=str(path),
+                            line=line_number,
+                            reason=error.msg,
+                        )
+                    break
+                raise ValueError(
+                    f"{path}:{line_number}: unparseable JSON line ({error.msg})"
+                ) from error
+            kind = row.pop("type", None)
+            if kind == "meta":
+                dataset.global_gender = row["global_gender"]
+                dataset.global_age = row["global_age"]
+                dataset.global_country = row["global_country"]
+            elif kind == "campaign":
+                row["observations"] = [
+                    LikeObservation(**obs) for obs in row["observations"]
+                ]
+                record = CampaignRecord(**row)
+                dataset.campaigns[record.campaign_id] = record
+            elif kind == "liker":
+                liker = LikerRecord(**row)
+                dataset.likers[liker.user_id] = liker
+            elif kind == "baseline":
+                dataset.baseline.append(BaselineRecord(**row))
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record type {kind!r}"
+                )
         return dataset

@@ -11,26 +11,30 @@ termination sweep a month later, and assemble the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
 
 from repro.ads.campaign import AdCampaign
 from repro.ads.clickworkers import ClickWorkerConfig, ClickWorkerPopulation
 from repro.ads.costmodel import CostModel
 from repro.ads.delivery import AdDeliveryEngine, DeliveryConfig
 from repro.ads.reports import ReportsTool
+from repro.ckpt.manager import CheckpointConfig, CheckpointManager
 from repro.farms.accounts import FakeAccountFactory
 from repro.farms.base import FarmOrder
 from repro.farms.catalog import FarmCatalog
 from repro.honeypot.campaignspec import CampaignSpec, paper_campaigns
 from repro.honeypot.crawler import ProfileCrawler
-from repro.honeypot.monitor import MonitorPolicy, PageMonitor
+from repro.honeypot.monitor import MonitorPolicy, MonitorSnapshot, PageMonitor
 from repro.honeypot.page import create_honeypot_page
 from repro.honeypot.storage import (
+    BaselineRecord,
     CampaignRecord,
     HoneypotDataset,
     LikeObservation,
+    LikerRecord,
 )
+from repro.obs.manifest import config_fingerprint
 from repro.obs.metrics import MetricsRegistry, ObservabilityConfig
 from repro.osn.api import PlatformAPI, ReadEndpoints, RequestStats
 from repro.osn.faults import FaultProfile, FaultyPlatformAPI
@@ -95,6 +99,15 @@ class StudyConfig:
         Metrics/trace collection (see :mod:`repro.obs`).  Disabled by
         default: every subsystem then instruments against the shared
         no-op registry, which adds no measurable overhead.
+    checkpoint:
+        Crash-safe checkpointing (see :mod:`repro.ckpt`).  ``None`` (the
+        default) runs without any durability machinery and is
+        byte-identical to pre-checkpoint behaviour; a
+        :class:`~repro.ckpt.manager.CheckpointConfig` journals every
+        dataset record and snapshots study state at phase boundaries
+        (plus every ``every_days`` simulated days), and with
+        ``resume=True`` continues a killed run under the verified-replay
+        contract.
     """
 
     seed: int = 20140312
@@ -112,6 +125,7 @@ class StudyConfig:
     fault_profile: Optional[FaultProfile] = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    checkpoint: Optional[CheckpointConfig] = None
 
     def __post_init__(self) -> None:
         check_positive(self.scale, "scale")
@@ -157,6 +171,34 @@ class StudyArtifacts:
     page_ids: Dict[str, PageId]
     api: PlatformAPI
     metrics: MetricsRegistry = None
+    #: Checkpoint-overhead accounting (None when checkpointing was off).
+    checkpoint: Optional[Dict] = None
+
+
+@dataclass
+class _StudyComponents:
+    """Everything a running study holds, assembled by the build phase.
+
+    The checkpoint layer serialises the *stateful observers* out of this
+    bundle (``streams``, ``engine``, ``monitors``, the resilient client,
+    ``metrics``); the simulated world itself (``network`` and the event
+    callbacks) is reconstructed by deterministic replay on resume.
+    """
+
+    metrics: MetricsRegistry
+    streams: Dict[str, RngStream]
+    network: SocialNetwork
+    engine: EventEngine
+    stats: RequestStats
+    api: PlatformAPI
+    endpoints: ReadEndpoints
+    resilient: Optional[ResilientAPI]
+    page_ids: Dict[str, PageId]
+    monitors: Dict[str, PageMonitor]
+    ad_campaigns: Dict[str, AdCampaign]
+    orders: Dict[str, FarmOrder]
+    crawl_time: int
+    dataset: Optional[HoneypotDataset] = None
 
 
 class HoneypotStudy:
@@ -164,33 +206,102 @@ class HoneypotStudy:
 
     def __init__(self, config: Optional[StudyConfig] = None) -> None:
         self.config = config if config is not None else StudyConfig()
+        self._components: Optional[_StudyComponents] = None
 
     def run(self) -> StudyArtifacts:
-        """Execute the study end to end and return all artifacts."""
+        """Execute the study end to end and return all artifacts.
+
+        With ``config.checkpoint`` set, every phase boundary (and every
+        ``every_days`` of simulated time) writes a durable snapshot and
+        the dataset journal records each observation as it happens; an
+        operator Ctrl-C additionally leaves a final best-effort snapshot
+        before the interrupt propagates.
+        """
         config = self.config
         metrics = config.observability.build_registry()
+        manager = self._open_checkpoint(metrics)
+        self._components = None
+        try:
+            return self._run(metrics, manager)
+        except KeyboardInterrupt:
+            if manager is not None and self._components is not None:
+                components = self._components
+                manager.interrupt(
+                    self._state_dict(components), components.engine.clock.now
+                )
+            raise
+        finally:
+            if manager is not None:
+                manager.close()
+
+    # -- phases -------------------------------------------------------------------
+
+    def _run(
+        self, metrics: MetricsRegistry, manager: Optional[CheckpointManager]
+    ) -> StudyArtifacts:
+        components = self._build(metrics, manager)
+        self._components = components
+        self._checkpoint(manager, components, "build")
+        self._simulate(components, manager)
+        self._checkpoint(manager, components, "simulate")
+        self._collect_phase(components, manager)
+        self._checkpoint(manager, components, "collect")
+        self._sweep_phase(components, manager)
+        self._checkpoint(manager, components, "sweep")
+
+        if metrics.enabled:
+            self._publish_campaign_metrics(
+                metrics, components.dataset, components.ad_campaigns,
+                components.monitors,
+            )
+        return StudyArtifacts(
+            dataset=components.dataset,
+            network=components.network,
+            campaigns=components.ad_campaigns,
+            orders=components.orders,
+            monitors=components.monitors,
+            page_ids=components.page_ids,
+            api=components.api,
+            metrics=metrics,
+            checkpoint=manager.stats() if manager is not None else None,
+        )
+
+    def _build(
+        self, metrics: MetricsRegistry, manager: Optional[CheckpointManager]
+    ) -> _StudyComponents:
+        """Phase 1: build the world, wire components, launch every campaign."""
+        config = self.config
         rng = RngStream(config.seed, "study")
+        # Every labelled stream whose generator state must survive a
+        # checkpoint/resume cycle.  Children are derived from the seed, so
+        # creating them all up front changes nothing about their draws.
+        streams: Dict[str, RngStream] = {"study": rng}
+
+        def fork(label: str) -> RngStream:
+            streams[label] = rng.child(label)
+            return streams[label]
+
         network = SocialNetwork()
         engine = EventEngine(metrics=metrics)
 
         with metrics.span("study.build_world"):
-            world = WorldBuilder(config.population).build(network, rng.child("world"))
+            world = WorldBuilder(config.population).build(network, fork("world"))
         clickworkers = ClickWorkerPopulation(
             network,
             world.universe,
-            rng.child("clickworkers"),
+            fork("clickworkers"),
             config=config.clickworker_config,
         )
         ad_engine = AdDeliveryEngine(
             network,
             config.cost_model,
             clickworkers,
-            rng.child("ads"),
+            fork("ads"),
             config=config.delivery,
             metrics=metrics,
         )
         factory = FakeAccountFactory(network, world.universe)
-        catalog = FarmCatalog(network, factory, rng.child("farms"), metrics=metrics)
+        catalog = FarmCatalog(network, factory, fork("farms"), metrics=metrics)
         # One crawl surface; request stats aggregate here.  When observability
         # is on, the stats counters live in the shared registry so they appear
         # in the run manifest; when off, RequestStats keeps its own private
@@ -198,12 +309,18 @@ class HoneypotStudy:
         stats = RequestStats(metrics=metrics) if metrics.enabled else RequestStats()
         api = PlatformAPI(network, stats=stats)
         endpoints: ReadEndpoints = api
+        resilient: Optional[ResilientAPI] = None
         if config.fault_profile is not None:
             # The fault stack draws from its own child streams only, so a
             # zero-rate profile consumes no randomness and the study stays
             # byte-identical to an unwrapped run (tests/test_chaos_smoke.py).
-            faulty = FaultyPlatformAPI(api, config.fault_profile, rng.child("faults"))
-            endpoints = ResilientAPI(faulty, config.retry_policy, rng.child("backoff"))
+            faulty = FaultyPlatformAPI(api, config.fault_profile, fork("faults"))
+            resilient = ResilientAPI(faulty, config.retry_policy, fork("backoff"))
+            endpoints = resilient
+        # Streams consumed by the later phases, forked now so their states
+        # are part of every snapshot from the first barrier on.
+        fork("termination")
+        fork("baseline")
 
         page_ids: Dict[str, PageId] = {}
         monitors: Dict[str, PageMonitor] = {}
@@ -241,24 +358,70 @@ class HoneypotStudy:
                 metrics=metrics,
             )
             monitor.attach(engine)
+            if manager is not None:
+                monitor.on_snapshot = self._snapshot_journaler(
+                    manager, spec.campaign_id
+                )
             monitors[spec.campaign_id] = monitor
 
-        # Run through delivery + monitoring, crawl, then the month-later sweep.
         crawl_time = days(
             max(spec.duration_days for spec in config.specs)
-            + self.config.monitor_policy.quiet_stop / DAY
+            + config.monitor_policy.quiet_stop / DAY
             + 1
         )
-        with metrics.span("study.simulate"):
-            engine.run_until(crawl_time)
-        with metrics.span("study.collect"):
-            dataset = self._collect(network, monitors, rng, endpoints, metrics)
-        for campaign_id, campaign in ad_campaigns.items():
+        return _StudyComponents(
+            metrics=metrics,
+            streams=streams,
+            network=network,
+            engine=engine,
+            stats=stats,
+            api=api,
+            endpoints=endpoints,
+            resilient=resilient,
+            page_ids=page_ids,
+            monitors=monitors,
+            ad_campaigns=ad_campaigns,
+            orders=orders,
+            crawl_time=crawl_time,
+        )
+
+    def _simulate(
+        self, components: _StudyComponents, manager: Optional[CheckpointManager]
+    ) -> None:
+        """Phase 2: run delivery + monitoring to the crawl boundary.
+
+        Checkpoint barriers segment the event loop from the *outside*
+        (``run_until`` to each barrier time in turn), so the event/firing
+        sequence — and therefore every deterministic output — is identical
+        to an unsegmented run.
+        """
+        engine = components.engine
+        with components.metrics.span("study.simulate"):
+            if manager is not None:
+                for barrier in manager.barrier_times(0, components.crawl_time):
+                    engine.run_until(barrier)
+                    self._checkpoint(manager, components, "simulate")
+            engine.run_until(components.crawl_time)
+
+    def _collect_phase(
+        self, components: _StudyComponents, manager: Optional[CheckpointManager]
+    ) -> None:
+        """Phase 3: crawl likers + baseline and assemble the dataset."""
+        with components.metrics.span("study.collect"):
+            dataset = self._collect(components, manager)
+        components.dataset = dataset
+        for campaign_id, campaign in components.ad_campaigns.items():
             dataset.campaigns[campaign_id].total_cost = round(campaign.spend, 2)
-        for campaign_id, order in orders.items():
+        for campaign_id, order in components.orders.items():
             dataset.campaigns[campaign_id].total_cost = order.price
 
-        sweep_time = crawl_time + days(config.termination_delay_days)
+    def _sweep_phase(
+        self, components: _StudyComponents, manager: Optional[CheckpointManager]
+    ) -> None:
+        """Phase 4: the month-later termination sweep and its recheck crawl."""
+        config = self.config
+        engine = components.engine
+        sweep_time = components.crawl_time + days(config.termination_delay_days)
         engine.run_until(min(sweep_time, days(config.horizon_days)))
         policy = (
             config.termination_policy
@@ -266,42 +429,121 @@ class HoneypotStudy:
             else default_termination_policy(config.scale)
         )
         sweep = TerminationSweep(policy)
-        with metrics.span("study.termination_sweep"):
+        with components.metrics.span("study.termination_sweep"):
             sweep.run(
-                network, page_ids.values(), rng.child("termination"), engine.clock.now
+                components.network,
+                components.page_ids.values(),
+                components.streams["termination"],
+                engine.clock.now,
             )
-            self._record_terminations(network, dataset, monitors, endpoints, metrics)
+            self._record_terminations(components, manager)
 
-        if metrics.enabled:
-            self._publish_campaign_metrics(metrics, dataset, ad_campaigns, monitors)
+    # -- checkpoint plumbing ------------------------------------------------------
 
-        return StudyArtifacts(
-            dataset=dataset,
-            network=network,
-            campaigns=ad_campaigns,
-            orders=orders,
-            monitors=monitors,
-            page_ids=page_ids,
-            api=api,
+    def _open_checkpoint(
+        self, metrics: MetricsRegistry
+    ) -> Optional[CheckpointManager]:
+        if self.config.checkpoint is None:
+            return None
+        return CheckpointManager.open(
+            self.config.checkpoint,
+            seed=self.config.seed,
+            config_hash=config_fingerprint(self.config),
             metrics=metrics,
         )
+
+    def _checkpoint(
+        self,
+        manager: Optional[CheckpointManager],
+        components: _StudyComponents,
+        phase: str,
+    ) -> None:
+        """Reach a barrier: snapshot in a fresh run, verify+restore on resume."""
+        if manager is None:
+            return
+        stored = manager.at_barrier(
+            phase, components.engine.clock.now, self._state_dict(components)
+        )
+        if stored is not None:
+            # The replayed state just proved equal to the crashed run's
+            # snapshot; loading it back makes the stored state authoritative
+            # (and keeps the restore path honest, not just the comparison).
+            self._load_state(components, stored)
+
+    def _state_dict(self, components: _StudyComponents) -> Dict:
+        """All serialisable study state, as pure JSON types."""
+        state: Dict = {
+            "rng": {
+                name: components.streams[name].state_dict()
+                for name in sorted(components.streams)
+            },
+            "engine": components.engine.state_dict(),
+            "monitors": {
+                campaign_id: components.monitors[campaign_id].state_dict()
+                for campaign_id in sorted(components.monitors)
+            },
+            "resilient": (
+                components.resilient.state_dict()
+                if components.resilient is not None
+                else None
+            ),
+            "metrics": components.metrics.state_dict(),
+            "request_stats": components.stats.as_dict(),
+        }
+        return state
+
+    def _load_state(self, components: _StudyComponents, stored: Dict) -> None:
+        for name in sorted(components.streams):
+            components.streams[name].load_state_dict(stored["rng"][name])
+        components.engine.load_state_dict(stored["engine"])
+        for campaign_id in sorted(components.monitors):
+            components.monitors[campaign_id].load_state_dict(
+                stored["monitors"][campaign_id]
+            )
+        if components.resilient is not None and stored.get("resilient"):
+            components.resilient.load_state_dict(stored["resilient"])
+        # Request stats first: their setattr materialises zero-valued counter
+        # keys the crashed run may not have had yet, and the registry load
+        # below must win so the counter *key set* matches the snapshot too.
+        for attr, value in stored["request_stats"].items():
+            setattr(components.stats, attr, value)
+        components.metrics.load_state_dict(stored["metrics"])
+
+    @staticmethod
+    def _snapshot_journaler(
+        manager: CheckpointManager, campaign_id: str
+    ) -> Callable[[MonitorSnapshot], None]:
+        """The monitor's write-ahead hook: journal each snapshot on record."""
+
+        def journal(snapshot: MonitorSnapshot) -> None:
+            manager.journal.append(
+                {
+                    "type": "monitor-snapshot",
+                    "campaign_id": campaign_id,
+                    "time": snapshot.time,
+                    "cumulative_likes": snapshot.cumulative_likes,
+                    "new_liker_ids": [int(u) for u in snapshot.new_liker_ids],
+                }
+            )
+
+        return journal
 
     # -- internals ----------------------------------------------------------------
 
     def _collect(
         self,
-        network: SocialNetwork,
-        monitors: Dict[str, PageMonitor],
-        rng: RngStream,
-        api: ReadEndpoints,
-        metrics: MetricsRegistry = None,
+        components: _StudyComponents,
+        manager: Optional[CheckpointManager] = None,
     ) -> HoneypotDataset:
-        crawler = ProfileCrawler(network, api=api, metrics=metrics)
+        crawler = ProfileCrawler(
+            components.network, api=components.endpoints,
+            metrics=components.metrics,
+        )
         dataset = HoneypotDataset()
 
         liker_campaigns: Dict[UserId, List[str]] = {}
         for spec in self.config.specs:
-            monitor = monitors[spec.campaign_id]
+            monitor = components.monitors[spec.campaign_id]
             observations = [
                 LikeObservation(observed_at=snapshot.time, user_id=int(user_id))
                 for snapshot in monitor.snapshots
@@ -325,11 +567,22 @@ class HoneypotStudy:
                 inactive=(len(observations) == 0),
             )
 
-        dataset.likers = crawler.crawl_likers(liker_campaigns)
+        on_liker: Optional[Callable[[LikerRecord], None]] = None
+        on_baseline: Optional[Callable[[BaselineRecord], None]] = None
+        if manager is not None:
+            on_liker = lambda record: manager.journal.append(  # noqa: E731
+                {"type": "liker", **asdict(record)}
+            )
+            on_baseline = lambda record: manager.journal.append(  # noqa: E731
+                {"type": "baseline", **asdict(record)}
+            )
+        dataset.likers = crawler.crawl_likers(liker_campaigns, on_record=on_liker)
         dataset.baseline = crawler.crawl_baseline(
-            rng.child("baseline"), self.config.baseline_sample_size
+            components.streams["baseline"],
+            self.config.baseline_sample_size,
+            on_record=on_baseline,
         )
-        report = ReportsTool(network).global_report()
+        report = ReportsTool(components.network).global_report()
         dataset.global_gender = report.gender
         dataset.global_age = report.age
         dataset.global_country = report.country
@@ -337,23 +590,33 @@ class HoneypotStudy:
 
     def _record_terminations(
         self,
-        network: SocialNetwork,
-        dataset: HoneypotDataset,
-        monitors: Dict[str, PageMonitor],
-        api: ReadEndpoints,
-        metrics: MetricsRegistry = None,
+        components: _StudyComponents,
+        manager: Optional[CheckpointManager] = None,
     ) -> None:
-        crawler = ProfileCrawler(network, api=api, metrics=metrics)
-        for campaign_id, monitor in monitors.items():
+        crawler = ProfileCrawler(
+            components.network, api=components.endpoints,
+            metrics=components.metrics,
+        )
+        dataset = components.dataset
+        for campaign_id, monitor in components.monitors.items():
             terminated = crawler.recheck_terminations(monitor.observed_liker_ids())
             record = dataset.campaigns[campaign_id]
             record.terminated_liker_ids = terminated
             record.removed_like_count = len(
-                network.likes.removals_for_page(monitor.page_id)
+                components.network.likes.removals_for_page(monitor.page_id)
             )
             for user_id in terminated:
                 if user_id in dataset.likers:
                     dataset.likers[user_id].terminated = True
+            if manager is not None:
+                manager.journal.append(
+                    {
+                        "type": "termination",
+                        "campaign_id": campaign_id,
+                        "terminated_liker_ids": list(terminated),
+                        "removed_like_count": record.removed_like_count,
+                    }
+                )
 
     @staticmethod
     def _publish_campaign_metrics(

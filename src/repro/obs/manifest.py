@@ -19,11 +19,11 @@ are explicitly outside it.
 from __future__ import annotations
 
 import hashlib
-import json
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.obs.metrics import MetricsRegistry
+from repro.util.durable import atomic_write_json
 
 #: Manifest schema identifier (bump on breaking layout changes).
 SCHEMA = "repro.obs/manifest@1"
@@ -95,12 +95,13 @@ def build_manifest(
 
 
 def write_manifest(path: Path, manifest: Dict) -> Path:
-    """Write ``manifest`` as sorted-key JSON, atomically; returns the path."""
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    tmp.replace(path)
-    return path
+    """Write ``manifest`` as sorted-key JSON, atomically and durably.
+
+    Delegates to :func:`repro.util.durable.atomic_write_json` for the full
+    fsync-then-rename-then-fsync-directory sequence: a crash right after
+    this returns can no longer surface an empty or partial manifest.
+    """
+    return atomic_write_json(Path(path), manifest, tag="manifest")
 
 
 def deterministic_sections(manifest: Dict) -> Dict:

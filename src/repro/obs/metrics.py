@@ -189,6 +189,25 @@ class MetricsRegistry:
             "timings": self.timings_snapshot(),
         }
 
+    # -- checkpoint support -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Dict]:
+        """The deterministic registry state (counters and gauges).
+
+        Wall-clock timings are deliberately excluded: they are outside the
+        determinism contract, and a resumed run honestly re-accumulates its
+        own (different) wall time.
+        """
+        return {
+            "counters": self.counters_snapshot(),
+            "gauges": self.gauges_snapshot(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Dict]) -> None:
+        """Replace counters/gauges with a state from :meth:`state_dict`."""
+        self._counters = dict(state["counters"])
+        self._gauges = dict(state["gauges"])
+
 
 class NullMetricsRegistry(MetricsRegistry):
     """The disabled registry: every operation is a no-op.
@@ -216,6 +235,12 @@ class NullMetricsRegistry(MetricsRegistry):
         return None
 
     def trace_event(self, kind: str, time: Optional[int] = None, **fields) -> None:
+        return None
+
+    def state_dict(self) -> Dict[str, Dict]:
+        return {"counters": {}, "gauges": {}}
+
+    def load_state_dict(self, state: Dict[str, Dict]) -> None:
         return None
 
 

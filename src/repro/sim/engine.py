@@ -119,6 +119,54 @@ class EventEngine:
             event.callback(event.time)
         self._flush_metrics(started)
 
+    # -- checkpoint support -------------------------------------------------------
+
+    def queue_signature(self) -> List[List]:
+        """The live queue as ``[time, sequence, label]`` rows, heap-order-free.
+
+        Callbacks are closures and cannot be serialised; the signature is
+        what a checkpoint *can* capture — enough to verify that a rebuilt
+        engine carries exactly the same pending work.
+        """
+        return sorted(
+            [event.time, event.sequence, event.label]
+            for event in self._queue
+            if not event.cancelled
+        )
+
+    def state_dict(self) -> dict:
+        """Engine state as plain types: clock, counters, queue signature."""
+        return {
+            "clock": self.clock.state_dict(),
+            "sequence": self._sequence,
+            "fired": self._fired,
+            "skipped_cancelled": self._skipped_cancelled,
+            "queue": self.queue_signature(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters/clock from a state captured by :meth:`state_dict`.
+
+        Pending callbacks cannot be reconstructed from a snapshot, so the
+        engine refuses to load a state whose queue signature differs from
+        its own: the caller must first rebuild the schedule (by replaying
+        the deterministic run that produced it), after which loading makes
+        the stored counters authoritative.
+        """
+        require(
+            state["queue"] == self.queue_signature(),
+            "engine queue signature mismatch: the snapshot's pending events "
+            "do not match this engine's (replay diverged or state is stale)",
+        )
+        require(
+            state["sequence"] == self._sequence,
+            f"engine sequence mismatch: snapshot has {state['sequence']}, "
+            f"engine has {self._sequence}",
+        )
+        self.clock.load_state_dict(state["clock"])
+        self._fired = int(state["fired"])
+        self._skipped_cancelled = int(state["skipped_cancelled"])
+
     def _flush_metrics(self, started: float) -> None:
         """Batch-publish loop totals once per run, not once per event.
 

@@ -20,6 +20,19 @@ from repro.util.validation import require
 _SEED_BYTES = 8
 
 
+def _plain(value):
+    """Recursively convert numpy scalars to plain Python for JSON round-trips."""
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
 def derive_seed(root_seed: int, label: str) -> int:
     """Derive a child seed from ``root_seed`` and a string ``label``.
 
@@ -65,6 +78,35 @@ class RngStream:
         of how many draws the parent has made.
         """
         return RngStream(derive_seed(self.seed, label), f"{self.label}/{label}")
+
+    # -- checkpoint support -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The stream's full state as JSON-serialisable plain types.
+
+        Captures the seed/label identity and the underlying bit generator's
+        state, so a stream restored via :meth:`load_state_dict` continues
+        the exact draw sequence of the captured stream.
+        """
+        return {
+            "seed": self.seed,
+            "label": self.label,
+            "generator": _plain(self._generator.bit_generator.state),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a state captured by :meth:`state_dict`.
+
+        The stored identity must match this stream's: restoring state into
+        a differently-seeded or differently-labelled stream is always a
+        wiring bug, so it fails loudly instead of silently desynchronising.
+        """
+        require(
+            state.get("seed") == self.seed and state.get("label") == self.label,
+            f"rng state is for ({state.get('seed')}, {state.get('label')!r}), "
+            f"not ({self.seed}, {self.label!r})",
+        )
+        self._generator.bit_generator.state = state["generator"]
 
     # -- convenience draw helpers -------------------------------------------------
 

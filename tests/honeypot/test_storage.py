@@ -183,3 +183,48 @@ class TestJsonlRobustness:
         path.write_text('{"user_id": 1}\n')
         with pytest.raises(ValueError, match="unknown record type None"):
             HoneypotDataset.from_jsonl(path)
+
+
+class TestDurability:
+    def test_to_jsonl_fsyncs_file_and_directory(self, tmp_path):
+        from repro.util.durable import FSYNC_COUNTS
+
+        before = FSYNC_COUNTS.get("dataset", 0)
+        make_dataset().to_jsonl(tmp_path / "out.jsonl")
+        # one fsync for the temp file's contents, one for the rename's
+        # directory entry — rename alone does not order against the cache
+        assert FSYNC_COUNTS.get("dataset", 0) == before + 2
+
+    def test_salvage_drops_a_torn_final_record(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import EventTrace
+
+        path = tmp_path / "out.jsonl"
+        dataset = make_dataset()
+        dataset.to_jsonl(path)
+        with path.open("a") as handle:
+            handle.write('{"kind": "liker", "user_id')  # the kill landed here
+        metrics = MetricsRegistry(trace=EventTrace())
+        salvaged = HoneypotDataset.from_jsonl(path, salvage=True, metrics=metrics)
+        assert set(salvaged.likers) == set(dataset.likers)
+        assert salvaged.campaigns.keys() == dataset.campaigns.keys()
+        events = [e for e in metrics.trace.events if e.kind == "jsonl_salvage"]
+        assert len(events) == 1
+        assert events[0].fields["line"] > 1
+
+    def test_torn_final_record_refuses_without_salvage(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        make_dataset().to_jsonl(path)
+        with path.open("a") as handle:
+            handle.write('{"kind": "liker"')
+        with pytest.raises(ValueError):
+            HoneypotDataset.from_jsonl(path)
+
+    def test_salvage_does_not_mask_midfile_corruption(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        make_dataset().to_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-5]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            HoneypotDataset.from_jsonl(path, salvage=True)

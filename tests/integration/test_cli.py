@@ -84,3 +84,67 @@ class TestCommands:
             return int(line.split("/")[0])
 
         assert flagged_total(strict) >= flagged_total(lenient)
+
+
+class TestCheckpointFlags:
+    SMALL = ["run", "--scale", "0.02", "--seed", "11"]
+
+    def test_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args([
+            "run", "--checkpoint-dir", "ck", "--checkpoint-every", "2.5",
+        ])
+        assert str(args.checkpoint_dir) == "ck"
+        assert args.checkpoint_every == 2.5
+        assert args.resume is None
+
+    def test_checkpoint_dir_plus_resume_is_a_usage_error(self, tmp_path, capsys):
+        rc = main(self.SMALL + [
+            "--checkpoint-dir", str(tmp_path / "a"), "--resume", str(tmp_path / "b"),
+        ])
+        assert rc == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_checkpointed_run_then_resume(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        out = tmp_path / "first.jsonl"
+        rc = main(self.SMALL + [
+            "--out", str(out), "--checkpoint-dir", str(ck), "--checkpoint-every", "5",
+        ])
+        assert rc in (0, 1)  # tiny worlds may fail some shape checks
+        assert "checkpoint (fresh):" in capsys.readouterr().out
+        out2 = tmp_path / "second.jsonl"
+        rc = main(self.SMALL + ["--out", str(out2), "--resume", str(ck)])
+        assert rc in (0, 1)
+        assert "checkpoint (resumed):" in capsys.readouterr().out
+        assert out.read_bytes() == out2.read_bytes()
+
+    def test_refusal_to_clobber_exits_3(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        main(self.SMALL + ["--out", str(tmp_path / "a.jsonl"),
+                           "--checkpoint-dir", str(ck)])
+        capsys.readouterr()
+        rc = main(self.SMALL + ["--out", str(tmp_path / "b.jsonl"),
+                                "--checkpoint-dir", str(ck)])
+        assert rc == 3
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_resume_with_wrong_seed_exits_3(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        main(self.SMALL + ["--out", str(tmp_path / "a.jsonl"),
+                           "--checkpoint-dir", str(ck)])
+        capsys.readouterr()
+        rc = main(["run", "--scale", "0.02", "--seed", "12",
+                   "--out", str(tmp_path / "b.jsonl"), "--resume", str(ck)])
+        assert rc == 3
+        assert "seed" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, tmp_path, capsys):
+        from repro.core.experiment import HoneypotExperiment
+
+        def interrupted(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(HoneypotExperiment, "run", interrupted)
+        rc = main(self.SMALL + ["--out", str(tmp_path / "a.jsonl")])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err

@@ -1,0 +1,20 @@
+"""Regression: the run manifest is written atomically and fsync'd."""
+
+import json
+
+from repro.obs.manifest import write_manifest
+from repro.util.durable import FSYNC_COUNTS
+
+MANIFEST = {"schema": "repro.obs/manifest@1", "seed": 7, "counters": {"a": 1}}
+
+
+class TestWriteManifestDurability:
+    def test_fsyncs_file_and_directory(self, tmp_path):
+        before = FSYNC_COUNTS.get("manifest", 0)
+        write_manifest(tmp_path / "run.json", MANIFEST)
+        assert FSYNC_COUNTS.get("manifest", 0) == before + 2
+
+    def test_leaves_no_temp_file_and_round_trips(self, tmp_path):
+        write_manifest(tmp_path / "run.json", MANIFEST)
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+        assert json.loads((tmp_path / "run.json").read_text()) == MANIFEST

@@ -1,0 +1,56 @@
+"""Tests for repro.util.durable (atomic, fsync'd writes)."""
+
+import json
+
+import pytest
+
+from repro.util.durable import (
+    FSYNC_COUNTS,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+    fsync_handle,
+)
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_leaves_no_temp(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "hello\n")
+        assert (tmp_path / "a.txt").read_text() == "hello\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "one\n")
+        atomic_write_text(tmp_path / "a.txt", "two\n")
+        assert (tmp_path / "a.txt").read_text() == "two\n"
+
+    def test_counts_file_and_directory_fsyncs(self, tmp_path):
+        before = FSYNC_COUNTS.get("probe", 0)
+        atomic_write_text(tmp_path / "a.txt", "x", tag="probe")
+        assert FSYNC_COUNTS.get("probe", 0) == before + 2
+
+    def test_failure_cleans_up_the_temp_file(self, tmp_path):
+        with pytest.raises(TypeError):
+            atomic_write_text(tmp_path / "a.txt", None)  # not writable text
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAtomicWriteJson:
+    def test_sorted_stable_layout(self, tmp_path):
+        atomic_write_json(tmp_path / "a.json", {"b": 1, "a": [2, 3]})
+        text = (tmp_path / "a.json").read_text()
+        assert text == json.dumps({"a": [2, 3], "b": 1}, indent=2, sort_keys=True) + "\n"
+        assert json.loads(text) == {"a": [2, 3], "b": 1}
+
+
+class TestFsyncPrimitives:
+    def test_fsync_handle_flushes(self, tmp_path):
+        path = tmp_path / "f.txt"
+        with path.open("w") as handle:
+            handle.write("data")
+            fsync_handle(handle, tag="probe")
+            # after an fsync the bytes are visible to an independent reader
+            assert path.read_text() == "data"
+
+    def test_fsync_dir_accepts_a_directory(self, tmp_path):
+        fsync_dir(tmp_path, tag="probe")  # must simply not raise

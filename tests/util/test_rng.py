@@ -97,3 +97,36 @@ class TestRngStream:
     def test_uniform_within_bounds(self, seed):
         value = RngStream(seed).uniform(2.0, 3.0)
         assert 2.0 <= value < 3.0
+
+
+class TestStateDict:
+    def test_round_trip_resumes_the_exact_sequence(self):
+        stream = RngStream(42, "ckpt")
+        [stream.uniform(0, 1) for _ in range(10)]
+        state = stream.state_dict()
+        expected = [stream.uniform(0, 1) for _ in range(5)]
+        resumed = RngStream(42, "ckpt")
+        resumed.load_state_dict(state)
+        assert [resumed.uniform(0, 1) for _ in range(5)] == expected
+
+    def test_state_is_json_pure(self):
+        import json
+
+        state = RngStream(42, "ckpt").state_dict()
+        assert json.loads(json.dumps(state)) == state
+
+    def test_load_refuses_wrong_seed_or_label(self):
+        state = RngStream(42, "ckpt").state_dict()
+        with pytest.raises(ValidationError):
+            RngStream(43, "ckpt").load_state_dict(state)
+        with pytest.raises(ValidationError):
+            RngStream(42, "other").load_state_dict(state)
+
+    def test_child_states_are_independent(self):
+        parent = RngStream(42, "study")
+        child = parent.child("baseline")
+        state = child.state_dict()
+        parent.uniform(0, 1)  # advancing the parent must not move the child
+        fresh = RngStream(42, "study").child("baseline")
+        fresh.load_state_dict(state)
+        assert fresh.uniform(0, 1) == child.uniform(0, 1)
