@@ -18,7 +18,11 @@ Four passes over ``HoneypotExperiment.paper_scale().run()``:
    (``checkpoint``: wall-time delta, snapshot bytes, fsync count),
 
 plus a timed ``repro.lint`` pass over ``src/`` — the static determinism
-gate every ``make check`` pays — recorded under ``lint``.
+gate every ``make check`` pays — recorded under ``lint`` — and a
+``--scale N`` *build-only* pass (``StudyConfig.at_scale``, default
+``N=100``, override via ``REPRO_PROFILE_SCALE``) that proves the columnar
+stores hold a 100x world (hundreds of thousands of users, tens of
+millions of like events) in memory, recorded under ``scale_build``.
 
 All land in ``BENCH_pipeline.json`` next to the repo root, which is
 committed so every PR leaves a perf trajectory:
@@ -28,7 +32,15 @@ committed so every PR leaves a perf trajectory:
 * ``top_functions`` — top-10 functions by cumulative profiled time,
 * ``chaos`` — chaos-run wall time, retry overhead, and fault counters,
 * ``checkpoint`` — checkpointed-run wall time, overhead vs plain, journal
-  fsync count, and snapshot bytes.
+  fsync count, and snapshot bytes,
+* ``scale_build`` — scaled-world build wall time, entity counts, and peak
+  RSS.
+
+``BENCH_pipeline.json`` is a snapshot — each run overwrites it.  The
+headline numbers (plain wall, events/s, and the scale build) are
+therefore *also appended* to ``BENCH_history.jsonl``, one JSON line per
+``make profile`` run, so the perf trajectory stays diffable across PRs
+instead of living only in git archaeology.
 
 The chaos pass runs with observability enabled and additionally writes its
 full run manifest (every counter, gauge, and timing span) to
@@ -40,8 +52,10 @@ from __future__ import annotations
 
 import cProfile
 import json
+import os
 import platform
 import pstats
+import resource
 import sys
 import tempfile
 import time
@@ -49,7 +63,7 @@ from pathlib import Path
 
 from repro.ckpt import CheckpointConfig
 from repro.core.experiment import HoneypotExperiment
-from repro.honeypot.study import StudyConfig
+from repro.honeypot.study import HoneypotStudy, StudyConfig
 from repro.lint.baseline import Baseline
 from repro.lint.runner import lint_paths
 from repro.obs import ObservabilityConfig, build_manifest, write_manifest
@@ -58,7 +72,10 @@ from repro.osn.faults import FaultProfile
 REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
 METRICS_PATH = REPO_ROOT / "BENCH_metrics.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 TOP_N = 10
+#: The --scale N world the build-only pass proves fits in memory.
+SCALE_BUILD_N = float(os.environ.get("REPRO_PROFILE_SCALE", "100"))
 
 
 def _run_once() -> tuple:
@@ -152,6 +169,42 @@ def _run_checkpointed(baseline_wall: float) -> dict:
     }
 
 
+def _run_scale_build(n: float) -> dict:
+    """Build (only) an ``at_scale(n)`` world; wall time, sizes, peak RSS.
+
+    The tentpole proof for the columnar stores: a 100x world — hundreds
+    of thousands of users, millions of friendship edges, tens of millions
+    of like events — has to *fit* and build in minutes, not hours.  The
+    simulation/crawl phases are skipped; they scale with the same entity
+    counts but the build phase is where every array lives at once.
+    ``peak_rss_mb`` is the process-wide high-water mark (the scaled build
+    dwarfs the earlier passes, so it is an honest ceiling for the build).
+    """
+    study = HoneypotStudy(StudyConfig.at_scale(n))
+    start = time.perf_counter()
+    components = study.build_world()
+    wall = time.perf_counter() - start
+    network = components.network
+    return {
+        "scale": n,
+        "build_seconds": round(wall, 2),
+        "users": network.user_count,
+        "like_events": len(network.likes),
+        "friendship_edges": network.graph.edge_count,
+        "like_events_per_second": int(len(network.likes) / wall),
+        "peak_rss_mb": int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+        ),
+    }
+
+
+def _append_history(records: list) -> None:
+    """Append headline records to the cross-PR ``BENCH_history.jsonl``."""
+    with HISTORY_PATH.open("a") as history:
+        for record in records:
+            history.write(json.dumps(record) + "\n")
+
+
 def _run_lint() -> dict:
     """Time the full determinism lint over src/ (the make-check gate)."""
     src = REPO_ROOT / "src"
@@ -167,25 +220,25 @@ def _run_lint() -> dict:
 
 
 def main() -> int:
-    print("pass 1/4: plain timed run ...", flush=True)
+    print("pass 1/5: plain timed run ...", flush=True)
     wall, experiment = _run_once()
     like_events = len(experiment.artifacts.network.likes)
     print(f"  wall: {wall:.2f}s, {like_events} like events", flush=True)
 
-    print("pass 2/4: cProfile run ...", flush=True)
+    print("pass 2/5: cProfile run ...", flush=True)
     profiler = cProfile.Profile()
     profiler.enable()
     HoneypotExperiment.paper_scale().run()
     profiler.disable()
     stats = pstats.Stats(profiler)
 
-    print("pass 3/4: chaos run (default FaultProfile) ...", flush=True)
+    print("pass 3/5: chaos run (default FaultProfile) ...", flush=True)
     chaos = _run_chaos(wall)
     print(f"  wall: {chaos['wall_seconds']:.2f}s "
           f"({chaos['faults_injected']} faults, {chaos['retries']} retries)",
           flush=True)
 
-    print("pass 4/4: checkpointed run (journal + snapshots) ...", flush=True)
+    print("pass 4/5: checkpointed run (journal + snapshots) ...", flush=True)
     checkpoint = _run_checkpointed(wall)
     print(f"  wall: {checkpoint['wall_seconds']:.2f}s "
           f"(+{checkpoint['checkpoint_overhead_seconds']:.2f}s, "
@@ -198,6 +251,15 @@ def main() -> int:
           f"{lint['checked_files']} files, {lint['findings']} findings",
           flush=True)
 
+    print(f"pass 5/5: --scale {SCALE_BUILD_N:g} build (world only) ...",
+          flush=True)
+    scale_build = _run_scale_build(SCALE_BUILD_N)
+    print(f"  build: {scale_build['build_seconds']:.2f}s, "
+          f"{scale_build['users']} users, "
+          f"{scale_build['like_events']} like events, "
+          f"{scale_build['friendship_edges']} edges, "
+          f"peak rss {scale_build['peak_rss_mb']}MB", flush=True)
+
     snapshot = {
         "benchmark": "HoneypotExperiment.paper_scale().run()",
         "wall_seconds": round(wall, 2),
@@ -208,11 +270,25 @@ def main() -> int:
         "chaos": chaos,
         "checkpoint": checkpoint,
         "lint": lint,
+        "scale_build": scale_build,
         "metrics_manifest": METRICS_PATH.name,
         "top_functions": _top_functions(stats),
     }
     OUTPUT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
-    print(f"wrote {OUTPUT_PATH}")
+    _append_history(
+        [
+            {
+                "benchmark": "paper_scale_run",
+                "scale": 1.0,
+                "wall_seconds": round(wall, 2),
+                "like_events": like_events,
+                "like_events_per_second": int(like_events / wall),
+                "python": platform.python_version(),
+            },
+            {"benchmark": "scale_build", **scale_build},
+        ]
+    )
+    print(f"wrote {OUTPUT_PATH}, appended 2 lines to {HISTORY_PATH.name}")
     print(json.dumps({k: v for k, v in snapshot.items() if k != "top_functions"}, indent=2))
     return 0
 

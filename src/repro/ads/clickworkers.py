@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.osn.ids import UserId
 from repro.osn.network import SocialNetwork
 from repro.osn.population import sample_age, sample_ages
@@ -148,9 +150,16 @@ class ClickWorkerPopulation:
         """Draw a worker from the country pool, growing it lazily.
 
         Sampling is with replacement across calls: the same worker serves
-        many jobs, so likers recur across campaigns.
+        many jobs, so likers recur across campaigns.  When the pool is
+        already big enough the draw reads it in place — no
+        :meth:`ensure_pool` bookkeeping or defensive copy per click.  The
+        draw only depends on the pool's length, so the fast path consumes
+        the stream identically.
         """
-        pool = self.ensure_pool(country, min_pool)
+        pool = self._pools.get(country)
+        if pool is None or len(pool) < min_pool:
+            self.ensure_pool(country, min_pool)
+            pool = self._pools[country]
         return rng.choice(pool)
 
     # -- internals ----------------------------------------------------------------
@@ -163,18 +172,19 @@ class ClickWorkerPopulation:
         ages = sample_ages(rng, cfg.age, count)
         public = rng.generator.random(count) < cfg.friend_list_public_rate
         backgrounds = cfg.background_friends.sample_many(rng, count)
-        workers: List[UserId] = []
-        for is_male, age, is_public, background in zip(male, ages, public, backgrounds):
-            profile = self._network.create_user(
-                gender=Gender.MALE if is_male else Gender.FEMALE,
-                age=age,
-                country=country,
-                friend_list_public=bool(is_public),
-                searchable=False,
-                cohort=COHORT_CLICKWORKER,
-            )
-            profile.background_friend_count = background
-            workers.append(profile.user_id)
+        # Same draws, columnar writes: one batched append for the whole
+        # pool growth instead of a create_user call per worker.  The male
+        # mask doubles as the gender-code column (True == MALE == 1).
+        workers = self._network.create_users_bulk(
+            count,
+            gender_codes=male,
+            ages=ages,
+            countries=[country] * count,
+            friend_list_public=public,
+            searchable=False,
+            cohort=COHORT_CLICKWORKER,
+        )
+        self._network.profiles.set_background_friend_counts(workers, backgrounds)
         self._assign_page_likes(workers, country, rng)
         self._wire_direct_edges(workers, rng)
         return workers
@@ -189,9 +199,19 @@ class ClickWorkerPopulation:
             rng, explicit, cfg.like_mix, [country] * len(workers), spam_key="clickworker"
         )
         network = self._network
-        for user_id, total, chosen in zip(workers, totals, chosen_lists):
-            network.like_pages_bulk(user_id, chosen, time=0)
-            network.user(user_id).background_like_count = total - len(chosen)
+        # Freshly created workers have no prior likes and each sampled set
+        # is drawn without replacement from disjoint segments, so the
+        # no-dedup fresh path applies.
+        network.like_pages_fresh_many(workers, chosen_lists, time=0)
+        if workers:
+            explicit_counts = np.fromiter(
+                (len(chosen) for chosen in chosen_lists),
+                dtype=np.int64,
+                count=len(workers),
+            )
+            network.profiles.set_background_like_counts(
+                workers, np.asarray(totals, dtype=np.int64) - explicit_counts
+            )
 
     def _wire_hubs(self, country: str, workers: List[UserId]) -> None:
         cfg = self.config

@@ -27,6 +27,7 @@ from repro.ads.costmodel import CostModel
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.osn.ids import UserId
 from repro.osn.network import SocialNetwork
+from repro.osn.profile import AGE_BRACKETS, _BRACKET_BOUNDS
 from repro.sim.engine import EventEngine
 from repro.util.distributions import Categorical
 from repro.util.rng import RngStream
@@ -207,23 +208,40 @@ class AdDeliveryEngine:
         return users[int(index)]
 
     def _index_organics(self) -> Dict[str, tuple]:
-        by_country: Dict[str, List[UserId]] = {}
-        for profile in self._network.all_users():
-            if profile.cohort == "organic":
-                by_country.setdefault(profile.country, []).append(profile.user_id)
+        """Per-country organic users and their click-propensity weights.
+
+        Columnar: organic rows come from one cohort-code comparison, each
+        user's age bracket from one ``searchsorted`` against the bracket
+        lower bounds, and the bracket probability from a six-entry lookup
+        table — no per-user view objects.  User lists keep creation (row)
+        order, exactly as the old per-profile iteration produced them.
+        """
+        profiles = self._network.profiles
         indexed: Dict[str, tuple] = {}
+        organic_code = profiles.cohort_code_of("organic")
+        if organic_code is None:
+            return indexed
+        rows = np.flatnonzero(profiles.cohort_codes() == organic_code)
+        if rows.shape[0] == 0:
+            return indexed
         age_weights = self.config.organic_age_weights
-        for country, users in by_country.items():
-            raw = np.array(
-                [
-                    age_weights.probability(self._network.user(u).age_bracket)
-                    for u in users
-                ]
-            )
+        bracket_probs = np.array(
+            [age_weights.probability(bracket) for bracket in AGE_BRACKETS],
+            dtype=float,
+        )
+        lower_bounds = np.array([low for low, _ in _BRACKET_BOUNDS], dtype=np.int64)
+        brackets = np.searchsorted(lower_bounds, profiles.ages()[rows], side="right") - 1
+        raw_all = bracket_probs[brackets]
+        country_codes = profiles.country_codes()[rows]
+        user_ids = profiles.user_ids()[rows]
+        for code in np.unique(country_codes):
+            mask = country_codes == code
+            raw = raw_all[mask]
             total = raw.sum()
             if total <= 0:
                 continue
-            indexed[country] = (users, raw / total)
+            country = profiles.strings.value(int(code))
+            indexed[country] = (user_ids[mask].tolist(), raw / total)
         return indexed
 
     def _sample_minute_of_day(self, rng: RngStream) -> int:

@@ -49,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run the study and persist the dataset")
     run.add_argument("--scale", type=float, default=0.1,
-                     help="campaign scale; 1.0 = paper scale (default 0.1)")
+                     help="study scale: 0.1 = small preset (default), 1.0 = "
+                          "paper scale, N > 1 multiplies population and "
+                          "campaign sizes N-fold (e.g. --scale 100)")
     run.add_argument("--seed", type=int, default=20140312)
     run.add_argument("--out", type=Path, default=Path("study.jsonl"))
     run.add_argument("--report", action="store_true",
@@ -92,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _config_for(args: argparse.Namespace) -> StudyConfig:
     if abs(args.scale - 0.1) < 1e-9 and args.population is None:
         config = StudyConfig.small(seed=args.seed)
+    elif args.scale > 1 and args.population is None:
+        # N > 1 scales the world, not just the campaigns: population and
+        # budgets both grow N-fold (see StudyConfig.at_scale).
+        config = StudyConfig.at_scale(args.scale, seed=args.seed)
     else:
         population = PopulationConfig()
         if args.population is not None:

@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.farms.base import REGION_USA
 from repro.osn.ids import UserId
 from repro.osn.network import SocialNetwork
 from repro.osn.population import GLOBAL_AGE_WEIGHTS, sample_ages
-from repro.osn.profile import COHORT_FARM_PREFIX, Gender
+from repro.osn.profile import COHORT_FARM_PREFIX
 from repro.osn.universe import FARM_MIX, LikeMix, PageUniverse
 from repro.util.distributions import Categorical, LogNormalCount
 from repro.util.rng import RngStream
@@ -131,22 +133,21 @@ class FakeAccountFactory:
         countries = [config.country_for_region(region, rng) for _ in range(count)]
         public = rng.generator.random(count) < config.friend_list_public_rate
         backgrounds = config.background_friends.sample_many(rng, count)
-        accounts: List[UserId] = []
         cohort = f"{COHORT_FARM_PREFIX}{farm_name}"
-        for is_female, age, country, is_public, background in zip(
-            female, ages, countries, public, backgrounds
-        ):
-            profile = self._network.create_user(
-                gender=Gender.FEMALE if is_female else Gender.MALE,
-                age=age,
-                country=country,
-                friend_list_public=bool(is_public),
-                searchable=False,
-                cohort=cohort,
-                created_at=created_at,
-            )
-            profile.background_friend_count = background
-            accounts.append(profile.user_id)
+        # Same draws (the per-account country_for_region loop above keeps
+        # its scalar stream), columnar writes: the whole batch lands in one
+        # append.  Gender code 0 == FEMALE, so the female mask inverts.
+        accounts = self._network.create_users_bulk(
+            count,
+            gender_codes=~female,
+            ages=ages,
+            countries=countries,
+            friend_list_public=public,
+            searchable=False,
+            cohort=cohort,
+            created_at=created_at,
+        )
+        self._network.profiles.set_background_friend_counts(accounts, backgrounds)
         self._assign_page_likes(accounts, countries, config, rng)
         return accounts
 
@@ -163,6 +164,15 @@ class FakeAccountFactory:
             rng, explicit, config.like_mix, countries, spam_key=config.spam_key
         )
         network = self._network
-        for user_id, total, chosen in zip(accounts, totals, chosen_lists):
-            network.like_pages_bulk(user_id, chosen, time=0)
-            network.user(user_id).background_like_count = total - len(chosen)
+        # New accounts, segment-disjoint without-replacement samples: the
+        # no-dedup fresh write path applies.
+        network.like_pages_fresh_many(accounts, chosen_lists, time=0)
+        if accounts:
+            explicit_counts = np.fromiter(
+                (len(chosen) for chosen in chosen_lists),
+                dtype=np.int64,
+                count=len(accounts),
+            )
+            network.profiles.set_background_like_counts(
+                accounts, np.asarray(totals, dtype=np.int64) - explicit_counts
+            )

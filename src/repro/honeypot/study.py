@@ -154,6 +154,33 @@ class StudyConfig:
         config.fault_profile = FaultProfile.default()
         return config
 
+    @staticmethod
+    def at_scale(n: float, seed: int = 20140312) -> "StudyConfig":
+        """A paper-shaped study with population and campaigns scaled by ``n``.
+
+        The knob behind ``repro-study run --scale N`` for ``N > 1``: the
+        organic population grows linearly (``n_users`` × ``N``) and every
+        campaign's budget / farm package grows through ``scale=N``, so
+        like-event and friendship-edge volume scales ~linearly with ``N``.
+        The page universe keeps its paper-sized segmentation — the
+        honeypot campaigns still target thirteen pages, popularity stays
+        Zipf over the same ranks, and per-user like sampling cost stays
+        flat — which makes ``N`` purely a *population/volume* multiplier,
+        the axis the columnar stores are sized for.  ``at_scale(1)`` is
+        exactly the paper-scale default config.
+        """
+        require(n >= 1, f"at_scale expects n >= 1, got {n}")
+        base = PopulationConfig()
+        return StudyConfig(
+            seed=seed,
+            scale=float(n),
+            population=PopulationConfig(
+                n_users=int(round(base.n_users * n)),
+                n_normal_pages=base.n_normal_pages,
+                n_spam_pages=base.n_spam_pages,
+            ),
+        )
+
 
 @dataclass
 class StudyArtifacts:
@@ -233,6 +260,20 @@ class HoneypotStudy:
         finally:
             if manager is not None:
                 manager.close()
+
+    def build_world(self) -> "_StudyComponents":
+        """Run only the build phase: world, campaign launch, no simulation.
+
+        The ``--scale N`` benchmark's entry point — proves a scaled world
+        (population, likes, friendship graph, worker pools) fits in memory
+        and measures build wall time without paying for delivery, crawling,
+        or the sweep.  Returns the live component bundle; the event engine
+        has not consumed any events.
+        """
+        metrics = self.config.observability.build_registry()
+        components = self._build(metrics, None)
+        self._components = components
+        return components
 
     # -- phases -------------------------------------------------------------------
 

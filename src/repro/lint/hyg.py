@@ -1,16 +1,17 @@
-"""Simulation-hygiene rules: HYG001-HYG003.
+"""Simulation-hygiene rules: HYG001-HYG004.
 
 Not determinism violations per se, but the failure modes that keep
 producing them: shared mutable default arguments (state leaking between
 calls), broad exception handlers (swallowing the loud failures the
-resilience layer depends on), and ``__dict__``-carrying dataclasses on
-the hot per-event paths.
+resilience layer depends on), ``__dict__``-carrying dataclasses on the
+hot per-event paths, and per-element writes into the columnar stores
+inside loops (the scalar anti-pattern the columnar refactor removed).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 from repro.lint.findings import Severity
 from repro.lint.rules import Finding, ModuleContext, Rule, register
@@ -166,3 +167,102 @@ class SlotlessDataclassRule(Rule):
                     )
             return True  # @dataclass(...) without a slots keyword
         return False
+
+
+#: Constructors of the columnar stores: bindings assigned from these are
+#: treated as columnar receivers by HYG004.
+_COLUMNAR_CONSTRUCTORS = frozenset({"TypedVector", "LikeLog", "ProfileStore"})
+
+#: Per-element write methods on those stores.  Batch entry points
+#: (``extend``, ``record_many``, ``add_many``) are the sanctioned path.
+_SCALAR_WRITE_METHODS = frozenset({"append", "record", "add"})
+
+
+def _dotted_key(node: ast.AST) -> Optional[str]:
+    """``self.likes`` / ``vec`` / ``self._users`` -> a dotted lookup key."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class ColumnarScalarWriteRule(Rule):
+    """HYG004: per-element appends into columnar stores inside loops.
+
+    A loop of ``store.append(x)`` / ``log.record(e)`` rebuilds exactly
+    the per-item write path the columnar stores exist to avoid — each
+    call pays Python dispatch and possibly array growth for one element.
+    Receivers are recognised syntactically: any name or ``self.<attr>``
+    assigned from a known columnar constructor (``TypedVector``,
+    ``LikeLog``, ``ProfileStore``) anywhere in the module.  Legitimate
+    incremental paths (the monitor's one-event-at-a-time recording)
+    carry an ``allow-HYG004`` suppression with a justification.
+
+    Aliasing the bound method first (``record = log.record``) hides the
+    receiver from this rule — keep scalar writes spelled out so the
+    anti-pattern stays greppable and lintable.
+    """
+
+    code = "HYG004"
+    name = "columnar-scalar-write"
+    severity = Severity.WARNING
+    description = (
+        "per-element append/record into a columnar store inside a loop; "
+        "batch the rows and use the store's bulk entry point"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        receivers = self._columnar_bindings(module.tree)
+        if not receivers:
+            return
+        seen: Set[int] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if id(node) in seen or not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    not isinstance(func, ast.Attribute)
+                    or func.attr not in _SCALAR_WRITE_METHODS
+                ):
+                    continue
+                key = _dotted_key(func.value)
+                if key is None or key not in receivers:
+                    continue
+                seen.add(id(node))
+                yield self.finding(
+                    module,
+                    node,
+                    f"per-element .{func.attr}() on columnar store "
+                    f"{key!r} inside a loop; collect the batch and call "
+                    "the bulk write once",
+                )
+
+    def _columnar_bindings(self, tree: ast.Module) -> Dict[str, str]:
+        """Keys (``self.attr`` or names) bound to columnar constructors."""
+        bindings: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            value = None
+            targets = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _COLUMNAR_CONSTRUCTORS
+            ):
+                continue
+            for target in targets:
+                key = _dotted_key(target)
+                if key is not None:
+                    bindings[key] = value.func.id
+        return bindings

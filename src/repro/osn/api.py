@@ -235,7 +235,7 @@ class PlatformAPI:
         profile = self.network.user(user_id)
         if not self.network.privacy.can_view_page_likes(profile):
             return None
-        return sorted(int(p) for p in self.network.user_liked_page_ids(user_id))
+        return self.network.user_liked_page_ids_sorted(user_id)
 
     def get_declared_like_count(self, user_id: UserId) -> Optional[int]:
         """Total like count on the profile, else None when gone."""
@@ -259,5 +259,5 @@ class PlatformAPI:
             name=page.name,
             description=page.description,
             like_count=len(likers),
-            liker_ids=tuple(int(u) for u in likers),
+            liker_ids=tuple(likers),
         )

@@ -1,0 +1,294 @@
+"""Growable columnar primitives backing the OSN entity stores.
+
+The columnar refactor replaces per-object dataclasses and dict-of-dict
+containers with struct-of-arrays storage: one NumPy array per attribute,
+rows addressed by dense integer ids.  Three primitives carry the whole
+scheme:
+
+* :class:`TypedVector` — an amortised-O(1) append-only vector over a
+  NumPy array with geometric growth, the building block for every
+  column.
+* :class:`StringInterner` — a bidirectional string <-> small-int code
+  dictionary so categorical columns (country, cohort, town) store int
+  codes instead of Python strings.
+* :class:`ColumnIndex` — a lazily compiled inverted index over an id
+  column: a stable argsort groups equal keys into contiguous runs, so
+  "all rows for key k" becomes one slice.  Appends after compilation
+  land in a *tail* that callers scan vectorised; the index recompiles
+  only when the tail outgrows the compiled prefix.
+
+All three are deterministic by construction: stable sorts, insertion-
+order code assignment, and no hashing of anything but Python ints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TypedVector", "StringInterner", "ColumnIndex"]
+
+_MIN_CAPACITY = 16
+
+
+class TypedVector:
+    """Append-only growable vector over a NumPy array.
+
+    ``values()`` returns a zero-copy view of the live prefix; callers
+    must not hold it across subsequent appends (growth may reallocate).
+    """
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, dtype, capacity: int = _MIN_CAPACITY) -> None:
+        self._data = np.empty(max(int(capacity), _MIN_CAPACITY), dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def dtype(self):
+        return self._data.dtype
+
+    def reserve(self, extra: int) -> None:
+        """Ensure capacity for ``extra`` more elements without realloc."""
+        need = self._n + int(extra)
+        if need <= self._data.shape[0]:
+            return
+        capacity = max(need, 2 * self._data.shape[0])
+        grown = np.empty(capacity, dtype=self._data.dtype)
+        grown[: self._n] = self._data[: self._n]
+        self._data = grown
+
+    def append(self, value) -> None:
+        if self._n == self._data.shape[0]:
+            self.reserve(1)
+        self._data[self._n] = value
+        self._n += 1
+
+    def extend(self, values) -> None:
+        arr = np.asarray(values, dtype=self._data.dtype)
+        k = arr.shape[0]
+        if k == 0:
+            return
+        self.reserve(k)
+        self._data[self._n : self._n + k] = arr
+        self._n += k
+
+    def extend_full(self, count: int, value) -> None:
+        """Append ``count`` copies of ``value`` (no temporary array)."""
+        count = int(count)
+        if count <= 0:
+            return
+        self.reserve(count)
+        self._data[self._n : self._n + count] = value
+        self._n += count
+
+    def values(self) -> np.ndarray:
+        """Zero-copy view of the live prefix (invalidated by growth)."""
+        return self._data[: self._n]
+
+    def __getitem__(self, idx):
+        return self._data[: self._n][idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self._data[: self._n][idx] = value
+
+
+class StringInterner:
+    """Bidirectional string <-> dense int code dictionary.
+
+    Codes are assigned in first-seen order, so a deterministic stream of
+    strings yields a deterministic code table.
+    """
+
+    __slots__ = ("_codes", "_strings")
+
+    def __init__(self) -> None:
+        self._codes: Dict[str, int] = {}
+        self._strings: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def code(self, value: str) -> int:
+        """Intern ``value``, returning its (possibly new) code."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._strings)
+            self._codes[value] = code
+            self._strings.append(value)
+        return code
+
+    def lookup(self, value: str) -> Optional[int]:
+        """Code for ``value`` if already interned, else ``None``."""
+        return self._codes.get(value)
+
+    def value(self, code: int) -> str:
+        return self._strings[int(code)]
+
+    def codes_for(self, values) -> np.ndarray:
+        """Vector of codes for an iterable of strings (interning new ones)."""
+        code = self.code
+        return np.fromiter((code(v) for v in values), dtype=np.int64)
+
+
+class ColumnIndex:
+    """Lazily compiled inverted index over an integer id column.
+
+    ``compile(keys)`` stable-argsorts the column so rows sharing a key
+    form one contiguous run of the permutation; ``lookup`` then returns
+    the run as a slice of global row positions (ascending, i.e. arrival
+    order).  Rows appended after compilation form a tail that is grouped
+    *incrementally* into a per-key position dict the first time a query
+    observes it — each appended row is bucketed exactly once, so a long
+    query/append interleaving (the simulation phase) costs O(appends)
+    total instead of an O(tail) rescan per query.  :meth:`ensure`
+    recompiles when the tail outgrows the compiled prefix so run lookups
+    stay amortised O(log u + run).
+    """
+
+    __slots__ = (
+        "_order",
+        "_sorted_keys",
+        "_unique",
+        "_starts",
+        "_compiled_n",
+        "_tail_map",
+        "_scanned_n",
+    )
+
+    def __init__(self) -> None:
+        self._order: Optional[np.ndarray] = None
+        self._sorted_keys: Optional[np.ndarray] = None
+        self._unique: Optional[np.ndarray] = None
+        self._starts: Optional[np.ndarray] = None
+        self._compiled_n = 0
+        self._tail_map: Dict[int, List[int]] = {}
+        self._scanned_n = 0
+
+    @property
+    def compiled_n(self) -> int:
+        return self._compiled_n
+
+    def invalidate(self) -> None:
+        self._order = None
+        self._sorted_keys = None
+        self._unique = None
+        self._starts = None
+        self._compiled_n = 0
+        self._tail_map = {}
+        self._scanned_n = 0
+
+    def compile(self, keys: np.ndarray) -> None:
+        """(Re)build the index over the full column ``keys``."""
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        self._order = order
+        self._sorted_keys = sorted_keys
+        # run boundaries: unique keys and the start offset of each run
+        if sorted_keys.shape[0]:
+            change = np.empty(sorted_keys.shape[0], dtype=bool)
+            change[0] = True
+            np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=change[1:])
+            starts = np.flatnonzero(change)
+            self._unique = sorted_keys[starts]
+            self._starts = np.append(starts, sorted_keys.shape[0])
+        else:
+            self._unique = sorted_keys
+            self._starts = np.zeros(1, dtype=np.int64)
+        self._compiled_n = int(keys.shape[0])
+        self._tail_map = {}
+        self._scanned_n = self._compiled_n
+
+    def ensure(self, keys: np.ndarray) -> None:
+        """Compile or recompile as needed; bucket any unseen tail rows.
+
+        The tail is every row appended since the last compile.  A tail
+        larger than the compiled prefix triggers a recompile (emptying
+        the tail map); otherwise rows appended since the last query are
+        grouped into the per-key tail map, each exactly once.
+        """
+        n = keys.shape[0]
+        if self._order is None or n - self._compiled_n > max(1024, self._compiled_n):
+            self.compile(keys)
+            return
+        start = self._scanned_n
+        if n > start:
+            tail_map = self._tail_map
+            for offset, key in enumerate(keys[start:n].tolist()):
+                bucket = tail_map.get(key)
+                if bucket is None:
+                    tail_map[key] = [start + offset]
+                else:
+                    bucket.append(start + offset)
+            self._scanned_n = n
+
+    def compiled_positions(self, key: int) -> np.ndarray:
+        """Global row positions for ``key`` in the compiled prefix.
+
+        Ascending (arrival) order.  Empty array when the key is absent.
+        ``compile``/``ensure`` must have run first.
+        """
+        unique = self._unique
+        i = int(np.searchsorted(unique, key))
+        if i == unique.shape[0] or unique[i] != key:
+            return _EMPTY_POSITIONS
+        run = self._order[self._starts[i] : self._starts[i + 1]]
+        # stable argsort keeps equal keys in arrival order already
+        return run
+
+    def positions(self, key: int, keys: np.ndarray) -> np.ndarray:
+        """All global row positions for ``key`` (compiled run + tail map)."""
+        self.ensure(keys)
+        run = self.compiled_positions(key)
+        bucket = self._tail_map.get(key)
+        if bucket is None:
+            return run
+        tail_hits = np.asarray(bucket, dtype=np.int64)
+        if run.shape[0] == 0:
+            return tail_hits
+        return np.concatenate([run, tail_hits])
+
+    def last_positions(self, query: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Newest global row position per key in ``query`` (-1 if absent).
+
+        One vectorised searchsorted over the compiled runs plus a dict
+        probe per tail-resident key — the batch twin of taking
+        ``positions(k)[-1]`` for each key.
+        """
+        self.ensure(keys)
+        unique = self._unique
+        if unique.shape[0] == 0:
+            result = np.full(query.shape[0], -1, dtype=np.int64)
+        else:
+            slots = np.searchsorted(unique, query)
+            slots[slots == unique.shape[0]] = 0
+            present = unique[slots] == query
+            # last row of each compiled run (stable sort keeps arrival order)
+            result = np.where(present, self._order[self._starts[slots + 1] - 1], -1)
+        tail_map = self._tail_map
+        if tail_map:
+            for i, key in enumerate(query.tolist()):
+                bucket = tail_map.get(key)
+                if bucket is not None:
+                    result[i] = bucket[-1]
+        return result
+
+    def count(self, key: int, keys: np.ndarray) -> int:
+        """Number of rows holding ``key`` (cheaper than materialising)."""
+        self.ensure(keys)
+        unique = self._unique
+        i = int(np.searchsorted(unique, key))
+        n = 0
+        if i < unique.shape[0] and unique[i] == key:
+            n = int(self._starts[i + 1] - self._starts[i])
+        bucket = self._tail_map.get(key)
+        if bucket is not None:
+            n += len(bucket)
+        return n
+
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)

@@ -1,18 +1,50 @@
 """The friendship graph.
 
-Facebook friendships are bidirectional, so the graph is undirected.  The
-implementation is a plain adjacency map; analyses that need richer graph
-algorithms export to :mod:`networkx` via :meth:`FriendshipGraph.to_networkx`.
+Facebook friendships are bidirectional, so the graph is undirected.
+Storage is columnar: edges land in append-only endpoint arrays and are
+lazily *compiled* into a CSR adjacency (sorted node array + offsets +
+neighbor array), so "friends of u" is one slice instead of a dict-of-set
+walk.  Edges added after a compile are mirrored in a small dict-of-set
+overlay so point queries (``are_friends``, ``degree``, ``neighbors``)
+stay O(1)-ish without recompiling; removals (account terminations) mark
+the compiled form stale and the next structural query folds everything
+back in one vectorised pass.  Analyses that need richer graph algorithms
+export to :mod:`networkx` via :meth:`FriendshipGraph.to_networkx`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
+from repro.osn.columns import TypedVector
 from repro.osn.ids import UserId
 from repro.util.validation import ValidationError, require
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+# Endpoint ids fit comfortably in 32 bits (dense allocator bases are in
+# the single-digit millions), so an undirected edge packs into one int64
+# for vectorised dedup.
+_PACK_SHIFT = np.int64(32)
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values — ``np.unique`` semantics via sort + mask.
+
+    numpy 2.x routes 1-D integer ``np.unique`` through a hash table that
+    is dramatically slower than a plain sort on the ~10^6-element packed
+    edge keys the compile step dedups, so this stays on the sort path.
+    """
+    if values.shape[0] == 0:
+        return values
+    ordered = np.sort(values)
+    keep = np.empty(ordered.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
 
 
 class FriendshipGraph:
@@ -27,113 +59,285 @@ class FriendshipGraph:
     """
 
     def __init__(self) -> None:
-        self._adjacency: Dict[UserId, Set[UserId]] = {}
-        self._edge_count = 0
+        # raw append-only columns (the write log)
+        self._edge_a = TypedVector(np.int64)
+        self._edge_b = TypedVector(np.int64)
+        self._explicit_nodes = TypedVector(np.int64)
+        # removals: (user, node_watermark, edge_watermark) — only rows
+        # appended *before* the watermarks are affected, so a re-added
+        # account starts clean.
+        self._removals: List[Tuple[int, int, int]] = []
+        # compiled CSR state (valid for the first _compiled_* rows)
+        self._c_nodes = _EMPTY_I64
+        self._c_off_lo = _EMPTY_I64
+        self._c_off_hi = _EMPTY_I64
+        self._c_neighbors = _EMPTY_I64
+        self._c_pair_lo = _EMPTY_I64
+        self._c_pair_hi = _EMPTY_I64
+        self._c_edge_count = 0
+        self._compiled_edges_n = 0
+        self._compiled_nodes_n = 0
+        self._compiled_removals_n = 0
+        # overlay: edges/nodes appended since the last compile, kept as
+        # plain dict/set so clean-state point queries skip recompiling
+        self._overlay: Dict[int, Set[int]] = {}
+        self._overlay_nodes: Set[int] = set()
+        self._overlay_edge_count = 0
+
+    # -- compiled-state helpers ---------------------------------------------
+
+    def _clean(self) -> bool:
+        """Whether the compiled form plus overlay covers current state."""
+        return self._compiled_removals_n == len(self._removals)
+
+    def _compiled_slot(self, user_id: int) -> int:
+        """Index of ``user_id`` in the compiled node array, or -1."""
+        nodes = self._c_nodes
+        i = int(np.searchsorted(nodes, user_id))
+        if i < nodes.shape[0] and nodes[i] == user_id:
+            return i
+        return -1
+
+    def _compiled_neighbors(self, user_id: int) -> np.ndarray:
+        slot = self._compiled_slot(user_id)
+        if slot < 0:
+            return _EMPTY_I64
+        return self._c_neighbors[self._c_off_lo[slot] : self._c_off_hi[slot]]
+
+    def _compile(self) -> None:
+        """Fold raw columns, removals, and overlay into fresh CSR state."""
+        n_edges = len(self._edge_a)
+        n_nodes = len(self._explicit_nodes)
+        n_removals = len(self._removals)
+        if (
+            self._compiled_edges_n == n_edges
+            and self._compiled_nodes_n == n_nodes
+            and self._compiled_removals_n == n_removals
+        ):
+            return
+        a = self._edge_a.values()
+        b = self._edge_b.values()
+        explicit = self._explicit_nodes.values()
+        if self._removals:
+            edge_keep = np.ones(n_edges, dtype=bool)
+            node_keep = np.ones(n_nodes, dtype=bool)
+            # Group removals by watermark: a sweep's terminations all share
+            # one watermark, so the usual case is a single isin() pass.
+            by_marks: Dict[Tuple[int, int], List[int]] = {}
+            for user, node_mark, edge_mark in self._removals:
+                by_marks.setdefault((node_mark, edge_mark), []).append(user)
+            for (node_mark, edge_mark), users in by_marks.items():
+                gone = np.asarray(users, dtype=np.int64)
+                if edge_mark:
+                    sl = slice(0, edge_mark)
+                    hit = np.isin(a[sl], gone) | np.isin(b[sl], gone)
+                    edge_keep[sl] &= ~hit
+                if node_mark:
+                    sl = slice(0, node_mark)
+                    node_keep[sl] &= ~np.isin(explicit[sl], gone)
+            a = a[edge_keep]
+            b = b[edge_keep]
+            explicit = explicit[node_keep]
+        # canonical (lo, hi) pairs, deduplicated via int64 packing; a
+        # sort-and-mask dedup (identical result to np.unique) because
+        # numpy's hash-based unique is ~50x slower on these wide keys
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        packed = _sorted_unique((lo << _PACK_SHIFT) | hi)
+        pair_lo = packed >> _PACK_SHIFT
+        pair_hi = packed & np.int64(0xFFFFFFFF)
+        # node universe: explicitly added nodes plus surviving endpoints
+        self._c_nodes = _sorted_unique(np.concatenate([explicit, pair_lo, pair_hi]))
+        # CSR over both edge directions, neighbors sorted per node
+        u = np.concatenate([pair_lo, pair_hi])
+        v = np.concatenate([pair_hi, pair_lo])
+        order = np.lexsort((v, u))
+        us = u[order]
+        self._c_neighbors = v[order]
+        self._c_off_lo = np.searchsorted(us, self._c_nodes, side="left")
+        self._c_off_hi = np.searchsorted(us, self._c_nodes, side="right")
+        self._c_pair_lo = pair_lo
+        self._c_pair_hi = pair_hi
+        self._c_edge_count = int(pair_lo.shape[0])
+        self._compiled_edges_n = n_edges
+        self._compiled_nodes_n = n_nodes
+        self._compiled_removals_n = n_removals
+        self._overlay = {}
+        self._overlay_nodes = set()
+        self._overlay_edge_count = 0
 
     # -- mutation -----------------------------------------------------------------
 
     def add_user(self, user_id: UserId) -> None:
         """Ensure a node exists for ``user_id`` (no-op if present)."""
-        self._adjacency.setdefault(user_id, set())
+        user_id = int(user_id)
+        if self._clean():
+            if user_id in self._overlay_nodes or self._compiled_slot(user_id) >= 0:
+                return
+            self._overlay_nodes.add(user_id)
+        self._explicit_nodes.append(user_id)
+
+    def add_users_bulk(self, user_ids) -> None:
+        """Ensure nodes exist for a batch of *fresh* (never-seen) user ids."""
+        ids = np.asarray(user_ids, dtype=np.int64)
+        if ids.shape[0] == 0:
+            return
+        self._explicit_nodes.extend(ids)
+        if self._clean():
+            self._overlay_nodes.update(ids.tolist())
+
+    def _note_new_endpoint(self, user_id: int) -> None:
+        if user_id not in self._overlay_nodes and self._compiled_slot(user_id) < 0:
+            self._overlay_nodes.add(user_id)
 
     def add_friendship(self, a: UserId, b: UserId) -> None:
         """Create the undirected edge (a, b).  Idempotent; self-loops rejected."""
         require(a != b, "a user cannot befriend themselves")
-        self.add_user(a)
-        self.add_user(b)
-        if b not in self._adjacency[a]:
-            self._adjacency[a].add(b)
-            self._adjacency[b].add(a)
-            self._edge_count += 1
+        a, b = int(a), int(b)
+        if not self._clean():
+            self._compile()
+        overlay_a = self._overlay.get(a)
+        if overlay_a is not None and b in overlay_a:
+            return
+        compiled = self._compiled_neighbors(a)
+        if compiled.shape[0]:
+            i = int(np.searchsorted(compiled, b))
+            if i < compiled.shape[0] and compiled[i] == b:
+                return
+        self._edge_a.append(a)
+        self._edge_b.append(b)
+        if overlay_a is None:
+            overlay_a = self._overlay[a] = set()
+        overlay_a.add(b)
+        self._overlay.setdefault(b, set()).add(a)
+        self._note_new_endpoint(a)
+        self._note_new_endpoint(b)
+        self._overlay_edge_count += 1
 
     def add_friendships_bulk(self, pairs: Iterable[Tuple[UserId, UserId]]) -> int:
         """Add many undirected edges; returns how many were new.
 
         Behaviour per pair matches :meth:`add_friendship` (idempotent,
-        self-loops rejected) but avoids a method call per edge — the
-        configuration-model wiring feeds ~190k pairs per paper-scale build.
-        A batch with a self-loop is rejected whole, before any edge is
-        added, so the edge count always matches the adjacency sets.
+        self-loops rejected).  A batch with a self-loop is rejected
+        whole, before any edge is added, so the edge count always
+        matches the adjacency.
         """
         pairs = list(pairs)
-        for a, b in pairs:
-            if a == b:
-                raise ValidationError("a user cannot befriend themselves")
-        adjacency = self._adjacency
-        added = 0
-        for a, b in pairs:
-            neighbors_a = adjacency.get(a)
-            if neighbors_a is None:
-                neighbors_a = adjacency[a] = set()
-            if b in neighbors_a:
-                continue
-            neighbors_b = adjacency.get(b)
-            if neighbors_b is None:
-                neighbors_b = adjacency[b] = set()
-            neighbors_a.add(b)
-            neighbors_b.add(a)
-            added += 1
-        self._edge_count += added
-        return added
+        if not pairs:
+            return 0
+        arr = np.asarray(pairs, dtype=np.int64)
+        return self.add_friendship_arrays(arr[:, 0], arr[:, 1])
+
+    def add_friendship_arrays(self, a, b) -> int:
+        """Vectorised :meth:`add_friendships_bulk` over endpoint arrays.
+
+        The configuration-model wiring feeds ~190k pairs per paper-scale
+        build; one compile absorbs the whole batch.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.shape[0] == 0:
+            return 0
+        if bool(np.any(a == b)):
+            raise ValidationError("a user cannot befriend themselves")
+        self._compile()
+        before = self._c_edge_count
+        self._edge_a.extend(a)
+        self._edge_b.extend(b)
+        self._compile()
+        return self._c_edge_count - before
 
     def remove_user(self, user_id: UserId) -> None:
         """Remove a node and all incident edges (platform account deletion)."""
-        neighbors = self._adjacency.pop(user_id, set())
-        for other in neighbors:
-            self._adjacency[other].discard(user_id)
-        self._edge_count -= len(neighbors)
+        user_id = int(user_id)
+        if self._clean() and not (
+            user_id in self._overlay_nodes or self._compiled_slot(user_id) >= 0
+        ):
+            return
+        self._removals.append(
+            (user_id, len(self._explicit_nodes), len(self._edge_a))
+        )
 
     # -- queries ------------------------------------------------------------------
 
     def __contains__(self, user_id: UserId) -> bool:
-        return user_id in self._adjacency
+        if not self._clean():
+            self._compile()
+        user_id = int(user_id)
+        return user_id in self._overlay_nodes or self._compiled_slot(user_id) >= 0
 
     @property
     def node_count(self) -> int:
         """Number of users in the graph."""
-        return len(self._adjacency)
+        if not self._clean():
+            self._compile()
+        return int(self._c_nodes.shape[0]) + len(self._overlay_nodes)
 
     @property
     def edge_count(self) -> int:
         """Number of friendships."""
-        return self._edge_count
+        if not self._clean():
+            self._compile()
+        return self._c_edge_count + self._overlay_edge_count
 
     def neighbors(self, user_id: UserId) -> Set[UserId]:
         """The friend set of ``user_id`` (empty for unknown users)."""
+        if not self._clean():
+            self._compile()
+        user_id = int(user_id)
         # repro-lint: allow-DET003 defensive copy; PlatformAPI.get_friend_list sorts before serializing
-        return set(self._adjacency.get(user_id, set()))
+        friends = set(self._compiled_neighbors(user_id).tolist())
+        overlay = self._overlay.get(user_id)
+        if overlay:
+            friends |= overlay
+        return friends
 
     def degree(self, user_id: UserId) -> int:
         """Friend count of ``user_id``."""
-        return len(self._adjacency.get(user_id, set()))
+        if not self._clean():
+            self._compile()
+        user_id = int(user_id)
+        overlay = self._overlay.get(user_id)
+        return int(self._compiled_neighbors(user_id).shape[0]) + (
+            len(overlay) if overlay else 0
+        )
 
     def are_friends(self, a: UserId, b: UserId) -> bool:
         """Whether the edge (a, b) exists."""
-        return b in self._adjacency.get(a, set())
+        if not self._clean():
+            self._compile()
+        a, b = int(a), int(b)
+        overlay = self._overlay.get(a)
+        if overlay is not None and b in overlay:
+            return True
+        compiled = self._compiled_neighbors(a)
+        if compiled.shape[0] == 0:
+            return False
+        i = int(np.searchsorted(compiled, b))
+        return i < compiled.shape[0] and bool(compiled[i] == b)
 
     def two_hop_neighbors(self, user_id: UserId) -> Set[UserId]:
         """Users exactly two hops away (friends-of-friends, minus friends/self)."""
-        direct = self._adjacency.get(user_id, set())
+        direct = self.neighbors(user_id)
         # repro-lint: allow-DET003 consumers take len()/membership; never serialized unsorted
         two_hop: Set[UserId] = set()
         for friend in direct:
-            two_hop.update(self._adjacency[friend])
+            two_hop.update(self.neighbors(friend))
         two_hop -= direct
-        two_hop.discard(user_id)
+        two_hop.discard(int(user_id))
         return two_hop
 
     def edges(self) -> Iterator[Tuple[UserId, UserId]]:
-        """Iterate each undirected edge once, as (min, max) pairs."""
-        for node, neighbors in self._adjacency.items():
-            for other in neighbors:
-                if node < other:
-                    yield (node, other)
+        """Iterate each undirected edge once, as sorted (min, max) pairs."""
+        self._compile()
+        yield from zip(self._c_pair_lo.tolist(), self._c_pair_hi.tolist())
 
     def edges_within(self, users: Iterable[UserId]) -> Iterator[Tuple[UserId, UserId]]:
         """Edges whose both endpoints are in ``users``, in sorted-node order."""
-        user_set = set(users)
+        self._compile()
+        user_set = {int(u) for u in users}
         for node in sorted(user_set):
-            for other in sorted(self._adjacency.get(node, set())):
+            for other in self._compiled_neighbors(node).tolist():
                 if other in user_set and node < other:
                     yield (node, other)
 
@@ -147,8 +351,12 @@ class FriendshipGraph:
         Direct friends that also share a mutual friend are still yielded;
         callers subtract direct edges if they want the strictly-indirect set.
         """
-        user_list = sorted(set(users))
-        neighbor_sets = {u: self._adjacency.get(u, set()) for u in user_list}
+        self._compile()
+        user_list = sorted({int(u) for u in users})
+        neighbor_sets = {
+            u: set(self._compiled_neighbors(u).tolist())  # repro-lint: allow-DET003 values consumed via set intersection truthiness only
+            for u in user_list
+        }
         for i, a in enumerate(user_list):
             a_neighbors = neighbor_sets[a]
             if not a_neighbors:
@@ -161,7 +369,10 @@ class FriendshipGraph:
         """Export (optionally the subgraph induced by ``users``) to networkx."""
         graph = nx.Graph()
         if users is None:
-            graph.add_nodes_from(self._adjacency.keys())
+            # _compile() folds any pending appends, so the compiled node
+            # array is the complete node universe here.
+            self._compile()
+            graph.add_nodes_from(self._c_nodes.tolist())
             graph.add_edges_from(self.edges())
         else:
             user_set = set(users)

@@ -4,11 +4,24 @@ A single object owning users, pages, friendships, and the like log.  All
 mutation goes through it so invariants (id uniqueness, like idempotence,
 termination side effects) are enforced in one place.  Higher layers — the ad
 platform, like farms, honeypot crawler — only talk to this facade.
+
+Since the columnar refactor the facade holds no per-user Python objects:
+profiles live in a :class:`repro.osn.profilestore.ProfileStore`
+(struct-of-arrays, lazy views), likes in the columnar
+:class:`repro.osn.events.LikeLog`, and friendships in the CSR
+:class:`repro.osn.graph.FriendshipGraph`.  Current liker membership is
+derived from the like log (event counts minus removal counts); pages that
+receive *scalar* likes during simulation additionally materialise a
+per-page liker set as an O(1) idempotence check — the incremental-monitor
+path — while the bulk generator paths never build per-page sets at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.osn.events import LikeEvent, LikeLog, LikeRemovalEvent
 from repro.osn.graph import FriendshipGraph
@@ -16,6 +29,7 @@ from repro.osn.ids import IdAllocator, PageId, UserId
 from repro.osn.page import CATEGORY_HONEYPOT, Page
 from repro.osn.privacy import PrivacyPolicy
 from repro.osn.profile import Gender, UserProfile
+from repro.osn.profilestore import ProfileStore, ProfileView
 from repro.util.validation import ValidationError, require
 
 _USER_ID_BASE = 1_000_000
@@ -35,15 +49,18 @@ class SocialNetwork:
     """
 
     def __init__(self) -> None:
-        self._users: Dict[UserId, UserProfile] = {}
+        self.profiles = ProfileStore(_USER_ID_BASE)
         self._pages: Dict[PageId, Page] = {}
         self.graph = FriendshipGraph()
         self.likes = LikeLog()
         self.privacy = PrivacyPolicy()
-        self._user_ids = IdAllocator(_USER_ID_BASE)
         self._page_ids = IdAllocator(_PAGE_ID_BASE)
-        self._user_liked_pages: Dict[UserId, Set[PageId]] = {}
-        self._page_likers: Dict[PageId, List[UserId]] = {}
+        # Lazily materialised per-page liker sets: only pages hit by the
+        # scalar like path (ad deliveries onto the handful of honeypot
+        # pages) pay for one; the generators' bulk writes never do.
+        self._liker_sets: Dict[PageId, Set[UserId]] = {}
+        # Per-page replay memo: (event_count, removal_count) -> liker list.
+        self._replay_cache: Dict[int, Tuple] = {}
 
     # -- users --------------------------------------------------------------------
 
@@ -58,9 +75,7 @@ class SocialNetwork:
         created_at: int = 0,
     ) -> UserProfile:
         """Create and register a new user account."""
-        user_id = UserId(self._user_ids.allocate())
-        profile = UserProfile(
-            user_id=user_id,
+        user_id = self.profiles.add(
             gender=gender,
             age=age,
             country=country,
@@ -69,31 +84,66 @@ class SocialNetwork:
             cohort=cohort,
             created_at=created_at,
         )
-        self._users[user_id] = profile
         self.graph.add_user(user_id)
-        self._user_liked_pages[user_id] = set()
-        return profile
+        return self.profiles.view(user_id)
+
+    def create_users_bulk(
+        self,
+        count: int,
+        *,
+        gender_codes,
+        ages,
+        countries,
+        friend_list_public,
+        searchable,
+        cohort: str,
+        created_at: int = 0,
+    ) -> List[UserId]:
+        """Create ``count`` accounts in one columnar append.
+
+        The batch counterpart of :meth:`create_user` for the world
+        generators: demographics arrive as arrays (or scalars to
+        broadcast), the cohort and creation time are per-batch.  Returns
+        the new user ids in creation order.
+        """
+        user_ids = self.profiles.add_many(
+            count,
+            gender_codes=gender_codes,
+            ages=ages,
+            countries=countries,
+            friend_list_public=friend_list_public,
+            searchable=searchable,
+            cohort=cohort,
+            created_at=created_at,
+        )
+        self.graph.add_users_bulk(user_ids)
+        return user_ids
 
     def user(self, user_id: UserId) -> UserProfile:
         """Look up a user; raises ``KeyError`` for unknown ids."""
-        return self._users[user_id]
+        return self.profiles.view(user_id)
 
     def has_user(self, user_id: UserId) -> bool:
         """Whether ``user_id`` is a registered account (terminated or not)."""
-        return user_id in self._users
+        return self.profiles.has(user_id)
 
     @property
     def user_count(self) -> int:
         """Number of registered accounts, including terminated ones."""
-        return len(self._users)
+        return self.profiles.count
 
     def all_users(self) -> Iterable[UserProfile]:
         """Iterate every registered account."""
-        return self._users.values()
+        return self.profiles.iter_views()
 
     def users_in_cohort(self, cohort: str) -> List[UserProfile]:
         """All users with the given ground-truth cohort label."""
-        return [u for u in self._users.values() if u.cohort == cohort]
+        code = self.profiles.cohort_code_of(cohort)
+        if code is None:
+            return []
+        rows = np.flatnonzero(self.profiles.cohort_codes() == code)
+        base = self.profiles.id_base
+        return [self.profiles.view(base + row) for row in rows.tolist()]
 
     # -- pages --------------------------------------------------------------------
 
@@ -107,7 +157,7 @@ class SocialNetwork:
     ) -> Page:
         """Create and register a new page."""
         if owner_id is not None:
-            require(owner_id in self._users, f"unknown page owner {owner_id}")
+            require(self.has_user(owner_id), f"unknown page owner {owner_id}")
         page_id = PageId(self._page_ids.allocate())
         page = Page(
             page_id=page_id,
@@ -118,7 +168,6 @@ class SocialNetwork:
             created_at=created_at,
         )
         self._pages[page_id] = page
-        self._page_likers[page_id] = []
         return page
 
     def page(self, page_id: PageId) -> Page:
@@ -142,10 +191,10 @@ class SocialNetwork:
 
     def add_friendship(self, a: UserId, b: UserId) -> None:
         """Create a bidirectional friendship between two live accounts."""
-        require(a in self._users, f"unknown user {a}")
-        require(b in self._users, f"unknown user {b}")
-        require(not self._users[a].is_terminated, f"user {a} is terminated")
-        require(not self._users[b].is_terminated, f"user {b} is terminated")
+        require(self.has_user(a), f"unknown user {a}")
+        require(self.has_user(b), f"unknown user {b}")
+        require(not self.profiles.is_terminated(a), f"user {a} is terminated")
+        require(not self.profiles.is_terminated(b), f"user {b} is terminated")
         self.graph.add_friendship(a, b)
 
     def add_friendships_bulk(self, pairs: Iterable[Tuple[UserId, UserId]]) -> int:
@@ -153,21 +202,37 @@ class SocialNetwork:
 
         Semantically identical to calling :meth:`add_friendship` per pair
         (idempotent edges, self-loops rejected, both endpoints must be live
-        accounts), but account liveness is validated once per distinct user
-        instead of once per pair.  The paper-scale world wires ~370k stub
-        pairs, which makes the per-pair validation the dominant cost.
+        accounts), but validation is vectorised over the batch.
         """
         pairs = list(pairs)
-        users = self._users
-        # repro-lint: allow-DET003 validation-only loop; each element raises or passes independently
-        distinct: Set[UserId] = set()
-        for a, b in pairs:
-            distinct.add(a)
-            distinct.add(b)
-        for user_id in distinct:
-            require(user_id in users, f"unknown user {user_id}")
-            require(not users[user_id].is_terminated, f"user {user_id} is terminated")
-        return self.graph.add_friendships_bulk(pairs)
+        if not pairs:
+            return 0
+        arr = np.asarray(pairs, dtype=np.int64)
+        return self.add_friendships_arrays(arr[:, 0], arr[:, 1])
+
+    def add_friendships_arrays(self, a, b) -> int:
+        """Vectorised :meth:`add_friendships_bulk` over endpoint arrays.
+
+        The paper-scale world wires ~370k stub pairs; array-in, array-out
+        keeps the whole validation one masked comparison per endpoint.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.shape[0] == 0:
+            return 0
+        self._validate_live_users(np.concatenate([a, b]))
+        return self.graph.add_friendship_arrays(a, b)
+
+    def _validate_live_users(self, user_ids: np.ndarray) -> None:
+        """Every id must name a registered, non-terminated account."""
+        rows = user_ids - self.profiles.id_base
+        unknown = (rows < 0) | (rows >= self.profiles.count)
+        if bool(np.any(unknown)):
+            # report the smallest offending id, as a sorted-unique scan would
+            raise ValidationError(f"unknown user {int(user_ids[unknown].min())}")
+        terminated = ~self.profiles.alive_mask()[rows]
+        if bool(np.any(terminated)):
+            raise ValidationError(f"user {int(user_ids[terminated].min())} is terminated")
 
     def friend_count(self, user_id: UserId) -> int:
         """Ground-truth friend count (the crawler sees this only if public)."""
@@ -183,6 +248,67 @@ class SocialNetwork:
 
     # -- likes --------------------------------------------------------------------
 
+    def _liker_set(self, page_id: PageId) -> Set[UserId]:
+        """Materialise (once) the current-liker membership set for a page."""
+        likers = self._liker_sets.get(page_id)
+        if likers is None:
+            # repro-lint: allow-DET003 membership/len only; ordered reads go through page_liker_ids
+            likers = set(self._current_likers(page_id))
+            self._liker_sets[page_id] = likers
+        return likers
+
+    def _current_likers(self, page_id: PageId) -> List[UserId]:
+        """Current likers of ``page_id`` in arrival order."""
+        removal_count = self.likes.page_removal_count(page_id)
+        if removal_count == 0:
+            # no removals: every event is a distinct current like
+            return self.likes.page_user_ids_array(page_id).tolist()
+        # Replays are cached per page and invalidated by any new like or
+        # removal (the counts key); the observers re-read popular pages
+        # many times between mutations.
+        key = (self.likes.page_event_count(page_id), removal_count)
+        cached = self._replay_cache.get(int(page_id))
+        if cached is not None and cached[0] == key:
+            return list(cached[1])
+        likers = self._replay_likers(page_id)
+        self._replay_cache[int(page_id)] = (key, likers)
+        return list(likers)
+
+    def _replay_likers(self, page_id: PageId) -> List[UserId]:
+        """Replay like and removal events into the current liker list.
+
+        Removals carry the like-event count at removal time, so they
+        interleave exactly where they happened; each removes the *first*
+        occurrence, matching the old mutable-list implementation (a
+        re-like after a removal rejoins at the end of the list).
+        """
+        positions = self.likes.page_event_positions(page_id)
+        users = self.likes.page_user_ids_array(page_id)
+        removals = self.likes.removal_records_for_page(page_id)
+        likers: List[UserId] = []
+        next_removal = 0
+        for position, user_id in zip(positions.tolist(), users.tolist()):
+            while (
+                next_removal < len(removals)
+                and removals[next_removal][0] <= position
+            ):
+                likers.remove(removals[next_removal][1].user_id)
+                next_removal += 1
+            likers.append(user_id)
+        for _, event in removals[next_removal:]:
+            likers.remove(event.user_id)
+        return likers
+
+    def _currently_likes(self, user_id: UserId, page_id: PageId) -> bool:
+        """Membership check without materialising a liker set."""
+        likers = self._liker_sets.get(page_id)
+        if likers is not None:
+            return user_id in likers
+        count = self.likes.pair_count(page_id, user_id)
+        if count == 0:
+            return False
+        return count > self.likes.removal_pair_count(page_id, user_id)
+
     def like_page(self, user_id: UserId, page_id: PageId, time: int) -> bool:
         """Record ``user_id`` liking ``page_id`` at ``time``.
 
@@ -190,16 +316,17 @@ class SocialNetwork:
         page (likes are idempotent, as on the platform).  Terminated accounts
         cannot like.
         """
-        require(user_id in self._users, f"unknown user {user_id}")
+        require(self.has_user(user_id), f"unknown user {user_id}")
         require(page_id in self._pages, f"unknown page {page_id}")
-        profile = self._users[user_id]
-        require(not profile.is_terminated, f"terminated user {user_id} cannot like")
-        liked = self._user_liked_pages[user_id]
-        if page_id in liked:
+        require(
+            not self.profiles.is_terminated(user_id),
+            f"terminated user {user_id} cannot like",
+        )
+        likers = self._liker_set(page_id)
+        if user_id in likers:
             return False
-        liked.add(page_id)
-        self._page_likers[page_id].append(user_id)
         self.likes.record(LikeEvent(user_id=user_id, page_id=page_id, time=time))
+        likers.add(user_id)
         return True
 
     def like_pages_bulk(
@@ -218,32 +345,99 @@ class SocialNetwork:
         the bad page; it never leaves likes half-recorded, and neither does
         this).
         """
-        require(user_id in self._users, f"unknown user {user_id}")
-        profile = self._users[user_id]
-        require(not profile.is_terminated, f"terminated user {user_id} cannot like")
+        require(self.has_user(user_id), f"unknown user {user_id}")
+        require(
+            not self.profiles.is_terminated(user_id),
+            f"terminated user {user_id} cannot like",
+        )
         require(time >= 0, "like time must be >= 0")
-        liked = self._user_liked_pages[user_id]
-        page_likers = self._page_likers
-        fresh: List[PageId] = []
-        targets: List[List[UserId]] = []
+        liked = self.user_liked_page_ids(user_id)
         seen: Set[PageId] = set()
+        fresh: List[PageId] = []
         for page_id in page_ids:
             if page_id in liked or page_id in seen:
                 continue
-            likers = page_likers.get(page_id)
-            if likers is None:
+            if page_id not in self._pages:
                 raise ValidationError(f"unknown page {page_id}")
             seen.add(page_id)
             fresh.append(page_id)
-            targets.append(likers)
         if fresh:
             # record_many validates chronology before touching the log, so
-            # mutating the liker sets after it keeps the batch atomic.
+            # updating the liker sets after it keeps the batch atomic.
             self.likes.record_many(user_id, fresh, time)
-            liked.update(fresh)
-            for likers in targets:
-                likers.append(user_id)
+            self._note_bulk_likes(user_id, fresh)
         return len(fresh)
+
+    def like_pages_fresh(
+        self, user_id: UserId, page_ids, time: int
+    ) -> int:
+        """Record likes for pages the caller guarantees are new.
+
+        The generators' write path: ``page_ids`` (array-like) holds no
+        duplicates and no already-liked pages — world builders sample
+        each user's liked set without replacement from disjoint segments
+        — so the per-page idempotence probe of :meth:`like_pages_bulk`
+        is skipped entirely.  Validation (known user/pages, time) and
+        batch atomicity are identical; returns the number of likes.
+        """
+        require(self.has_user(user_id), f"unknown user {user_id}")
+        require(
+            not self.profiles.is_terminated(user_id),
+            f"terminated user {user_id} cannot like",
+        )
+        pages = np.asarray(page_ids, dtype=np.int64)
+        if pages.shape[0] == 0:
+            return 0
+        rows = pages - _PAGE_ID_BASE
+        known = (rows >= 0) & (rows < len(self._pages))
+        if not bool(np.all(known)):
+            raise ValidationError(f"unknown page {int(pages[~known][0])}")
+        self.likes.record_many(user_id, pages, time)
+        self._note_bulk_likes(user_id, pages)
+        return int(pages.shape[0])
+
+    def like_pages_fresh_many(
+        self, user_ids: Sequence[UserId], page_lists: Sequence, time: int
+    ) -> int:
+        """Record a whole cohort's fresh likes in one columnar append.
+
+        ``page_lists[i]`` is the int64 page array for ``user_ids[i]``; the
+        same per-user freshness guarantees as :meth:`like_pages_fresh`
+        apply.  Events land user-by-user in caller order, so the log is
+        byte-identical to looping :meth:`like_pages_fresh` — but users,
+        pages, and validation each cost one vectorised pass instead of one
+        Python call per user.  Returns the number of likes recorded.
+        """
+        if not user_ids:
+            return 0
+        users = np.asarray(user_ids, dtype=np.int64)
+        self._validate_live_users(users)
+        counts = np.fromiter(
+            (arr.shape[0] for arr in page_lists), dtype=np.int64, count=len(page_lists)
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return 0
+        pages = np.concatenate([arr for arr in page_lists if arr.shape[0]])
+        rows = pages - _PAGE_ID_BASE
+        known = (rows >= 0) & (rows < len(self._pages))
+        if not bool(np.all(known)):
+            raise ValidationError(f"unknown page {int(pages[~known][0])}")
+        user_column = np.repeat(users, counts)
+        self.likes.record_arrays(user_column, pages, time)
+        if self._liker_sets:
+            for user_id, arr in zip(user_ids, page_lists):
+                self._note_bulk_likes(user_id, arr)
+        return total
+
+    def _note_bulk_likes(self, user_id: UserId, page_ids) -> None:
+        """Keep any materialised liker sets coherent after a bulk write."""
+        if not self._liker_sets:
+            return
+        for page_id in page_ids:
+            likers = self._liker_sets.get(int(page_id))
+            if likers is not None:
+                likers.add(user_id)
 
     def like_page_many(self, events: Iterable[LikeEvent]) -> int:
         """Record a heterogeneous batch of like events (many users/pages/times).
@@ -254,28 +448,24 @@ class SocialNetwork:
         the number of new likes recorded.
         """
         events = list(events)
-        users = self._users
-        page_likers = self._page_likers
         # repro-lint: allow-DET003 validation-only loop; each element raises or passes independently
         for user_id in {e.user_id for e in events}:
-            require(user_id in users, f"unknown user {user_id}")
+            require(self.has_user(user_id), f"unknown user {user_id}")
             require(
-                not users[user_id].is_terminated,
+                not self.profiles.is_terminated(user_id),
                 f"terminated user {user_id} cannot like",
             )
         # repro-lint: allow-DET003 validation-only loop; each element raises or passes independently
         for page_id in {e.page_id for e in events}:
-            require(page_id in page_likers, f"unknown page {page_id}")
-        liked_pages = self._user_liked_pages
-        record = self.likes.record
+            require(page_id in self._pages, f"unknown page {page_id}")
         count = 0
         for event in events:
-            liked = liked_pages[event.user_id]
-            if event.page_id in liked:
+            likers = self._liker_set(event.page_id)
+            if event.user_id in likers:
                 continue
-            liked.add(event.page_id)
-            page_likers[event.page_id].append(event.user_id)
-            record(event)
+            likers.add(event.user_id)
+            # repro-lint: allow-HYG004 heterogeneous per-event path; batches here are tiny (one farm burst)
+            self.likes.record(event)
             count += 1
         return count
 
@@ -286,23 +476,47 @@ class SocialNetwork:
         accounts had been terminated, so the historical record is preserved.
         """
         require(page_id in self._pages, f"unknown page {page_id}")
-        return list(self._page_likers[page_id])
+        return self._current_likers(page_id)
 
     def page_like_count(self, page_id: PageId) -> int:
         """Current number of likes on ``page_id``."""
         require(page_id in self._pages, f"unknown page {page_id}")
-        return len(self._page_likers[page_id])
+        return self.likes.page_event_count(page_id) - self.likes.page_removal_count(
+            page_id
+        )
 
     def user_liked_page_ids(self, user_id: UserId) -> Set[PageId]:
         """The set of pages ``user_id`` likes (ground truth)."""
-        require(user_id in self._users, f"unknown user {user_id}")
+        require(self.has_user(user_id), f"unknown user {user_id}")
+        pages = self.likes.user_page_ids_array(user_id)
+        if self.likes.user_removal_count(user_id) == 0:
+            # repro-lint: allow-DET003 defensive copy; PlatformAPI.get_page_likes sorts before serializing
+            return set(pages.tolist())
+        liked = Counter(pages.tolist())
+        for event in self.likes.removals_for_user(user_id):
+            liked[event.page_id] -= 1
         # repro-lint: allow-DET003 defensive copy; PlatformAPI.get_page_likes sorts before serializing
-        return set(self._user_liked_pages[user_id])
+        return {page_id for page_id, count in liked.items() if count > 0}
+
+    def user_liked_page_ids_sorted(self, user_id: UserId) -> List[int]:
+        """Ascending page-id list of ``user_id``'s current likes.
+
+        What :meth:`repro.osn.api.PlatformAPI.get_page_likes` serialises;
+        equivalent to ``sorted(user_liked_page_ids(...))`` but skips the
+        set materialisation when the user has no removals (the common
+        case: one ``np.sort`` over the user's page-id column slice).
+        """
+        require(self.has_user(user_id), f"unknown user {user_id}")
+        if self.likes.user_removal_count(user_id) == 0:
+            return np.sort(self.likes.user_page_ids_array(user_id)).tolist()
+        return sorted(int(p) for p in self.user_liked_page_ids(user_id))
 
     def user_like_count(self, user_id: UserId) -> int:
         """How many pages ``user_id`` likes inside the simulated universe."""
-        require(user_id in self._users, f"unknown user {user_id}")
-        return len(self._user_liked_pages[user_id])
+        require(self.has_user(user_id), f"unknown user {user_id}")
+        return self.likes.user_event_count(user_id) - self.likes.user_removal_count(
+            user_id
+        )
 
     def declared_like_count(self, user_id: UserId) -> int:
         """Explicit likes plus background (out-of-universe) likes.
@@ -319,13 +533,13 @@ class SocialNetwork:
         so observers can measure disappearing likes (the paper's future-work
         item).  Returns False when no current like existed.
         """
-        require(user_id in self._users, f"unknown user {user_id}")
+        require(self.has_user(user_id), f"unknown user {user_id}")
         require(page_id in self._pages, f"unknown page {page_id}")
-        liked = self._user_liked_pages[user_id]
-        if page_id not in liked:
+        if not self._currently_likes(user_id, page_id):
             return False
-        liked.remove(page_id)
-        self._page_likers[page_id].remove(user_id)
+        likers = self._liker_sets.get(page_id)
+        if likers is not None:
+            likers.discard(user_id)
         self.likes.record_removal(
             LikeRemovalEvent(user_id=user_id, page_id=page_id, time=time)
         )
@@ -345,12 +559,22 @@ class SocialNetwork:
         strips the account's likes from every page's current liker list —
         the mechanism behind likes that silently disappear from pages.
         """
-        require(user_id in self._users, f"unknown user {user_id}")
-        profile = self._users[user_id]
-        require(not profile.is_terminated, f"user {user_id} already terminated")
+        require(self.has_user(user_id), f"unknown user {user_id}")
+        require(
+            not self.profiles.is_terminated(user_id),
+            f"user {user_id} already terminated",
+        )
         if purge_likes:
-            for page_id in sorted(self._user_liked_pages[user_id]):
-                self.remove_like(user_id, page_id, time)
-        profile.terminated_at = time
+            # Bulk twin of looping remove_like: every page here is a
+            # current like by construction, so the membership probe is
+            # skipped and the removal records land in one batch (same
+            # order, same sequence positions).
+            purged = sorted(self.user_liked_page_ids(user_id))
+            for page_id in purged:
+                likers = self._liker_sets.get(page_id)
+                if likers is not None:
+                    likers.discard(user_id)
+            self.likes.record_removals(user_id, purged, time)
+        self.profiles.terminate(user_id, time)
         self.graph.remove_user(user_id)
         self.graph.add_user(user_id)  # keep the node, drop the edges

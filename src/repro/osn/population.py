@@ -187,9 +187,9 @@ class WorldBuilder:
             popularity_exponent=self.config.page_popularity_exponent,
         )
 
-        user_ids = self._create_users(network, rng.child("users"))
+        user_ids, countries = self._create_users(network, rng.child("users"))
         self._wire_friendships(network, user_ids, rng.child("friendships"))
-        self._assign_likes(network, user_ids, universe, rng.child("likes"))
+        self._assign_likes(network, user_ids, countries, universe, rng.child("likes"))
         return BuiltWorld(
             organic_user_ids=user_ids,
             normal_page_ids=normal_pages,
@@ -205,25 +205,35 @@ class WorldBuilder:
             for i in range(count)
         ]
 
-    def _create_users(self, network: SocialNetwork, rng: RngStream) -> List[int]:
+    def _create_users(self, network: SocialNetwork, rng: RngStream):
+        """Create the organic cohort in one columnar append.
+
+        Demographic draws keep the exact scalar order (genders, ages,
+        countries, visibility) so seeded runs are byte-identical to the
+        old per-user ``create_user`` loop; only the container writes are
+        batched.  Returns ``(user_ids, countries)`` — the sampled country
+        list rides along so the like-assignment pass doesn't re-read it
+        from the store one view at a time.
+        """
         demo = self.config.demographics
         n = self.config.n_users
         genders = demo.gender.sample_many(rng, n)
         ages = sample_ages(rng, demo.age, n)
         countries = demo.country.sample_many(rng, n)
         public = rng.generator.random(n) < self.config.friend_list_public_rate
-        user_ids: List[int] = []
-        for gender, age, country, is_public in zip(genders, ages, countries, public):
-            profile = network.create_user(
-                gender=gender,
-                age=age,
-                country=country,
-                friend_list_public=bool(is_public),
-                searchable=True,
-                cohort="organic",
-            )
-            user_ids.append(profile.user_id)
-        return user_ids
+        gender_codes = np.fromiter(
+            (g is Gender.MALE for g in genders), dtype=np.int8, count=n
+        )
+        user_ids = network.create_users_bulk(
+            n,
+            gender_codes=gender_codes,
+            ages=ages,
+            countries=countries,
+            friend_list_public=public,
+            searchable=True,
+            cohort="organic",
+        )
+        return list(user_ids), countries
 
     def _wire_friendships(
         self, network: SocialNetwork, user_ids: List[int], rng: RngStream
@@ -244,25 +254,36 @@ class WorldBuilder:
         a = stubs[0:paired:2]
         b = stubs[1:paired:2]
         keep = a != b
-        network.add_friendships_bulk(
-            zip(a[keep].tolist(), b[keep].tolist())
-        )
+        network.add_friendships_arrays(a[keep], b[keep])
 
     def _assign_likes(
         self,
         network: SocialNetwork,
         user_ids: List[int],
+        countries: List[str],
         universe: PageUniverse,
         rng: RngStream,
     ) -> None:
+        """Assign each organic user's liked-page set.
+
+        Per-user RNG draws (spam-noise bernoulli/size/selection) stay
+        scalar and in the original order; the page sets themselves arrive
+        as arrays from :meth:`PageUniverse.sample_likes_many` and land in
+        one cohort-wide :meth:`SocialNetwork.like_pages_fresh_many` append
+        — segments are sampled without replacement and organic users draw
+        no spam in-mix, so every page in a batch is guaranteed new.
+        """
         spam_pages = universe.spam_pages
         like_counts = self.config.like_count.sample_many(rng, len(user_ids))
-        countries = [network.user(user_id).country for user_id in user_ids]
         chosen_lists = universe.sample_likes_many(
             rng, like_counts, ORGANIC_MIX, countries
         )
-        for user_id, chosen in zip(user_ids, chosen_lists):
-            if spam_pages and rng.bernoulli(self.config.spam_like_rate):
+        spam_like_rate = self.config.spam_like_rate
+        for i, chosen in enumerate(chosen_lists):
+            if spam_pages and rng.bernoulli(spam_like_rate):
                 noise = rng.randint(1, min(4, len(spam_pages)) + 1)
-                chosen.extend(rng.sample_without_replacement(spam_pages, noise))
-            network.like_pages_bulk(user_id, chosen, time=0)
+                extra = rng.sample_without_replacement(spam_pages, noise)
+                chosen_lists[i] = np.concatenate(
+                    [chosen, np.asarray(extra, dtype=np.int64)]
+                )
+        network.like_pages_fresh_many(user_ids, chosen_lists, time=0)

@@ -57,8 +57,43 @@ COHORT_CLICKWORKER = "clickworker"
 COHORT_FARM_PREFIX = "farm:"
 
 
+class ProfileProperties:
+    """Derived attributes shared by :class:`UserProfile` and the columnar
+    :class:`repro.osn.profilestore.ProfileView` — both expose the same
+    stored fields, so the derivations live once here."""
+
+    __slots__ = ()
+
+    @property
+    def age_bracket(self) -> str:
+        """The insights age bracket for this user."""
+        return age_bracket(self.age)
+
+    @property
+    def is_fake(self) -> bool:
+        """Ground truth: accounts not in the organic cohort are fake."""
+        return self.cohort != COHORT_ORGANIC
+
+    @property
+    def is_farm_account(self) -> bool:
+        """Ground truth: account operated by a like farm."""
+        return self.cohort.startswith(COHORT_FARM_PREFIX)
+
+    @property
+    def farm_name(self) -> Optional[str]:
+        """The operating farm's name, if this is a farm account."""
+        if not self.is_farm_account:
+            return None
+        return self.cohort[len(COHORT_FARM_PREFIX):]
+
+    @property
+    def is_terminated(self) -> bool:
+        """Whether the platform has removed this account."""
+        return self.terminated_at is not None
+
+
 @dataclass(slots=True)
-class UserProfile:
+class UserProfile(ProfileProperties):
     """A platform user account.
 
     Attributes
@@ -117,30 +152,3 @@ class UserProfile:
             self.home_town = self.country
         if self.current_town is None:
             self.current_town = self.country
-
-    @property
-    def age_bracket(self) -> str:
-        """The insights age bracket for this user."""
-        return age_bracket(self.age)
-
-    @property
-    def is_fake(self) -> bool:
-        """Ground truth: accounts not in the organic cohort are fake."""
-        return self.cohort != COHORT_ORGANIC
-
-    @property
-    def is_farm_account(self) -> bool:
-        """Ground truth: account operated by a like farm."""
-        return self.cohort.startswith(COHORT_FARM_PREFIX)
-
-    @property
-    def farm_name(self) -> Optional[str]:
-        """The operating farm's name, if this is a farm account."""
-        if not self.is_farm_account:
-            return None
-        return self.cohort[len(COHORT_FARM_PREFIX):]
-
-    @property
-    def is_terminated(self) -> bool:
-        """Whether the platform has removed this account."""
-        return self.terminated_at is not None

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set
 
+import numpy as np
+
 from repro.osn.ids import PageId, UserId
 from repro.osn.network import SocialNetwork
 from repro.util.rng import RngStream
@@ -87,19 +89,28 @@ class TerminationSweep:
         page's like timestamps; any like inside a window containing at least
         ``policy.burst_threshold`` likes counts as burst participation.
         """
-        events = network.likes.for_page(page_id)
-        times = [event.time for event in events]
+        users = network.likes.page_user_ids_array(page_id)
+        if users.shape[0] == 0:
+            return set()
+        times = np.asarray(network.likes.page_like_times(page_id), dtype=np.int64)
+        # For each event r the window start is the first index l with
+        # times[r] - times[l] <= window (times are non-decreasing), i.e. a
+        # searchsorted for times[r] - window.  An event is flagged when it
+        # falls inside [l, r] of ANY qualifying window; the union of those
+        # intervals is painted with a difference array instead of a
+        # per-window inner loop.
+        n = times.shape[0]
+        lefts = np.searchsorted(times, times - self.policy.burst_window, side="left")
+        rights = np.arange(n, dtype=np.int64)
+        qualifying = rights - lefts + 1 >= self.policy.burst_threshold
+        if not bool(np.any(qualifying)):
+            return set()
+        coverage = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(coverage, lefts[qualifying], 1)
+        np.add.at(coverage, rights[qualifying] + 1, -1)
+        flagged_mask = np.cumsum(coverage[:-1]) > 0
         # repro-lint: allow-DET003 consumed membership-only by run(), which sweeps sorted(candidates)
-        flagged: Set[UserId] = set()
-        left = 0
-        window = self.policy.burst_window
-        for right in range(len(times)):
-            while times[right] - times[left] > window:
-                left += 1
-            if right - left + 1 >= self.policy.burst_threshold:
-                for k in range(left, right + 1):
-                    flagged.add(events[k].user_id)
-        return flagged
+        return set(users[flagged_mask].tolist())
 
     def run(
         self,

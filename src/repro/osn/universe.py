@@ -31,7 +31,7 @@ import numpy as np
 from repro.osn.ids import PageId
 from repro.util.distributions import (
     interpolate_counts,
-    weighted_sample_without_replacement,
+    weighted_sample_positive,
     zipf_weights,
 )
 from repro.util.rng import RngStream
@@ -87,6 +87,9 @@ STEALTH_FARM_MIX = LikeMix(global_frac=0.45, regional_frac=0.45, spam_frac=0.10)
 #: The spam segment every fraud account can draw from.
 SHARED_SPAM_KEY = "exchange"
 
+#: Cap on uniforms materialised per batched-sampling chunk (~32 MB).
+_DRAW_CHUNK = 4_000_000
+
 #: Default per-operator spam segments.
 DEFAULT_SPAM_KEYS = ("clickworker", "socialformula", "alms", "boostlikes")
 
@@ -106,49 +109,58 @@ class PageUniverse:
         require(SHARED_SPAM_KEY in spam_segments, "spam segments need the shared key")
         require(len(spam_segments[SHARED_SPAM_KEY]) > 0, "shared spam must be non-empty")
         check_fraction(own_spam_fraction, "own_spam_fraction")
-        self._global = list(global_pages)
-        self._regional = {c: list(pages) for c, pages in regional_pages.items()}
-        self._spam = {key: list(pages) for key, pages in spam_segments.items()}
+        # Segments live as int64 arrays so per-user sampling is pure array
+        # indexing; the list-returning accessors below materialise copies.
+        self._global = np.asarray(list(global_pages), dtype=np.int64)
+        self._regional = {
+            c: np.asarray(list(pages), dtype=np.int64)
+            for c, pages in regional_pages.items()
+        }
+        self._spam = {
+            key: np.asarray(list(pages), dtype=np.int64)
+            for key, pages in spam_segments.items()
+        }
+        self._empty = np.empty(0, dtype=np.int64)
         self._own_spam_fraction = own_spam_fraction
         self._global_weights = zipf_weights(len(self._global), popularity_exponent)
         self._regional_weights = {
             country: zipf_weights(len(pages), popularity_exponent)
             for country, pages in self._regional.items()
-            if pages
+            if len(pages)
         }
         self._spam_weights = {
             key: zipf_weights(len(pages), popularity_exponent)
             for key, pages in self._spam.items()
-            if pages
+            if len(pages)
         }
 
     @property
     def global_pages(self) -> List[PageId]:
         """The globally popular segment."""
-        return list(self._global)
+        return self._global.tolist()
 
     @property
     def spam_pages(self) -> List[PageId]:
         """Every spam-job page across all segments."""
         pages: List[PageId] = []
         for segment in self._spam.values():
-            pages.extend(segment)
+            pages.extend(segment.tolist())
         return pages
 
     def spam_segment(self, key: str) -> List[PageId]:
         """One spam segment's pages (empty for unknown keys)."""
-        return list(self._spam.get(key, ()))
+        return self._spam.get(key, self._empty).tolist()
 
     def regional_pages(self, country: str) -> List[PageId]:
         """The regional segment for ``country`` (may be empty)."""
-        return list(self._regional.get(country, ()))
+        return self._regional.get(country, self._empty).tolist()
 
     @property
     def all_page_ids(self) -> List[PageId]:
         """Every page in the universe."""
-        pages = list(self._global) + self.spam_pages
+        pages = self._global.tolist() + self.spam_pages
         for segment in self._regional.values():
-            pages.extend(segment)
+            pages.extend(segment.tolist())
         return pages
 
     def sample_likes(
@@ -167,31 +179,77 @@ class PageUniverse:
         spill into the global segment so the requested count is honoured
         whenever the universe is big enough overall.
         """
-        require(total >= 0, "total must be >= 0")
-        counts = mix.counts(total)
-        chosen: List[PageId] = []
+        return self.sample_likes_array(
+            rng, total, mix, country, spam_key=spam_key
+        ).tolist()
 
-        regional = self._regional.get(country, [])
-        regional_take = min(counts["regional"], len(regional))
+    def sample_likes_array(
+        self,
+        rng: RngStream,
+        total: int,
+        mix: LikeMix,
+        country: str,
+        spam_key: str = None,
+    ) -> np.ndarray:
+        """Array twin of :meth:`sample_likes`: same draws, same order.
+
+        The segments are int64 arrays, so each per-segment sample is an
+        array slice and the user's page set is one concatenation — no
+        per-element Python objects until a caller asks for them.
+        """
+        require(total >= 0, "total must be >= 0")
+        parts = [
+            weighted_sample_positive(rng, items, weights, take)
+            for items, weights, take in self._plan(total, mix, country, spam_key)
+        ]
+        if not parts:
+            return self._empty.copy()
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def _plan(
+        self, total: int, mix: LikeMix, country: str, spam_key: str
+    ) -> List[Tuple[np.ndarray, np.ndarray, int]]:
+        """One user's draw plan: ``(segment, weights, take)`` per sample.
+
+        Entirely RNG-free — the plan depends only on the mix counts and
+        segment sizes — so the batched sampler can lay out a whole
+        cohort's plans, make one uniform draw for all of them, and still
+        consume the stream in exactly the per-user order the scalar
+        :meth:`sample_likes_array` does.  Shortfall spill (regional/spam
+        into global) matches the scalar path because it *is* the scalar
+        path, factored out.
+        """
+        counts = _mix_counts(mix, total)
+        plan: List[Tuple[np.ndarray, np.ndarray, int]] = []
+        regional = self._regional.get(country, self._empty)
+        regional_take = min(counts[1], len(regional))
         if regional_take > 0:
-            chosen.extend(
-                weighted_sample_without_replacement(
-                    rng, regional, self._regional_weights[country], regional_take
-                )
+            plan.append((regional, self._regional_weights[country], regional_take))
+        spam_take = 0
+        spam_count = counts[2]
+        if spam_count > 0:
+            own = self._spam.get(spam_key, self._empty) if spam_key else self._empty
+            own_target = (
+                int(round(spam_count * self._own_spam_fraction)) if len(own) else 0
             )
-        spam_take = self._sample_spam(rng, counts["spam"], spam_key, chosen)
+            own_take = min(own_target, len(own))
+            if own_take > 0:
+                plan.append((own, self._spam_weights[spam_key], own_take))
+                spam_take += own_take
+            shared = self._spam[SHARED_SPAM_KEY]
+            shared_take = min(spam_count - spam_take, len(shared))
+            if shared_take > 0:
+                plan.append((shared, self._spam_weights[SHARED_SPAM_KEY], shared_take))
+                spam_take += shared_take
         global_take = min(
-            counts["global"] + (counts["regional"] - regional_take)
-            + (counts["spam"] - spam_take),
+            counts[0] + (counts[1] - regional_take) + (spam_count - spam_take),
             len(self._global),
         )
         if global_take > 0:
-            chosen.extend(
-                weighted_sample_without_replacement(
-                    rng, self._global, self._global_weights, global_take
-                )
-            )
-        return chosen
+            plan.append((self._global, self._global_weights, global_take))
+        return plan
 
     def sample_likes_many(
         self,
@@ -200,50 +258,73 @@ class PageUniverse:
         mix: LikeMix,
         countries: Sequence[str],
         spam_key: str = None,
-    ) -> List[List[PageId]]:
+    ) -> List[np.ndarray]:
         """Draw liked-page sets for a whole cohort in one call.
 
         ``totals[i]`` pages are drawn for the user in ``countries[i]``; all
         users share ``mix`` and ``spam_key``.  Draws are made user-by-user in
-        order from ``rng``, so the result is bit-identical to calling
-        :meth:`sample_likes` per user — this is the batch entry point the
-        generators use, amortising the per-call segment bookkeeping (cached
-        Zipf weight arrays, cached mix counts) across the cohort.
+        order from ``rng``, so each per-user array is bit-identical (values
+        and order) to calling :meth:`sample_likes` for that user — this is
+        the batch entry point the generators use.
+
+        The batching is real, not just a loop: every sample in the cohort
+        consumes ``len(segment)`` uniforms, so the whole cohort's uniforms
+        come from a handful of chunked ``generator.random`` calls and one
+        ``log`` pass, sliced back per sample.  Uniform blocks split this
+        way are bit-identical to per-call draws (the generator fills
+        arrays element-by-element from the same stream), and the
+        exponential-sort keys ``log(u)/w`` are computed elementwise in the
+        same order, so selections match :meth:`sample_likes_array`
+        exactly.  Chunks are capped so a ``--scale 100`` cohort never
+        materialises a multi-gigabyte draw buffer.
         """
         require(len(totals) == len(countries), "totals and countries must align")
-        sample = self.sample_likes
-        return [
-            sample(rng, total, mix, country, spam_key=spam_key)
+        for total in totals:
+            require(total >= 0, "total must be >= 0")
+        plans = [
+            self._plan(total, mix, country, spam_key)
             for total, country in zip(totals, countries)
         ]
+        results: List[np.ndarray] = []
+        empty = self._empty
+        generator = rng.generator
+        chunk_start = 0
+        chunk_draws = 0
+        n_users = len(plans)
+        for i in range(n_users + 1):
+            if i < n_users:
+                user_draws = sum(w.shape[0] for _, w, _ in plans[i])
+                if chunk_draws + user_draws <= _DRAW_CHUNK or chunk_draws == 0:
+                    chunk_draws += user_draws
+                    continue
+            if chunk_draws == 0:
+                break
+            keys_block = generator.random(chunk_draws)
+            np.log(keys_block, out=keys_block)
+            pos = 0
+            for plan in plans[chunk_start:i]:
+                parts: List[np.ndarray] = []
+                for items, weights, take in plan:
+                    n = weights.shape[0]
+                    block = keys_block[pos : pos + n]
+                    pos += n
+                    if take == n:
+                        # whole-population sample: uniforms consumed, keys unused
+                        parts.append(items.copy())
+                        continue
+                    keys = block / weights
+                    chosen = keys.argpartition(-take)[-take:]
+                    parts.append(items[chosen])
+                if not parts:
+                    results.append(empty.copy())
+                elif len(parts) == 1:
+                    results.append(parts[0])
+                else:
+                    results.append(np.concatenate(parts))
+            chunk_start = i
+            chunk_draws = user_draws if i < n_users else 0
+        return results
 
-    def _sample_spam(
-        self, rng: RngStream, count: int, spam_key: str, chosen: List[PageId]
-    ) -> int:
-        """Draw up to ``count`` spam pages into ``chosen``; returns how many."""
-        if count <= 0:
-            return 0
-        own = self._spam.get(spam_key, []) if spam_key else []
-        own_target = int(round(count * self._own_spam_fraction)) if own else 0
-        own_take = min(own_target, len(own))
-        taken = 0
-        if own_take > 0:
-            chosen.extend(
-                weighted_sample_without_replacement(
-                    rng, own, self._spam_weights[spam_key], own_take
-                )
-            )
-            taken += own_take
-        shared = self._spam[SHARED_SPAM_KEY]
-        shared_take = min(count - taken, len(shared))
-        if shared_take > 0:
-            chosen.extend(
-                weighted_sample_without_replacement(
-                    rng, shared, self._spam_weights[SHARED_SPAM_KEY], shared_take
-                )
-            )
-            taken += shared_take
-        return taken
 
 
 def build_universe(

@@ -40,6 +40,13 @@ class Categorical:
         self._probs = np.array(
             [weights[label] / total for label in self._labels], dtype=float
         )
+        # Generator.choice(n, p=probs) draws one uniform and inverts the
+        # normalised cdf with a right-side searchsorted; caching the cdf
+        # and doing that inversion directly is bit-identical per draw and
+        # skips choice's per-call probability validation (~10x cheaper on
+        # the scalar hot paths: farm regions, hub countries).
+        self._cdf = self._probs.cumsum()
+        self._cdf /= self._cdf[-1]
 
     @property
     def labels(self) -> List:
@@ -60,14 +67,15 @@ class Categorical:
 
     def sample(self, rng: RngStream):
         """Draw a single label."""
-        index = rng.generator.choice(len(self._labels), p=self._probs)
-        return self._labels[int(index)]
+        index = int(self._cdf.searchsorted(rng.generator.random(), side="right"))
+        return self._labels[min(index, len(self._labels) - 1)]
 
     def sample_many(self, rng: RngStream, n: int) -> List:
         """Draw ``n`` labels i.i.d."""
         require(n >= 0, "n must be >= 0")
-        indices = rng.generator.choice(len(self._labels), size=n, p=self._probs)
-        return [self._labels[int(i)] for i in indices]
+        indices = self._cdf.searchsorted(rng.generator.random(n), side="right")
+        last = len(self._labels) - 1
+        return [self._labels[min(int(i), last)] for i in indices]
 
     def rescaled(self, overrides: Dict) -> "Categorical":
         """A new distribution with some weights replaced, then renormalised.
@@ -156,8 +164,13 @@ def weighted_sample_without_replacement(
     """
     require(len(items) == len(weights), "items and weights must align")
     require(0 <= k <= len(items), f"cannot sample {k} of {len(items)} items")
+    # When ``items`` is an ndarray the result is an ndarray too (a copy,
+    # never a view), selected by the same indices in the same order as the
+    # list path — the columnar generators rely on this to skip the
+    # per-element ``items[i]`` materialisation loop.
+    array_items = isinstance(items, np.ndarray)
     if k == 0:
-        return []
+        return items[:0].copy() if array_items else []
     weights = np.asarray(weights, dtype=float)
     min_weight = float(weights.min())
     require(min_weight >= 0, "weights must be non-negative")
@@ -169,7 +182,7 @@ def weighted_sample_without_replacement(
         # weighted path's key order (callers treat results as sets).
         require(min_weight > 0, "not enough positive-weight items to sample")
         rng.generator.random(len(weights))
-        return list(items)
+        return items.copy() if array_items else list(items)
     if min_weight > 0:
         # All-positive fast path (the common case: Zipf popularity weights):
         # no mask allocation or fancy indexing, but bit-identical keys —
@@ -183,7 +196,34 @@ def weighted_sample_without_replacement(
         draws = rng.generator.random(int(positive.sum()))
         keys[positive] = np.log(draws) / weights[positive]
     chosen = np.argpartition(keys, -k)[-k:]
+    if array_items:
+        return items[chosen]
     return [items[i] for i in chosen.tolist()]
+
+
+def weighted_sample_positive(
+    rng: RngStream, items: np.ndarray, weights: np.ndarray, k: int
+) -> np.ndarray:
+    """Trusted fast path of :func:`weighted_sample_without_replacement`.
+
+    The caller guarantees ``items`` is an ndarray, ``weights`` a strictly
+    positive float array of the same length, and ``0 <= k <= len(items)``
+    (the page universe's cached Zipf weights satisfy all three).  Consumes
+    the stream and computes the exponential-sort keys exactly like the
+    validated all-positive path, so samples are bit-identical — it only
+    skips the per-call validation, which dominates at tens of thousands of
+    small draws per world build.
+    """
+    if k == 0:
+        return items[:0].copy()
+    generator = rng.generator
+    if k == len(items):
+        generator.random(weights.shape[0])
+        return items.copy()
+    keys = np.log(generator.random(weights.shape[0]))
+    keys /= weights
+    chosen = keys.argpartition(-k)[-k:]
+    return items[chosen]
 
 
 def interpolate_counts(total: int, fractions: Sequence[float]) -> List[int]:

@@ -139,9 +139,12 @@ class RngStream:
     def choice(self, items: Sequence, size: Optional[int] = None, replace: bool = True):
         """Choose one item (``size=None``) or a list of items from ``items``."""
         require(len(items) > 0, "choice requires a non-empty sequence")
-        indices = self._generator.choice(len(items), size=size, replace=replace)
         if size is None:
-            return items[int(indices)]
+            # Generator.choice(n) without p consumes exactly one
+            # integers(0, n) draw; calling integers directly is
+            # bit-identical and ~5x cheaper (skips choice's array setup).
+            return items[int(self._generator.integers(0, len(items)))]
+        indices = self._generator.choice(len(items), size=size, replace=replace)
         return [items[int(i)] for i in indices]
 
     def shuffled(self, items: Sequence) -> list:

@@ -1,0 +1,81 @@
+"""Regression guard for the clickworker pool presize fix.
+
+Ad delivery used to call ``ensure_pool`` once per scheduled click (4568
+calls in a paper-scale build — the dominant hot spot in the pre-columnar
+profile).  ``AdDeliveryEngine._presize_pools`` now grows every targeted
+country's pool once per campaign launch from the campaign's expected
+demand, and ``sample_worker`` reads a big-enough pool in place.  These
+tests pin the call-count shape: pool maintenance must stay O(campaigns x
+countries), never O(clicks).
+"""
+
+from __future__ import annotations
+
+from repro.ads.clickworkers import ClickWorkerPopulation
+from repro.core.experiment import HoneypotExperiment
+
+
+def _run_counting(monkeypatch, experiment):
+    """Run ``experiment`` counting pool-maintenance and pool-growth calls."""
+    ensure_calls, growths = [], []
+    original_ensure = ClickWorkerPopulation.ensure_pool
+    original_create = ClickWorkerPopulation._create_workers
+
+    def counting_ensure(self, country, size):
+        ensure_calls.append((country, size))
+        return original_ensure(self, country, size)
+
+    def counting_create(self, country, count):
+        growths.append((country, count))
+        return original_create(self, country, count)
+
+    monkeypatch.setattr(ClickWorkerPopulation, "ensure_pool", counting_ensure)
+    monkeypatch.setattr(ClickWorkerPopulation, "_create_workers", counting_create)
+    experiment.run()
+    return ensure_calls, growths
+
+
+def test_pool_calls_scale_with_countries_not_clicks(monkeypatch):
+    experiment = HoneypotExperiment.small()
+    ensure_calls, growths = _run_counting(monkeypatch, experiment)
+
+    campaigns = experiment.artifacts.campaigns
+    clicks = sum(campaign.clicks for campaign in campaigns.values())
+    countries = {country for country, _ in ensure_calls}
+
+    assert clicks > 100, "study scheduled too few clicks to exercise delivery"
+    # Presize touches each targeted country at most once per campaign
+    # launch; anything beyond campaigns x countries means per-click
+    # maintenance crept back in.
+    assert len(ensure_calls) <= len(campaigns) * len(countries), (
+        f"{len(ensure_calls)} ensure_pool calls for {len(campaigns)} "
+        f"campaigns over {len(countries)} countries — pool maintenance "
+        "is no longer once-per-launch"
+    )
+    # The regression this guards: one ensure_pool per click/order.
+    assert len(ensure_calls) < clicks / 10, (
+        f"{len(ensure_calls)} ensure_pool calls vs {clicks} clicks — "
+        "pool maintenance is scaling with order volume"
+    )
+    # Growth events are rarer still: a pool already at target size is a
+    # no-op ensure, not a new worker batch.
+    assert len(growths) <= len(ensure_calls)
+
+
+def test_saturated_pool_is_not_regrown(monkeypatch):
+    # Within one country, repeated ensure_pool calls at or below the
+    # current size must not create workers again.
+    experiment = HoneypotExperiment.small()
+    ensure_calls, growths = _run_counting(monkeypatch, experiment)
+    grown_per_country = {}
+    for country, _ in growths:
+        grown_per_country[country] = grown_per_country.get(country, 0) + 1
+    # Each country grows at most once per campaign that targets it; with
+    # five ad campaigns a country regrowing more than five times means
+    # ensure_pool is being asked for ever-larger sizes per order.
+    campaigns = len(experiment.artifacts.campaigns)
+    for country, times in grown_per_country.items():
+        assert times <= campaigns, (
+            f"pool for {country} grew {times} times across {campaigns} "
+            "campaign launches"
+        )

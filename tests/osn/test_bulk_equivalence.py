@@ -10,12 +10,21 @@ through the bulk fast path or through per-item scalar calls.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+import repro.osn.universe as universe_module
 from repro.honeypot.study import HoneypotStudy, StudyConfig
 from repro.osn.events import LikeEvent, LikeLog
 from repro.osn.network import SocialNetwork
 from repro.osn.profile import Gender
+from repro.osn.universe import (
+    CLICKWORKER_MIX,
+    ORGANIC_MIX,
+    SHARED_SPAM_KEY,
+    PageUniverse,
+)
+from repro.util.rng import RngStream
 from repro.util.validation import ValidationError
 
 
@@ -136,6 +145,218 @@ class TestRecordMany:
         assert len(log) == 1
 
 
+class TestRecordArrays:
+    """The cohort-wide columnar append is state-identical to scalar records."""
+
+    def test_matches_scalar_records(self):
+        scalar_log, bulk_log = LikeLog(), LikeLog()
+        users = np.array([7, 7, 8, 9, 9, 9], dtype=np.int64)
+        pages = np.array([10, 11, 10, 12, 11, 13], dtype=np.int64)
+        for user_id, page_id in zip(users.tolist(), pages.tolist()):
+            scalar_log.record(LikeEvent(user_id=user_id, page_id=page_id, time=3))
+        bulk_log.record_arrays(users, pages, 3)
+        for page_id in (10, 11, 12, 13):
+            assert scalar_log.for_page(page_id) == bulk_log.for_page(page_id)
+        for user_id in (7, 8, 9):
+            assert scalar_log.for_user(user_id) == bulk_log.for_user(user_id)
+        assert len(scalar_log) == len(bulk_log) == 6
+
+    def test_out_of_order_batch_raises_and_applies_nothing(self):
+        log = LikeLog()
+        log.record(LikeEvent(user_id=1, page_id=10, time=5))
+        with pytest.raises(ValidationError):
+            # page 11 would be fine; page 10 violates per-page chronology
+            log.record_arrays(
+                np.array([2, 2], dtype=np.int64),
+                np.array([11, 10], dtype=np.int64),
+                4,
+            )
+        assert log.for_page(11) == ()
+        assert log.for_user(2) == ()
+        assert len(log) == 1
+
+    def test_equal_time_batch_accepted_below_high_water_mark(self):
+        # time == a page's newest event is chronological; the vectorised
+        # slow-path check (time < _max_time) must not over-reject it.
+        log = LikeLog()
+        log.record(LikeEvent(user_id=1, page_id=10, time=4))
+        log.record(LikeEvent(user_id=1, page_id=12, time=9))
+        log.record_arrays(
+            np.array([2, 2], dtype=np.int64),
+            np.array([10, 11], dtype=np.int64),
+            4,
+        )
+        assert len(log) == 4
+        assert [e.user_id for e in log.for_page(10)] == [1, 2]
+
+
+class TestProfileStoreViews:
+    """ProfileView reads are equivalent to the written attributes/columns."""
+
+    def test_views_match_writes_and_columns(self):
+        network = SocialNetwork()
+        specs = [
+            (Gender.FEMALE, 19, "US", True, "organic"),
+            (Gender.MALE, 44, "IN", False, "clickworker"),
+            (Gender.MALE, 31, "EG", True, "farm:X"),
+            (Gender.FEMALE, 67, "US", False, "organic"),
+        ]
+        ids = [
+            network.create_user(
+                gender=g, age=a, country=c, friend_list_public=p, cohort=coh
+            ).user_id
+            for g, a, c, p, coh in specs
+        ]
+        for user_id, (g, a, c, p, coh) in zip(ids, specs):
+            view = network.user(user_id)
+            assert (view.gender, view.age, view.country) == (g, a, c)
+            assert view.friend_list_public is p
+            assert view.cohort == coh
+            assert view.terminated_at is None and not view.is_terminated
+        # object identity: the store caches one view per row
+        assert network.user(ids[0]) is network.user(ids[0])
+        # column reads agree with per-view reads
+        store = network.profiles
+        assert store.ages().tolist() == [a for _, a, _, _, _ in specs]
+        assert [store.strings.value(c) for c in store.country_codes()] == [
+            c for _, _, c, _, _ in specs
+        ]
+        assert store.friend_list_public_mask().tolist() == [
+            p for _, _, _, p, _ in specs
+        ]
+
+    def test_termination_and_background_counts_round_trip(self):
+        network = SocialNetwork()
+        user = network.create_user(gender=Gender.MALE, age=25, country="TR")
+        user.background_friend_count = 321
+        user.background_like_count = 55
+        assert user.background_friend_count == 321
+        assert user.background_like_count == 55
+        network.terminate_account(user.user_id, time=17)
+        assert user.is_terminated
+        assert user.terminated_at == 17
+        assert network.profiles.alive_mask().tolist() == [False]
+
+
+class TestFriendshipGraphCSR:
+    """CSR graph queries match a plain dict-of-sets reference."""
+
+    def _reference(self, edges):
+        ref = {}
+        for a, b in edges:
+            ref.setdefault(a, set()).add(b)
+            ref.setdefault(b, set()).add(a)
+        return ref
+
+    def test_queries_match_reference(self):
+        network, users, _ = _network_with(40, 1)
+        generator = np.random.default_rng(4821)
+        pairs = set()
+        while len(pairs) < 120:
+            a, b = generator.integers(0, len(users), size=2).tolist()
+            if a != b:
+                pairs.add((min(a, b), max(a, b)))
+        pairs = sorted(pairs)
+        edges = [(users[a], users[b]) for a, b in pairs]
+        # half through the array fast path (compiled core), half through
+        # scalar adds (overlay) — queries must merge both
+        half = len(edges) // 2
+        network.add_friendships_arrays(
+            np.array([a for a, _ in edges[:half]], dtype=np.int64),
+            np.array([b for _, b in edges[:half]], dtype=np.int64),
+        )
+        for a, b in edges[half:]:
+            network.add_friendship(a, b)
+        ref = self._reference(edges)
+        graph = network.graph
+        assert graph.edge_count == len(edges)
+        for user_id in users:
+            assert graph.neighbors(user_id) == ref.get(user_id, set())
+            assert graph.degree(user_id) == len(ref.get(user_id, set()))
+        for a, b in edges[:20]:
+            assert graph.are_friends(a, b) and graph.are_friends(b, a)
+        subset = users[:15]
+        expected_within = {
+            (min(a, b), max(a, b))
+            for a, b in edges
+            if a in set(subset) and b in set(subset)
+        }
+        got_within = {
+            (min(int(a), int(b)), max(int(a), int(b)))
+            for a, b in graph.edges_within(subset)
+        }
+        assert got_within == expected_within
+        probe = users[0]
+        expected_two_hop = set()
+        for n in ref.get(probe, set()):
+            expected_two_hop |= ref.get(n, set())
+        expected_two_hop -= ref.get(probe, set())
+        expected_two_hop -= {probe}
+        assert graph.two_hop_neighbors(probe) == expected_two_hop
+
+
+def _test_universe() -> PageUniverse:
+    base = 9_500_000
+    return PageUniverse(
+        global_pages=range(base, base + 40),
+        regional_pages={
+            "US": range(base + 40, base + 70),
+            "IN": range(base + 70, base + 90),
+        },
+        spam_segments={
+            SHARED_SPAM_KEY: range(base + 90, base + 110),
+            "clickworker": range(base + 110, base + 125),
+        },
+        popularity_exponent=0.9,
+    )
+
+
+class TestBatchedSamplerEquivalence:
+    """sample_likes_many is draw-for-draw identical to the scalar loop."""
+
+    CASES = [
+        (ORGANIC_MIX, None),
+        (CLICKWORKER_MIX, "clickworker"),
+    ]
+
+    @pytest.mark.parametrize("mix,spam_key", CASES)
+    def test_bit_identical_to_scalar_loop(self, mix, spam_key):
+        universe = _test_universe()
+        totals = [0, 3, 17, 30, 8, 1, 25, 12]
+        countries = ["US", "IN", "US", "FR", "IN", "US", "FR", "IN"]
+        batched = universe.sample_likes_many(
+            RngStream(777, "t"), totals, mix, countries, spam_key=spam_key
+        )
+        scalar_rng = RngStream(777, "t")
+        scalar = [
+            universe.sample_likes_array(
+                scalar_rng, total, mix, country, spam_key=spam_key
+            )
+            for total, country in zip(totals, countries)
+        ]
+        assert len(batched) == len(scalar)
+        for got, expected in zip(batched, scalar):
+            assert np.array_equal(got, expected)
+
+    def test_chunk_boundaries_do_not_change_draws(self, monkeypatch):
+        # Force many tiny chunks: per-user plans must split the uniform
+        # blocks exactly where the one-big-block path would.
+        universe = _test_universe()
+        totals = [12, 30, 5, 22, 9, 18]
+        countries = ["US", "IN", "FR", "US", "IN", "US"]
+        unchunked = universe.sample_likes_many(
+            RngStream(31, "c"), totals, CLICKWORKER_MIX, countries,
+            spam_key="clickworker",
+        )
+        monkeypatch.setattr(universe_module, "_DRAW_CHUNK", 64)
+        chunked = universe.sample_likes_many(
+            RngStream(31, "c"), totals, CLICKWORKER_MIX, countries,
+            spam_key="clickworker",
+        )
+        for got, expected in zip(chunked, unchunked):
+            assert np.array_equal(got, expected)
+
+
 class TestAddFriendshipsBulk:
     def test_matches_scalar_loop(self):
         scalar_net, users, _ = _network_with(6, 1)
@@ -187,6 +408,35 @@ def _scalar_add_friendships_bulk(self, pairs):
     return self.graph.edge_count - before
 
 
+def _scalar_like_pages_fresh(self, user_id, page_ids, time):
+    """The pre-columnar fresh path: one `like_page` call per page."""
+    added = 0
+    for page_id in np.asarray(page_ids, dtype=np.int64).tolist():
+        if self.like_page(user_id, page_id, time):
+            added += 1
+    return added
+
+
+def _scalar_like_pages_fresh_many(self, user_ids, page_lists, time):
+    """The pre-cohort-batching path: one `like_pages_fresh` per user.
+
+    Dispatches through ``self`` so the (also monkeypatched) per-user
+    scalar fallback runs underneath — the study then writes every like
+    through `like_page`, the fully scalar path.
+    """
+    total = 0
+    for user_id, pages in zip(user_ids, page_lists):
+        total += self.like_pages_fresh(user_id, pages, time)
+    return total
+
+
+def _scalar_add_friendships_arrays(self, a, b):
+    before = self.graph.edge_count
+    for x, y in zip(np.asarray(a).tolist(), np.asarray(b).tolist()):
+        self.add_friendship(x, y)
+    return self.graph.edge_count - before
+
+
 def _study_fingerprint(config: StudyConfig) -> dict:
     artifacts = HoneypotStudy(config).run()
     network = artifacts.network
@@ -211,9 +461,21 @@ class TestSeededStudyEquivalence:
     def test_dataset_identical(self, monkeypatch):
         config = StudyConfig.small(seed=991)
         bulk = _study_fingerprint(config)
+        # Swap out every batch/columnar write entry point the generators
+        # use — cohort-wide like appends, per-user fresh likes, and array
+        # edge wiring all collapse to per-item scalar calls.
         monkeypatch.setattr(SocialNetwork, "like_pages_bulk", _scalar_like_pages_bulk)
         monkeypatch.setattr(
             SocialNetwork, "add_friendships_bulk", _scalar_add_friendships_bulk
+        )
+        monkeypatch.setattr(
+            SocialNetwork, "like_pages_fresh", _scalar_like_pages_fresh
+        )
+        monkeypatch.setattr(
+            SocialNetwork, "like_pages_fresh_many", _scalar_like_pages_fresh_many
+        )
+        monkeypatch.setattr(
+            SocialNetwork, "add_friendships_arrays", _scalar_add_friendships_arrays
         )
         scalar = _study_fingerprint(config)
         assert scalar == bulk

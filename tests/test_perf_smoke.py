@@ -1,11 +1,16 @@
 """A coarse wall-time guard against gross performance regressions.
 
-The bulk OSN write paths took the paper-scale study from ~10s to ~4s and
-the small study to well under a second (see ``BENCH_pipeline.json`` and
-``make profile``).  This smoke test runs the small study under a very
-generous budget — 5x the recorded baseline — so that an accidental return
-to per-item writes (or any other order-of-magnitude regression) surfaces
-in tier-1 without making the suite timing-sensitive on slow CI machines.
+The columnar OSN stores took the paper-scale study from ~10s to under 2s
+and the small study to a fraction of a second (see ``BENCH_pipeline.json``,
+``BENCH_history.jsonl`` and ``make profile``).  This smoke test runs the
+small study under a generous budget — a multiple of the recorded columnar
+baseline — so that an accidental return to per-item writes (or any other
+order-of-magnitude regression) surfaces in tier-1 without making the suite
+timing-sensitive on slow CI machines.
+
+The multiplier defaults to 5x for tier-1 runs; the CI ``bench-smoke`` job
+exports ``REPRO_PERF_BUDGET_X=2`` to hold merges to a tighter >2x gate on
+a dedicated (lint-and-build-only) runner.
 
 The default study runs with observability *disabled* (the shared no-op
 registry), so ``test_small_study_within_budget`` also gates the disabled
@@ -16,19 +21,22 @@ registry to the same bound.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.core.experiment import HoneypotExperiment
 from repro.honeypot.study import StudyConfig
 from repro.obs.metrics import ObservabilityConfig
 
-#: Wall seconds for ``HoneypotExperiment.small().run()`` recorded on the CI
-#: machine alongside BENCH_pipeline.json, rounded up for headroom.
-RECORDED_BASELINE_SECONDS = 0.8
+#: Wall seconds for ``HoneypotExperiment.small().run()`` on the columnar
+#: stores, recorded alongside BENCH_pipeline.json and rounded up for
+#: headroom over host noise.
+RECORDED_BASELINE_SECONDS = 0.35
 
-#: Fail only on gross (>5x) regressions; honest perf tracking lives in
-#: ``make profile``, not in the test suite.
-BUDGET_SECONDS = 5 * RECORDED_BASELINE_SECONDS
+#: Fail only on gross regressions (default >5x; CI bench-smoke sets 2x);
+#: honest perf tracking lives in ``make profile``, not in the test suite.
+BUDGET_MULTIPLIER = float(os.environ.get("REPRO_PERF_BUDGET_X", "5"))
+BUDGET_SECONDS = BUDGET_MULTIPLIER * RECORDED_BASELINE_SECONDS
 
 
 def test_small_study_within_budget():
@@ -40,8 +48,9 @@ def test_small_study_within_budget():
     assert results.dataset.campaigns, "study produced no campaigns"
     assert elapsed < BUDGET_SECONDS, (
         f"small study took {elapsed:.2f}s, budget is {BUDGET_SECONDS:.1f}s "
-        f"(5x the {RECORDED_BASELINE_SECONDS}s recorded baseline); "
-        "see benchmarks/perf and BENCH_pipeline.json for the perf trajectory"
+        f"({BUDGET_MULTIPLIER:g}x the {RECORDED_BASELINE_SECONDS}s recorded "
+        "columnar baseline); see benchmarks/perf, BENCH_pipeline.json and "
+        "BENCH_history.jsonl for the perf trajectory"
     )
 
 
