@@ -6,7 +6,7 @@ PYTHON ?= python
 # editable install by putting src/ on PYTHONPATH.
 RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test lint check bench profile chaos crashtest metrics report examples clean
+.PHONY: install test lint check bench profile chaos crashtest shardtest metrics report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -39,6 +39,14 @@ chaos:
 # metrics are byte-identical to an uninterrupted run (plain and --chaos).
 crashtest:
 	$(RUN_ENV) $(PYTHON) -m pytest tests/test_checkpoint_resume.py -v
+
+# Sharded-execution harness: supervisor/merge/plan unit+property tests plus
+# the end-to-end CLI acceptance — --jobs 4 byte-identical to --jobs 1 (plain
+# and --chaos), a SIGKILLed worker's shard resuming from its own WAL, and
+# the degraded/unrecoverable exit codes.
+shardtest:
+	$(RUN_ENV) $(PYTHON) -m pytest tests/shard/ -v
+	$(RUN_ENV) $(PYTHON) -m pytest tests/test_checkpoint_resume.py -k Sharded -v
 
 # Observability smoke: the chaos study with metrics enabled, emitting the
 # run manifest (config hash, seed, every counter/gauge) to metrics.json.

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import time  # repro-lint: allow-DET001 harness stall injection only; never feeds simulated state
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Dict, List, Optional
@@ -39,6 +40,15 @@ from repro.util.durable import atomic_write_text, fsync_handle
 #: uncatchable kill (no atexit, no flush, no cleanup), but at a seeded,
 #: reproducible point instead of a racy wall-clock timer.
 CRASH_AFTER_ENV = "REPRO_CKPT_CRASH_AFTER"
+
+#: Stall-injection point for the interrupt-flush harness: when this
+#: environment variable holds an integer N, the process sleeps (once) for
+#: ``REPRO_CKPT_STALL_SECONDS`` (default 60) immediately after its N-th
+#: durably written journal record.  The sleep is interruptible, so a test
+#: can SIGINT the run at a reproducible mid-phase point and assert the
+#: final-snapshot flush happened.
+STALL_AFTER_ENV = "REPRO_CKPT_STALL_AFTER"
+STALL_SECONDS_ENV = "REPRO_CKPT_STALL_SECONDS"
 
 #: Journal format identifier (bump on breaking layout changes).
 JOURNAL_SCHEMA = "repro.ckpt/journal@1"
@@ -129,6 +139,9 @@ class DatasetJournal:
         self.fsyncs = 0
         crash_after = os.environ.get(CRASH_AFTER_ENV)
         self._crash_after = int(crash_after) if crash_after else None
+        stall_after = os.environ.get(STALL_AFTER_ENV)
+        self._stall_after = int(stall_after) if stall_after else None
+        self._stall_seconds = float(os.environ.get(STALL_SECONDS_ENV, "60"))
 
     # -- constructors -------------------------------------------------------------
 
@@ -139,18 +152,20 @@ class DatasetJournal:
         seed: int,
         config_hash: str,
         metrics: Optional[MetricsRegistry] = None,
+        shard_id: Optional[str] = None,
     ) -> "DatasetJournal":
         """Create a fresh journal, writing and fsyncing the header."""
         journal = cls(path, metrics=metrics)
         journal._handle = journal.path.open("w", encoding="utf-8")
-        journal._write_row(
-            {
-                "type": "journal-header",
-                "schema": JOURNAL_SCHEMA,
-                "seed": seed,
-                "config_hash": config_hash,
-            }
-        )
+        header = {
+            "type": "journal-header",
+            "schema": JOURNAL_SCHEMA,
+            "seed": seed,
+            "config_hash": config_hash,
+        }
+        if shard_id is not None:
+            header["shard"] = shard_id
+        journal._write_row(header)
         journal.records_written = 0  # the header is not a dataset record
         return journal
 
@@ -162,6 +177,7 @@ class DatasetJournal:
         seed: int,
         config_hash: str,
         metrics: Optional[MetricsRegistry] = None,
+        shard_id: Optional[str] = None,
     ) -> "DatasetJournal":
         """Reopen a salvaged journal for replay-verified continuation.
 
@@ -181,6 +197,11 @@ class DatasetJournal:
                     f"{recovery.header.get('config_hash')!r}, this run is "
                     f"{config_hash!r}; refusing to resume"
                 )
+            if recovery.header.get("shard") != shard_id:
+                raise CheckpointError(
+                    f"journal belongs to shard {recovery.header.get('shard')!r}, "
+                    f"this run is shard {shard_id!r}; refusing to resume"
+                )
             journal = cls(path, metrics=metrics)
             rows = [recovery.header] + recovery.records
             # Rewrite the salvaged prefix atomically (temp + fsync + rename)
@@ -197,7 +218,7 @@ class DatasetJournal:
             return journal
         # No salvageable header: the crashed run died before its first
         # fsync'd line landed, so this is a fresh start.
-        return cls.start(path, seed, config_hash, metrics=metrics)
+        return cls.start(path, seed, config_hash, metrics=metrics, shard_id=shard_id)
 
     # -- appends ------------------------------------------------------------------
 
@@ -239,7 +260,10 @@ class DatasetJournal:
         self.fsyncs += 1
         self.records_written += 1
         if self._crash_after is not None and self.records_written >= self._crash_after:
-            os.kill(os.getpid(), signal.SIGKILL)  # harness-injected crash
+            os.kill(os.getpid(), signal.SIGKILL)  # repro-lint: allow-DET004 harness self-kill at a seeded journal position
+        if self._stall_after is not None and self.records_written >= self._stall_after:
+            self._stall_after = None  # stall once, not on every later record
+            time.sleep(self._stall_seconds)  # repro-lint: allow-DET001 harness-injected stall; never feeds simulated state
 
     def close(self) -> None:
         """Close the underlying handle (appends after this raise)."""

@@ -101,23 +101,27 @@ def write_checkpoint_manifest(
     config_hash: str,
     every_days: Optional[float],
     entries: List[Dict],
+    shard_id: Optional[str] = None,
 ) -> None:
     """Durably (re)write the checkpoint directory's index."""
+    manifest = {
+        "schema": SNAPSHOT_SCHEMA,
+        "seed": seed,
+        "config_hash": config_hash,
+        "every_days": every_days,
+        "snapshots": entries,
+    }
+    if shard_id is not None:
+        manifest["shard"] = shard_id
     atomic_write_json(
         Path(directory) / MANIFEST_NAME,
-        {
-            "schema": SNAPSHOT_SCHEMA,
-            "seed": seed,
-            "config_hash": config_hash,
-            "every_days": every_days,
-            "snapshots": entries,
-        },
+        manifest,
         tag="snapshot",
     )
 
 
 def load_checkpoint_manifest(
-    directory: Path, seed: int, config_hash: str
+    directory: Path, seed: int, config_hash: str, shard_id: Optional[str] = None
 ) -> Optional[Dict]:
     """Load the directory's manifest, refusing on any identity mismatch.
 
@@ -147,5 +151,11 @@ def load_checkpoint_manifest(
             "checkpoint was written under config fingerprint "
             f"{manifest.get('config_hash')!r}, this run is {config_hash!r}; "
             "resume must use the original configuration"
+        )
+    if manifest.get("shard") != shard_id:
+        raise CheckpointError(
+            f"checkpoint belongs to shard {manifest.get('shard')!r}, this "
+            f"run is shard {shard_id!r}; a shard can only resume its own "
+            "checkpoint directory"
         )
     return manifest

@@ -108,6 +108,18 @@ class StudyConfig:
         (plus every ``every_days`` simulated days), and with
         ``resume=True`` continues a killed run under the verified-replay
         contract.
+    active_spec_ids:
+        The sharded-execution knob (see :mod:`repro.shard`).  ``None``
+        (the default) runs every campaign in ``specs``.  A list of
+        campaign ids restricts the run to those campaigns *while still
+        creating every spec's honeypot page* in spec order, so page-id
+        assignment is identical across every shard of the same study —
+        a liker record crawled in one shard references the same page
+        ids as a record crawled in any other.
+    collect_globals:
+        Whether this run crawls the baseline sample and computes the
+        global demographics report.  In a sharded study exactly one
+        shard (the primary) collects them; the merge takes them from it.
     """
 
     seed: int = 20140312
@@ -126,6 +138,8 @@ class StudyConfig:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     checkpoint: Optional[CheckpointConfig] = None
+    active_spec_ids: Optional[List[str]] = None
+    collect_globals: bool = True
 
     def __post_init__(self) -> None:
         check_positive(self.scale, "scale")
@@ -134,6 +148,27 @@ class StudyConfig:
         require(len(self.specs) > 0, "study needs at least one campaign spec")
         ids = [spec.campaign_id for spec in self.specs]
         require(len(ids) == len(set(ids)), "campaign ids must be unique")
+        if self.active_spec_ids is not None:
+            require(
+                len(self.active_spec_ids) > 0,
+                "active_spec_ids must name at least one campaign",
+            )
+            unknown = [i for i in self.active_spec_ids if i not in set(ids)]
+            require(
+                not unknown,
+                f"active_spec_ids name unknown campaigns: {unknown}",
+            )
+            require(
+                len(self.active_spec_ids) == len(set(self.active_spec_ids)),
+                "active_spec_ids must be unique",
+            )
+
+    def active_specs(self) -> List[CampaignSpec]:
+        """The specs this run actually promotes/monitors (all by default)."""
+        if self.active_spec_ids is None:
+            return list(self.specs)
+        wanted = set(self.active_spec_ids)
+        return [spec for spec in self.specs if spec.campaign_id in wanted]
 
     @staticmethod
     def small(seed: int = 20140312) -> "StudyConfig":
@@ -200,6 +235,13 @@ class StudyArtifacts:
     metrics: MetricsRegistry = None
     #: Checkpoint-overhead accounting (None when checkpointing was off).
     checkpoint: Optional[Dict] = None
+    #: Final simulated time in virtual minutes (deterministic).
+    virtual_minutes: int = 0
+    #: Users registered before any campaign launch (world + page owners).
+    #: Identical across the shards of one study — everything above it is
+    #: shard-local dynamic allocation (clickworkers, farm accounts), which
+    #: the shard merge relocates into per-shard id ranges.
+    build_user_count: int = 0
 
 
 @dataclass
@@ -225,6 +267,9 @@ class _StudyComponents:
     ad_campaigns: Dict[str, AdCampaign]
     orders: Dict[str, FarmOrder]
     crawl_time: int
+    #: Users registered before any campaign launch (world + page owners);
+    #: the shard merge's dynamic-id floor, identical across shards.
+    build_user_count: int = 0
     dataset: Optional[HoneypotDataset] = None
 
 
@@ -305,6 +350,8 @@ class HoneypotStudy:
             api=components.api,
             metrics=metrics,
             checkpoint=manager.stats() if manager is not None else None,
+            virtual_minutes=int(components.engine.clock.now),
+            build_user_count=components.build_user_count,
         )
 
     def _build(
@@ -368,8 +415,24 @@ class HoneypotStudy:
         ad_campaigns: Dict[str, AdCampaign] = {}
         orders: Dict[str, FarmOrder] = {}
 
+        # Every spec's page is created (in spec order) even when only a
+        # subset is active, so page-id *and page-owner* assignment is
+        # identical across the shards of one study; inactive pages receive
+        # no promotion, no monitor, and stay empty.  Page creation draws no
+        # randomness, and all of it happens before any campaign launch —
+        # the user count at this point is the dynamic-id floor the shard
+        # merge relies on: everything allocated above it (clickworker
+        # pools, farm accounts) is shard-local.
+        active_ids = {spec.campaign_id for spec in config.active_specs()}
+        pages = {
+            spec.campaign_id: create_honeypot_page(network, spec.campaign_id)
+            for spec in config.specs
+        }
+        build_user_count = network.user_count
         for spec in config.specs:
-            page = create_honeypot_page(network, spec.campaign_id)
+            if spec.campaign_id not in active_ids:
+                continue
+            page = pages[spec.campaign_id]
             page_ids[spec.campaign_id] = page.page_id
             if spec.is_facebook:
                 campaign = AdCampaign(
@@ -406,7 +469,7 @@ class HoneypotStudy:
             monitors[spec.campaign_id] = monitor
 
         crawl_time = days(
-            max(spec.duration_days for spec in config.specs)
+            max(spec.duration_days for spec in config.active_specs())
             + config.monitor_policy.quiet_stop / DAY
             + 1
         )
@@ -424,6 +487,7 @@ class HoneypotStudy:
             ad_campaigns=ad_campaigns,
             orders=orders,
             crawl_time=crawl_time,
+            build_user_count=build_user_count,
         )
 
     def _simulate(
@@ -583,7 +647,7 @@ class HoneypotStudy:
         dataset = HoneypotDataset()
 
         liker_campaigns: Dict[UserId, List[str]] = {}
-        for spec in self.config.specs:
+        for spec in self.config.active_specs():
             monitor = components.monitors[spec.campaign_id]
             observations = [
                 LikeObservation(observed_at=snapshot.time, user_id=int(user_id))
@@ -618,15 +682,16 @@ class HoneypotStudy:
                 {"type": "baseline", **asdict(record)}
             )
         dataset.likers = crawler.crawl_likers(liker_campaigns, on_record=on_liker)
-        dataset.baseline = crawler.crawl_baseline(
-            components.streams["baseline"],
-            self.config.baseline_sample_size,
-            on_record=on_baseline,
-        )
-        report = ReportsTool(components.network).global_report()
-        dataset.global_gender = report.gender
-        dataset.global_age = report.age
-        dataset.global_country = report.country
+        if self.config.collect_globals:
+            dataset.baseline = crawler.crawl_baseline(
+                components.streams["baseline"],
+                self.config.baseline_sample_size,
+                on_record=on_baseline,
+            )
+            report = ReportsTool(components.network).global_report()
+            dataset.global_gender = report.gender
+            dataset.global_age = report.age
+            dataset.global_country = report.country
         return dataset
 
     def _record_terminations(

@@ -1,6 +1,6 @@
-"""Determinism rules: DET001 (wall clock), DET002 (RNG), DET003 (set order).
+"""Determinism rules: DET001 (clock), DET002 (RNG), DET003 (sets), DET004 (procs).
 
-These are the three statically-checkable ways a PR breaks the
+These are the statically-checkable ways a PR breaks the
 byte-identical-run contract:
 
 * a wall-clock read feeding a simulated quantity (``DET001``),
@@ -9,7 +9,11 @@ byte-identical-run contract:
 * iteration order of an unordered ``set`` escaping into ordered output
   (``DET003``) — the sneakiest, because CPython iterates sets of small
   ints stably, so the bug only shows up once strings (per-process hash
-  randomisation) or a different resize history enter the set.
+  randomisation) or a different resize history enter the set,
+* process state (``multiprocessing``, pids, forks, signals) touched
+  outside the :mod:`repro.shard` supervisor (``DET004``) — untracked
+  child processes are invisible to crash-resume and the deterministic
+  shard merge.
 
 Dicts are deliberately *not* flagged: CPython dicts iterate in insertion
 order, so a dict built deterministically iterates deterministically.
@@ -63,10 +67,19 @@ class ImportTable:
 
 #: Modules allowed to read the wall clock.  ``repro.obs.metrics`` owns the
 #: timing spans (explicitly separated from deterministic counters),
-#: ``repro.cli`` reports end-to-end wall time to the terminal, and
-#: ``repro.sim.engine`` times its dispatch loop via its ``_walltime`` alias.
+#: ``repro.cli`` reports end-to-end wall time to the terminal,
+#: ``repro.sim.engine`` times its dispatch loop via its ``_walltime``
+#: alias, and the shard supervisor/worker pair uses the wall clock for
+#: operational liveness only (heartbeats, hang timeouts, interrupt
+#: grace) — never for anything a simulation reads.
 WALL_CLOCK_ALLOWLIST = frozenset(
-    {"repro.obs.metrics", "repro.cli", "repro.sim.engine"}
+    {
+        "repro.obs.metrics",
+        "repro.cli",
+        "repro.sim.engine",
+        "repro.shard.supervisor",
+        "repro.shard.worker",
+    }
 )
 
 _CLOCK_CALLS = frozenset(
@@ -223,6 +236,97 @@ class UnseededRandomRule(Rule):
                     f"numpy.random.{attr}() {what} outside repro.util.rng; "
                     "fork a child RngStream instead",
                 )
+
+
+# --------------------------------------------------------------------------- #
+# DET004 — process state outside repro.shard
+# --------------------------------------------------------------------------- #
+
+#: The package that owns worker lifecycles, pids, and signals.
+SHARD_HOME = "repro.shard"
+
+#: Modules whose import means a new process (or pool) is being managed.
+_PROCESS_MODULES = ("multiprocessing", "concurrent.futures")
+
+#: os-level process calls that create, identify, or signal processes.
+_PROCESS_CALLS = frozenset(
+    {
+        "os.fork",
+        "os.forkpty",
+        "os.getpid",
+        "os.getppid",
+        "os.kill",
+        "os.killpg",
+        "os.setpgrp",
+        "os.setsid",
+        "os.wait",
+        "os.waitpid",
+        "os._exit",
+    }
+)
+
+
+def _is_process_module(name: str) -> bool:
+    return any(
+        name == module or name.startswith(module + ".")
+        for module in _PROCESS_MODULES
+    )
+
+
+@register
+class ProcessStateRule(Rule):
+    """DET004: process management outside the ``repro.shard`` package.
+
+    Worker lifecycles are the supervisor's failure domain: it is what
+    heartbeats, restarts from the per-shard WAL, and quarantines.  A
+    stray ``multiprocessing`` pool or ``os.fork()`` anywhere else creates
+    process state that crash-resume and the deterministic merge cannot
+    see, and a casual ``os.getpid()`` invites pid-dependent (and thus
+    run-dependent) behaviour.
+    """
+
+    code = "DET004"
+    name = "process-state"
+    severity = Severity.ERROR
+    description = (
+        "process management (multiprocessing, os.fork/getpid/kill) outside "
+        "repro.shard; worker lifecycles belong to the shard supervisor"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        name = module.module_name
+        if name == SHARD_HOME or name.startswith(SHARD_HOME + "."):
+            return
+        table = ImportTable(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_process_module(alias.name):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of process module {alias.name!r} outside "
+                            f"{SHARD_HOME}; worker lifecycles belong to the "
+                            "shard supervisor",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                if _is_process_module(node.module):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"from-import from process module {node.module!r} "
+                        f"outside {SHARD_HOME}; worker lifecycles belong to "
+                        "the shard supervisor",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = table.resolve(node.func)
+                if dotted in _PROCESS_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"process-state call {dotted}() outside {SHARD_HOME}; "
+                        "pids and signals belong to the shard supervisor",
+                    )
 
 
 # --------------------------------------------------------------------------- #

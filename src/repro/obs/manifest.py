@@ -53,6 +53,8 @@ def config_fingerprint(config) -> str:
         "horizon_days",
         "fault_profile",
         "retry_policy",
+        "active_spec_ids",
+        "collect_globals",
     ):
         parts.append(f"{name}={getattr(config, name, None)!r}")
     digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
@@ -105,7 +107,16 @@ def write_manifest(path: Path, manifest: Dict) -> Path:
 
 
 def deterministic_sections(manifest: Dict) -> Dict:
-    """The parts of a manifest covered by the same-seed identity contract."""
+    """The parts of a manifest covered by the same-seed identity contract.
+
+    Sharded runs add a ``shards`` section (the shard plan and per-shard
+    deterministic outcomes) and a ``degraded`` section (quarantined
+    shards).  Both are covered: which shards exist and which campaigns
+    they own follow from the config, and quarantine only happens under
+    injected poison, never from seeded simulation.  Supervisor execution
+    detail (attempt counts, restarts, wall timings) lives outside these
+    sections.
+    """
     return {
         "config_hash": manifest["config_hash"],
         "seed": manifest["seed"],
@@ -113,4 +124,6 @@ def deterministic_sections(manifest: Dict) -> Dict:
         "counters": manifest["counters"],
         "gauges": manifest["gauges"],
         "dataset": manifest.get("dataset"),
+        "shards": manifest.get("shards"),
+        "degraded": manifest.get("degraded"),
     }

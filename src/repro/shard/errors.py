@@ -1,0 +1,18 @@
+"""Shard-layer error types.
+
+``ShardError`` means the sharded run could not produce a dataset at all
+(the unrecoverable outcome, CLI exit code 5); ``ShardMergeError`` is its
+merge-time refinement — the per-shard results exist but cannot be
+combined without forging data (conflicting identities, exhausted id
+ranges, inconsistent world boundaries).
+"""
+
+from __future__ import annotations
+
+
+class ShardError(Exception):
+    """A sharded run failed in a way no retry or quarantine can absorb."""
+
+
+class ShardMergeError(ShardError):
+    """Per-shard results conflict; merging them would fabricate data."""

@@ -1,0 +1,98 @@
+"""The shard plan: how one study splits into independent failure domains.
+
+One shard per campaign spec, in spec (Table 1) order.  Every shard
+re-builds the same organic world from the same derived seeds (RngStream
+children hash the *seed and label*, not generator state, so the world
+build is identical in every process) and creates every spec's honeypot
+page in spec order — page-id assignment is therefore identical across
+shards — but promotes and monitors only its own campaigns.  The first
+shard is the *primary*: it additionally crawls the baseline sample and
+computes the global demographics report, which the merge takes verbatim.
+
+The plan is a pure function of the configuration: the same config always
+yields the same shards in the same order, which is what makes the merge
+(:mod:`repro.shard.merge`) independent of completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.ckpt.manager import CheckpointConfig
+from repro.honeypot.study import StudyConfig
+
+#: The name of the per-shard checkpoint directory inside a shard's dir.
+CKPT_DIRNAME = "ckpt"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a sharded study run.
+
+    Attributes
+    ----------
+    index:
+        Position in the plan (0-based); drives the merged dynamic-id
+        relocation and primary election.
+    shard_id:
+        Stable identity, ``s<index>-<campaign_id>``; stamped into the
+        shard's journal header and checkpoint manifest.
+    campaign_ids:
+        The campaigns this shard owns (promotes, monitors, crawls).
+    primary:
+        Whether this shard collects the baseline sample and global
+        demographics for the whole run.
+    """
+
+    index: int
+    shard_id: str
+    campaign_ids: Tuple[str, ...]
+    primary: bool
+
+
+def plan_shards(config: StudyConfig) -> List[ShardSpec]:
+    """Partition ``config`` into shards, one per active campaign spec."""
+    shards: List[ShardSpec] = []
+    for index, spec in enumerate(config.active_specs()):
+        shards.append(
+            ShardSpec(
+                index=index,
+                shard_id=f"s{index:02d}-{spec.campaign_id}",
+                campaign_ids=(spec.campaign_id,),
+                primary=(index == 0),
+            )
+        )
+    return shards
+
+
+def shard_config(
+    config: StudyConfig,
+    shard: ShardSpec,
+    shard_dir: Path,
+    resume: bool,
+) -> StudyConfig:
+    """The :class:`StudyConfig` one worker process runs.
+
+    Narrows the base config to the shard's campaigns, gates global
+    collection on primaryship, and roots the shard's own checkpoint
+    (always on — it *is* the crash-restart mechanism) inside
+    ``shard_dir``.  ``every_days`` is inherited from the base checkpoint
+    config when one was given.
+    """
+    every_days: Optional[float] = (
+        config.checkpoint.every_days if config.checkpoint is not None else None
+    )
+    checkpoint = CheckpointConfig(
+        directory=Path(shard_dir) / CKPT_DIRNAME,
+        every_days=every_days,
+        resume=resume,
+        shard_id=shard.shard_id,
+    )
+    return replace(
+        config,
+        active_spec_ids=list(shard.campaign_ids),
+        collect_globals=shard.primary,
+        checkpoint=checkpoint,
+    )

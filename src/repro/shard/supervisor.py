@@ -1,0 +1,391 @@
+"""The shard supervisor: a bounded-restart worker pool with quarantine.
+
+State machine per shard::
+
+    pending ──launch──> running ──exit 0 + done.json──> ok
+       ^                   │
+       │                   ├─ crash (nonzero exit, SIGKILL, missing
+       │                   │   done.json) ──┐
+       │                   └─ hung (heartbeat silent past the timeout,
+       │                       supervisor SIGKILLs) ──┤
+       │                                              │
+       └───── retry budget left (resume from WAL) ◄───┤
+                                                      └─ budget spent
+                                                         ──> quarantined
+
+Up to ``jobs`` workers run at once; the queue drains in plan order but
+completion order is irrelevant — the merge canonicalizes.  A restarted
+shard resumes from its own WAL/snapshots under the verified-replay
+contract, so a SIGKILLed worker's shard still produces byte-identical
+output.  A shard that exhausts its retry budget is *quarantined*: the
+run completes without it and reports an explicit ``degraded`` manifest
+section rather than dying whole.  Losing the primary shard (baseline +
+global demographics) or every shard is unrecoverable —
+:class:`ShardError`, CLI exit code 5.
+
+On SIGINT the supervisor forwards SIGINT to every live worker (they sit
+in their own process groups, so the terminal did not), waits a grace
+period while each flushes and fsyncs its final checkpoint snapshot,
+SIGKILLs stragglers, and re-raises for the CLI's exit-130 path.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.honeypot.storage import HoneypotDataset
+from repro.honeypot.study import StudyConfig
+from repro.shard.errors import ShardError
+from repro.shard.merge import MergedRun, merge_shards
+from repro.shard.plan import ShardSpec, plan_shards, shard_config
+from repro.shard.worker import (
+    DATASET_NAME,
+    DONE_NAME,
+    ERROR_NAME,
+    HEARTBEAT_NAME,
+    STATE_NAME,
+    worker_entry,
+)
+
+#: Override the hung-worker detection threshold (seconds); tests shrink it.
+HEARTBEAT_TIMEOUT_ENV = "REPRO_SHARD_HEARTBEAT_TIMEOUT"
+DEFAULT_HEARTBEAT_TIMEOUT = 60.0
+
+#: Seconds the supervisor waits for interrupted workers to flush and exit.
+INTERRUPT_GRACE = 20.0
+
+#: Supervisor poll cadence (seconds).
+_POLL_INTERVAL = 0.02
+
+
+@dataclass
+class ShardOutcome:
+    """How one shard ended: ``ok`` or ``quarantined`` after the budget."""
+
+    shard: ShardSpec
+    status: str
+    attempts: int
+    error: Optional[str] = None
+
+
+@dataclass
+class ShardRunResult:
+    """Everything a sharded run produced, merged and accounted."""
+
+    dataset: HoneypotDataset
+    plan: List[ShardSpec]
+    outcomes: Dict[str, ShardOutcome]
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    virtual_minutes: int
+    checkpoint: Dict
+    #: Deterministic manifest sections (see repro.shard.merge).
+    shards_section: Dict
+    degraded_section: Optional[Dict]
+    #: Execution detail — attempts, restarts — outside the determinism contract.
+    execution_section: Dict = field(default_factory=dict)
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Quarantined shard ids, in plan order."""
+        return [
+            shard.shard_id
+            for shard in self.plan
+            if self.outcomes[shard.shard_id].status == "quarantined"
+        ]
+
+
+@dataclass
+class _Running:
+    """Supervisor-side view of one live worker."""
+
+    shard: ShardSpec
+    process: multiprocessing.process.BaseProcess
+    directory: Path
+    started: float
+    beat: Optional[str] = None
+    beat_seen: float = 0.0
+
+
+class ShardSupervisor:
+    """Runs one sharded study end to end: plan, supervise, merge."""
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        jobs: int,
+        shard_retry: int = 2,
+        heartbeat_timeout: Optional[float] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ShardError(f"jobs must be >= 1, got {jobs}")
+        if shard_retry < 0:
+            raise ShardError(f"shard-retry must be >= 0, got {shard_retry}")
+        self.config = config
+        self.jobs = jobs
+        self.shard_retry = shard_retry
+        if heartbeat_timeout is None:
+            heartbeat_timeout = float(
+                os.environ.get(HEARTBEAT_TIMEOUT_ENV, DEFAULT_HEARTBEAT_TIMEOUT)
+            )
+        self.heartbeat_timeout = heartbeat_timeout
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self) -> ShardRunResult:
+        """Execute the plan under supervision and merge the results."""
+        plan = plan_shards(self.config)
+        cleanup: Optional[tempfile.TemporaryDirectory] = None
+        if self.config.checkpoint is not None:
+            root = Path(self.config.checkpoint.directory)
+            root.mkdir(parents=True, exist_ok=True)
+            base_resume = self.config.checkpoint.resume
+        else:
+            # No operator-visible checkpoint dir: shards still need WALs
+            # (they are the restart mechanism), rooted in a temp dir.
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-shard-")
+            root = Path(cleanup.name)
+            base_resume = False
+        try:
+            outcomes = self._execute(plan, root, base_resume)
+            return self._assemble(plan, root, outcomes)
+        finally:
+            if cleanup is not None:
+                cleanup.cleanup()
+
+    # -- the state machine --------------------------------------------------------
+
+    def _execute(
+        self, plan: List[ShardSpec], root: Path, base_resume: bool
+    ) -> Dict[str, ShardOutcome]:
+        ctx = multiprocessing.get_context("spawn")
+        pending: Deque[ShardSpec] = deque(plan)
+        running: Dict[str, _Running] = {}
+        outcomes: Dict[str, ShardOutcome] = {}
+        attempts: Dict[str, int] = {shard.shard_id: 0 for shard in plan}
+        try:
+            while pending or running:
+                while pending and len(running) < self.jobs:
+                    shard = pending.popleft()
+                    directory = root / shard.shard_id
+                    if base_resume and (directory / DONE_NAME).exists():
+                        # A previous supervised run already finished this
+                        # shard durably; its results merge as-is.
+                        outcomes[shard.shard_id] = ShardOutcome(
+                            shard=shard, status="ok", attempts=0
+                        )
+                        continue
+                    self._launch(
+                        ctx, shard, directory, attempts, running, base_resume
+                    )
+                self._poll(pending, running, outcomes, attempts)
+                time.sleep(_POLL_INTERVAL)
+        except KeyboardInterrupt:
+            self._interrupt(running)
+            raise
+        quarantined = [o for o in outcomes.values() if o.status == "quarantined"]
+        if len(quarantined) == len(plan):
+            raise ShardError(
+                "every shard exhausted its retry budget; no results to merge "
+                f"(last error: {quarantined[-1].error})"
+            )
+        primary = outcomes[plan[0].shard_id]
+        if primary.status == "quarantined":
+            raise ShardError(
+                f"primary shard {plan[0].shard_id} exhausted its retry budget "
+                f"({primary.error}); the run has no baseline or global "
+                "demographics and cannot complete degraded"
+            )
+        return outcomes
+
+    def _launch(
+        self,
+        ctx,
+        shard: ShardSpec,
+        directory: Path,
+        attempts: Dict[str, int],
+        running: Dict[str, _Running],
+        base_resume: bool,
+    ) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / HEARTBEAT_NAME).unlink(missing_ok=True)
+        attempt = attempts[shard.shard_id]
+        attempts[shard.shard_id] = attempt + 1
+        # First attempts resume only when the operator asked to; restarts
+        # always resume from the shard's own WAL (an empty checkpoint dir
+        # degrades to a fresh start, so a pre-first-snapshot crash is fine).
+        resume = base_resume if attempt == 0 else True
+        config = shard_config(self.config, shard, directory, resume)
+        process = ctx.Process(
+            target=worker_entry,
+            args=(config, shard.shard_id, str(directory), attempt),
+            name=f"repro-shard-{shard.shard_id}",
+        )
+        process.start()
+        now = time.monotonic()
+        running[shard.shard_id] = _Running(
+            shard=shard,
+            process=process,
+            directory=directory,
+            started=now,
+            beat_seen=now,
+        )
+
+    def _poll(
+        self,
+        pending: Deque[ShardSpec],
+        running: Dict[str, _Running],
+        outcomes: Dict[str, ShardOutcome],
+        attempts: Dict[str, int],
+    ) -> None:
+        now = time.monotonic()
+        for shard_id, live in list(running.items()):
+            if live.process.is_alive():
+                beat = self._read_heartbeat(live.directory)
+                if beat is not None and beat != live.beat:
+                    live.beat = beat
+                    live.beat_seen = now
+                elif now - live.beat_seen > self.heartbeat_timeout:
+                    self._kill(live.process)
+                    self._record_crash(
+                        live, pending, outcomes, attempts,
+                        f"hung: no heartbeat for {self.heartbeat_timeout:.0f}s, "
+                        "SIGKILLed by the supervisor",
+                    )
+                    del running[shard_id]
+                continue
+            live.process.join()
+            code = live.process.exitcode
+            if code == 0 and (live.directory / DONE_NAME).exists():
+                outcomes[shard_id] = ShardOutcome(
+                    shard=live.shard, status="ok", attempts=attempts[shard_id]
+                )
+            else:
+                self._record_crash(
+                    live, pending, outcomes, attempts,
+                    self._crash_detail(live.directory, code),
+                )
+            del running[shard_id]
+
+    def _record_crash(
+        self,
+        live: _Running,
+        pending: Deque[ShardSpec],
+        outcomes: Dict[str, ShardOutcome],
+        attempts: Dict[str, int],
+        detail: str,
+    ) -> None:
+        shard_id = live.shard.shard_id
+        if attempts[shard_id] <= self.shard_retry:
+            pending.append(live.shard)  # relaunch, resuming from its WAL
+            return
+        outcomes[shard_id] = ShardOutcome(
+            shard=live.shard,
+            status="quarantined",
+            attempts=attempts[shard_id],
+            error=detail,
+        )
+
+    def _interrupt(self, running: Dict[str, _Running]) -> None:
+        """Forward SIGINT so every live shard flushes its final snapshot."""
+        for live in running.values():
+            self._signal(live.process, signal.SIGINT)
+        deadline = time.monotonic() + INTERRUPT_GRACE
+        while time.monotonic() < deadline and any(
+            live.process.is_alive() for live in running.values()
+        ):
+            time.sleep(_POLL_INTERVAL)
+        for live in running.values():
+            if live.process.is_alive():
+                self._kill(live.process)
+            live.process.join()
+
+    # -- result assembly ----------------------------------------------------------
+
+    def _assemble(
+        self, plan: List[ShardSpec], root: Path, outcomes: Dict[str, ShardOutcome]
+    ) -> ShardRunResult:
+        merge_started = time.monotonic()
+        completed: Dict[str, Tuple[HoneypotDataset, Dict]] = {}
+        for shard in plan:
+            if outcomes[shard.shard_id].status != "ok":
+                continue
+            directory = root / shard.shard_id
+            dataset = HoneypotDataset.from_jsonl(directory / DATASET_NAME)
+            state = json.loads(
+                (directory / STATE_NAME).read_text(encoding="utf-8")
+            )
+            completed[shard.shard_id] = (dataset, state)
+        quarantined = [
+            shard for shard in plan
+            if outcomes[shard.shard_id].status == "quarantined"
+        ]
+        merged: MergedRun = merge_shards(plan, completed, quarantined)
+        execution = {
+            "jobs": self.jobs,
+            "shard_retry": self.shard_retry,
+            "attempts": {
+                shard.shard_id: outcomes[shard.shard_id].attempts
+                for shard in plan
+            },
+            # Load + merge + canonicalize cost (wall); outside the
+            # determinism contract like everything else in this section.
+            "merge_seconds": round(time.monotonic() - merge_started, 3),
+        }
+        return ShardRunResult(
+            dataset=merged.dataset,
+            plan=plan,
+            outcomes=outcomes,
+            counters=merged.counters,
+            gauges=merged.gauges,
+            virtual_minutes=merged.virtual_minutes,
+            checkpoint=merged.checkpoint,
+            shards_section=merged.shards_section,
+            degraded_section=merged.degraded_section,
+            execution_section=execution,
+        )
+
+    # -- small helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _read_heartbeat(directory: Path) -> Optional[str]:
+        try:
+            return (directory / HEARTBEAT_NAME).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    @staticmethod
+    def _crash_detail(directory: Path, code: Optional[int]) -> str:
+        error_path = directory / ERROR_NAME
+        if error_path.exists():
+            try:
+                error = json.loads(error_path.read_text(encoding="utf-8"))
+                return f"exit {code}: {error.get('error', 'unknown error')}"
+            except (OSError, json.JSONDecodeError):
+                pass
+        if code is not None and code < 0:
+            return f"killed by signal {-code}"
+        return f"exit {code} without a done marker"
+
+    @staticmethod
+    def _signal(process, signum: int) -> None:
+        if process.pid is None:
+            return
+        try:
+            os.kill(process.pid, signum)
+        except ProcessLookupError:
+            pass
+
+    @classmethod
+    def _kill(cls, process) -> None:
+        cls._signal(process, signal.SIGKILL)
+        process.join()

@@ -57,6 +57,17 @@ class TestExperimentResults:
     def test_passed_all(self, small_results):
         assert small_results.passed_all()
 
+    def test_sharded_execution_skips_operator_overlap(self, small_results):
+        # Shard isolation means AL/MS can never share a clickworker pool,
+        # so the overlap check is skipped (not failed) for sharded datasets.
+        sharded = ExperimentResults(
+            dataset=small_results.dataset, sharded_execution=True
+        )
+        names = {c.name for c in sharded.shape_checks()}
+        assert "al-ms-share-likers" not in names
+        full = {c.name for c in small_results.shape_checks()}
+        assert full - names == {"al-ms-share-likers"}
+
 
 class TestHoneypotExperiment:
     def test_artifacts_before_run_rejected(self):

@@ -1,0 +1,11 @@
+"""Clean under DET004: os use without process management."""
+
+import os
+
+
+def read_env(name: str) -> str:
+    return os.environ.get(name, "")
+
+
+def exists(path: str) -> bool:
+    return os.path.exists(path)

@@ -117,6 +117,39 @@ class TestDet003SetOrder:
         assert lint_source(source, "x.py") == []
 
 
+class TestDet004ProcessState:
+    def test_bad_fixture_fires_at_expected_lines(self):
+        findings = findings_for("bad_det004.py")
+        assert lines_with(findings, "DET004") == [3, 6, 15, 19]
+
+    def test_clean_fixture_is_silent(self):
+        assert findings_for("clean_det004.py") == []
+
+    def test_shard_package_is_exempt(self):
+        source = (
+            "import multiprocessing\n"
+            "import os\n\n"
+            "def launch():\n"
+            "    os.setpgrp()\n"
+            "    return os.getpid()\n"
+        )
+        for module in ("repro.shard", "repro.shard.worker", "repro.shard.supervisor"):
+            assert lint_source(source, "w.py", module_name=module) == []
+        outside = lint_source(source, "w.py", module_name="repro.sim.engine")
+        assert lines_with(outside, "DET004") == [1, 5, 6]
+
+    def test_shard_prefix_does_not_leak_to_other_packages(self):
+        # "repro.sharding" must not ride the "repro.shard" exemption.
+        source = "import os\npid = os.getpid()\n"
+        findings = lint_source(source, "x.py", module_name="repro.sharding.util")
+        assert lines_with(findings, "DET004") == [2]
+
+    def test_aliased_os_call_is_resolved(self):
+        source = "import os as _os\n\n_os.fork()\n"
+        findings = lint_source(source, "x.py", module_name="repro.osn.api")
+        assert lines_with(findings, "DET004") == [3]
+
+
 class TestHyg001MutableDefault:
     def test_bad_fixture_fires_at_expected_lines(self):
         findings = findings_for("bad_hyg001.py")
@@ -159,6 +192,7 @@ class TestRunnerOverCorpus:
             "bad_det001.py": "DET001",
             "bad_det002.py": "DET002",
             "bad_det003.py": "DET003",
+            "bad_det004.py": "DET004",
             "bad_hyg001.py": "HYG001",
             "bad_hyg002.py": "HYG002",
             "repro/osn/bad_hyg003.py": "HYG003",
@@ -171,7 +205,7 @@ class TestRunnerOverCorpus:
     def test_clean_fixtures_pass(self):
         for fixture in (
             "clean_det001.py", "clean_det002.py", "clean_det003.py",
-            "clean_hyg001.py", "clean_hyg002.py",
+            "clean_det004.py", "clean_hyg001.py", "clean_hyg002.py",
             "repro/osn/clean_hyg003.py", "suppressed_clean.py",
         ):
             result = lint_paths([FIXTURES / fixture])

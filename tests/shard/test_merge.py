@@ -1,0 +1,343 @@
+"""Merge unit tests plus the permutation-invariance property.
+
+The property under test is the heart of the sharded determinism
+contract: the merged dataset is a function of the *plan* and the
+per-shard outputs, never of completion order.  The tests fabricate
+per-shard datasets directly (no simulation) so the invariants are
+exercised against adversarial shapes — shared organic likers, colliding
+raw dynamic ids, conflicting identities — that a healthy run would
+rarely produce.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.honeypot.storage import (
+    BaselineRecord,
+    CampaignRecord,
+    HoneypotDataset,
+    LikeObservation,
+    LikerRecord,
+)
+from repro.shard.errors import ShardMergeError
+from repro.shard.merge import STRIDE, merge_shards
+from repro.shard.plan import ShardSpec
+
+FLOOR = 1_000_300
+
+
+def make_plan(count):
+    return [
+        ShardSpec(
+            index=i,
+            shard_id=f"s{i:02d}-C{i}",
+            campaign_ids=(f"C{i}",),
+            primary=(i == 0),
+        )
+        for i in range(count)
+    ]
+
+
+def liker(user_id, campaign_id, friends=(), terminated=False):
+    """An organic-or-dynamic liker whose identity is a function of its id."""
+    return LikerRecord(
+        user_id=user_id,
+        gender="F" if user_id % 2 else "M",
+        age_bracket="18-24" if user_id % 3 else "25-34",
+        country=("IN", "US", "TR")[user_id % 3],
+        friend_list_public=bool(user_id % 2),
+        declared_friend_count=user_id % 50,
+        visible_friend_ids=list(friends),
+        liked_page_ids=[9_000_000 + user_id % 7],
+        declared_like_count=user_id % 900,
+        campaign_ids=[campaign_id],
+        terminated=terminated,
+    )
+
+
+def shard_dataset(spec, organic_ids, dynamic_count, with_globals=False):
+    """One shard's output: its campaign liked by organic + dynamic users."""
+    campaign_id = spec.campaign_ids[0]
+    dynamic_ids = [FLOOR + i for i in range(dynamic_count)]
+    liker_ids = list(organic_ids) + dynamic_ids
+    dataset = HoneypotDataset()
+    dataset.campaigns[campaign_id] = CampaignRecord(
+        campaign_id=campaign_id,
+        provider="Test.com",
+        kind="farm",
+        location_label="Worldwide",
+        budget_label="$10",
+        duration_days=3.0,
+        monitored_days=8.0,
+        page_id=9_000_000 + spec.index,
+        total_likes=len(liker_ids),
+        observations=[
+            LikeObservation(observed_at=60 * i, user_id=uid)
+            for i, uid in enumerate(liker_ids)
+        ],
+        terminated_liker_ids=[uid for uid in dynamic_ids if uid % 5 == 0],
+    )
+    for uid in liker_ids:
+        dataset.likers[uid] = liker(
+            uid,
+            campaign_id,
+            friends=[i for i in organic_ids if i != uid][:3],
+            terminated=uid >= FLOOR and uid % 5 == 0,
+        )
+    if with_globals:
+        dataset.baseline = [
+            BaselineRecord(user_id=uid, declared_like_count=uid % 40)
+            for uid in list(organic_ids)[:4]
+        ]
+        dataset.global_gender = {"M": 0.52, "F": 0.48}
+        dataset.global_age = {"18-24": 0.4, "25-34": 0.6}
+        dataset.global_country = {"IN": 0.7, "US": 0.3}
+    return dataset
+
+
+def state_for(spec, dataset, floor=FLOOR):
+    return {
+        "schema": "repro.shard/state@1",
+        "shard": spec.shard_id,
+        "virtual_minutes": 10_000 + spec.index,
+        "dynamic_id_floor": floor,
+        "counters": {"crawl.requests": 100 + spec.index},
+        "gauges": {"crawl.depth": float(spec.index)},
+        "checkpoint": {"resumed": spec.index == 1, "snapshots_written": 4},
+    }
+
+
+def build_completed(plan, organic_pool, rng):
+    completed = {}
+    for spec in plan:
+        organic = sorted(rng.sample(organic_pool, 5))
+        dataset = shard_dataset(
+            spec, organic, dynamic_count=rng.randint(2, 9),
+            with_globals=spec.primary,
+        )
+        completed[spec.shard_id] = (dataset, state_for(spec, dataset))
+    return completed
+
+
+def merged_bytes(plan, completed, tmp_path, tag):
+    merged = merge_shards(plan, completed)
+    out = tmp_path / f"{tag}.jsonl"
+    merged.dataset.to_jsonl(out)
+    sections = json.dumps(
+        {
+            "counters": merged.counters,
+            "gauges": merged.gauges,
+            "virtual_minutes": merged.virtual_minutes,
+            "shards": merged.shards_section,
+            "degraded": merged.degraded_section,
+        },
+        sort_keys=True,
+    )
+    return out.read_bytes(), sections
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_completion_order_cannot_change_a_byte(self, tmp_path, trial):
+        rng = random.Random(0xBEEF + trial)
+        plan = make_plan(4)
+        organic_pool = range(1_000_000, 1_000_040)
+        completed = build_completed(plan, organic_pool, rng)
+        reference, ref_sections = merged_bytes(
+            plan, completed, tmp_path, f"ref{trial}"
+        )
+        for shuffle in range(3):
+            order = list(completed)
+            rng.shuffle(order)
+            permuted = {sid: completed[sid] for sid in order}
+            got, got_sections = merged_bytes(
+                plan, permuted, tmp_path, f"t{trial}-{shuffle}"
+            )
+            assert got == reference
+            assert got_sections == ref_sections
+
+
+class TestIdRelocation:
+    def test_organic_ids_keep_identity_and_dynamic_ids_relocate(self, tmp_path):
+        plan = make_plan(3)
+        organic = [1_000_001, 1_000_002]
+        completed = {
+            spec.shard_id: (
+                shard_dataset(spec, organic, 3, with_globals=spec.primary),
+                state_for(spec, shard_dataset(spec, organic, 3)),
+            )
+            for spec in plan
+        }
+        merged = merge_shards(plan, completed)
+        for uid in organic:
+            assert uid in merged.dataset.likers
+        # Shard 0's dynamic ids are identity-mapped; shard k's shift by k*STRIDE.
+        for spec in plan:
+            base = FLOOR + spec.index * STRIDE
+            record = merged.dataset.campaigns[spec.campaign_ids[0]]
+            dynamic = [u for u in record.liker_ids if u >= FLOOR]
+            assert dynamic == [base, base + 1, base + 2]
+        # No two shards' dynamic likers collide post-relocation.
+        dynamic_ids = [u for u in merged.dataset.likers if u >= FLOOR]
+        assert len(dynamic_ids) == len(set(dynamic_ids)) == 9
+
+    def test_shared_organic_liker_accumulates_campaigns(self):
+        plan = make_plan(2)
+        organic = [1_000_010]
+        completed = {
+            spec.shard_id: (
+                shard_dataset(spec, organic, 1, with_globals=spec.primary),
+                state_for(spec, None),
+            )
+            for spec in plan
+        }
+        merged = merge_shards(plan, completed)
+        assert merged.dataset.likers[1_000_010].campaign_ids == ["C0", "C1"]
+
+    def test_friend_lists_and_terminations_are_remapped(self):
+        plan = make_plan(2)
+        spec = plan[1]
+        organic = [1_000_004, 1_000_008]
+        completed = {
+            plan[0].shard_id: (
+                shard_dataset(plan[0], organic, 1, with_globals=True),
+                state_for(plan[0], None),
+            ),
+            spec.shard_id: (
+                shard_dataset(spec, organic, 6),
+                state_for(spec, None),
+            ),
+        }
+        merged = merge_shards(plan, completed)
+        record = merged.dataset.campaigns["C1"]
+        base = FLOOR + STRIDE
+        assert record.terminated_liker_ids == [base + 0, base + 5]
+        # Friend ids below the floor are untouched.
+        for uid in record.liker_ids:
+            friends = merged.dataset.likers[uid].visible_friend_ids
+            assert all(f < FLOOR for f in friends)
+
+    def test_baseline_comes_from_primary_with_identity_ids(self):
+        plan = make_plan(2)
+        organic = [1_000_004, 1_000_008, 1_000_012, 1_000_016]
+        completed = {
+            spec.shard_id: (
+                shard_dataset(spec, organic, 2, with_globals=spec.primary),
+                state_for(spec, None),
+            )
+            for spec in plan
+        }
+        merged = merge_shards(plan, completed)
+        assert [b.user_id for b in merged.dataset.baseline] == organic
+        assert merged.dataset.global_country == {"IN": 0.7, "US": 0.3}
+
+
+class TestMergeRefusals:
+    def test_floor_disagreement_refuses(self):
+        plan = make_plan(2)
+        completed = {
+            plan[0].shard_id: (
+                shard_dataset(plan[0], [1_000_001], 1, with_globals=True),
+                state_for(plan[0], None),
+            ),
+            plan[1].shard_id: (
+                shard_dataset(plan[1], [1_000_001], 1),
+                state_for(plan[1], None, floor=FLOOR + 7),
+            ),
+        }
+        with pytest.raises(ShardMergeError, match="dynamic-id floor"):
+            merge_shards(plan, completed)
+
+    def test_identity_conflict_refuses(self):
+        plan = make_plan(2)
+        a = shard_dataset(plan[0], [1_000_002], 1, with_globals=True)
+        b = shard_dataset(plan[1], [1_000_002], 1)
+        b.likers[1_000_002].country = "FR"  # diverged world
+        completed = {
+            plan[0].shard_id: (a, state_for(plan[0], None)),
+            plan[1].shard_id: (b, state_for(plan[1], None)),
+        }
+        with pytest.raises(ShardMergeError, match="conflicting 'country'"):
+            merge_shards(plan, completed)
+
+    def test_missing_primary_refuses(self):
+        plan = make_plan(2)
+        completed = {
+            plan[1].shard_id: (
+                shard_dataset(plan[1], [1_000_002], 1),
+                state_for(plan[1], None),
+            ),
+        }
+        with pytest.raises(ShardMergeError, match="primary"):
+            merge_shards(plan, completed, quarantined=[plan[0]])
+
+    def test_no_completed_shards_refuses(self):
+        plan = make_plan(2)
+        with pytest.raises(ShardMergeError, match="no shard completed"):
+            merge_shards(plan, {}, quarantined=plan)
+
+    def test_missing_campaign_refuses(self):
+        plan = make_plan(1)
+        dataset = HoneypotDataset()  # completed but empty: no campaign record
+        completed = {plan[0].shard_id: (dataset, state_for(plan[0], None))}
+        with pytest.raises(ShardMergeError, match="without its campaign"):
+            merge_shards(plan, completed)
+
+    def test_stride_overflow_refuses(self):
+        plan = make_plan(2)
+        b = shard_dataset(plan[1], [], 1)
+        huge = FLOOR + STRIDE  # one past the relocation range
+        record = b.campaigns["C1"]
+        record.observations.append(LikeObservation(observed_at=9, user_id=huge))
+        b.likers[huge] = liker(huge, "C1")
+        completed = {
+            plan[0].shard_id: (
+                shard_dataset(plan[0], [1_000_001], 1, with_globals=True),
+                state_for(plan[0], None),
+            ),
+            plan[1].shard_id: (b, state_for(plan[1], None)),
+        }
+        with pytest.raises(ShardMergeError, match="stride"):
+            merge_shards(plan, completed)
+
+
+class TestMergedMetrics:
+    def test_counters_namespace_and_sum(self):
+        plan = make_plan(3)
+        completed = {
+            spec.shard_id: (
+                shard_dataset(spec, [1_000_001], 1, with_globals=spec.primary),
+                state_for(spec, None),
+            )
+            for spec in plan
+        }
+        merged = merge_shards(plan, completed)
+        assert merged.counters["crawl.requests"] == 100 + 101 + 102
+        for spec in plan:
+            key = f"shard.{spec.shard_id}.crawl.requests"
+            assert merged.counters[key] == 100 + spec.index
+        assert merged.gauges["sim.virtual_minutes"] == 10_002
+        assert merged.virtual_minutes == 10_002
+        assert merged.checkpoint["resumed"] is True
+        assert merged.checkpoint["snapshots_written"] == 12
+
+    def test_degraded_section_lists_quarantined_in_plan_order(self):
+        plan = make_plan(3)
+        completed = {
+            spec.shard_id: (
+                shard_dataset(spec, [1_000_001], 1, with_globals=spec.primary),
+                state_for(spec, None),
+            )
+            for spec in plan[:1]
+        }
+        merged = merge_shards(
+            plan, completed, quarantined=[plan[2], plan[1]]
+        )
+        assert merged.degraded_section == {
+            "quarantined": ["s01-C1", "s02-C2"],
+            "campaigns_lost": ["C1", "C2"],
+        }
+        statuses = [p["status"] for p in merged.shards_section["plan"]]
+        assert statuses == ["ok", "quarantined", "quarantined"]

@@ -1,0 +1,64 @@
+"""The shard plan is a pure, stable function of the configuration."""
+
+from pathlib import Path
+
+from repro.honeypot.study import StudyConfig
+from repro.shard.plan import CKPT_DIRNAME, plan_shards, shard_config
+
+
+def test_one_shard_per_active_spec_in_spec_order():
+    config = StudyConfig.small(seed=3)
+    plan = plan_shards(config)
+    assert [s.campaign_ids for s in plan] == [
+        (spec.campaign_id,) for spec in config.specs
+    ]
+    assert [s.index for s in plan] == list(range(len(config.specs)))
+    assert [s.primary for s in plan] == [True] + [False] * (len(plan) - 1)
+
+
+def test_shard_ids_are_stable_and_ordered():
+    config = StudyConfig.small(seed=3)
+    plan = plan_shards(config)
+    for shard in plan:
+        assert shard.shard_id == f"s{shard.index:02d}-{shard.campaign_ids[0]}"
+    # Lexicographic order matches plan order (two-digit index prefix).
+    assert sorted(s.shard_id for s in plan) == [s.shard_id for s in plan]
+
+
+def test_plan_respects_active_spec_subset():
+    config = StudyConfig.small(seed=3)
+    subset = [spec.campaign_id for spec in config.specs[:3]]
+    config.active_spec_ids = subset
+    plan = plan_shards(config)
+    assert [s.campaign_ids[0] for s in plan] == subset
+
+
+def test_same_config_yields_identical_plan():
+    a = plan_shards(StudyConfig.small(seed=3))
+    b = plan_shards(StudyConfig.small(seed=3))
+    assert a == b
+
+
+def test_shard_config_narrows_and_roots_checkpoint(tmp_path):
+    config = StudyConfig.small(seed=3)
+    plan = plan_shards(config)
+    shard = plan[2]
+    narrowed = shard_config(config, shard, tmp_path / shard.shard_id, resume=True)
+    assert narrowed.active_spec_ids == list(shard.campaign_ids)
+    assert narrowed.collect_globals is False
+    assert narrowed.checkpoint is not None
+    assert narrowed.checkpoint.resume is True
+    assert narrowed.checkpoint.shard_id == shard.shard_id
+    assert Path(narrowed.checkpoint.directory) == (
+        tmp_path / shard.shard_id / CKPT_DIRNAME
+    )
+    # The base config is untouched (shards never share mutable state).
+    assert config.active_spec_ids is None
+    assert config.collect_globals is True
+
+
+def test_primary_shard_config_collects_globals(tmp_path):
+    config = StudyConfig.small(seed=3)
+    primary = plan_shards(config)[0]
+    narrowed = shard_config(config, primary, tmp_path / "p", resume=False)
+    assert narrowed.collect_globals is True
