@@ -6,7 +6,7 @@ PYTHON ?= python
 # editable install by putting src/ on PYTHONPATH.
 RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test lint check bench profile chaos crashtest shardtest metrics report examples clean
+.PHONY: install test lint check bench profile chaos crashtest shardtest storetest metrics report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -47,6 +47,12 @@ crashtest:
 shardtest:
 	$(RUN_ENV) $(PYTHON) -m pytest tests/shard/ -v
 	$(RUN_ENV) $(PYTHON) -m pytest tests/test_checkpoint_resume.py -k Sharded -v
+
+# Store harness: the SQLite dataset backend — byte-identical export vs the
+# legacy JSONL path (plain, --chaos, --jobs 4), SQL queries pinned equal to
+# the in-memory analyses, and the WAL-replay/shard-merge ingest paths.
+storetest:
+	$(RUN_ENV) $(PYTHON) -m pytest tests/store/ -v
 
 # Observability smoke: the chaos study with metrics enabled, emitting the
 # run manifest (config hash, seed, every counter/gauge) to metrics.json.

@@ -20,6 +20,11 @@ Five passes over ``HoneypotExperiment.paper_scale().run()``:
    per-jobs wall time, the order-canonicalized merge cost, and the
    jobs-4 speedup under ``sharded`` — note the speedup is bounded by the
    machine's core count (a single-core CI box honestly reports ~1.0),
+6. a store pass (:mod:`repro.store`): the plain run's dataset ingested
+   into the SQLite store (batched-transaction throughput in rows/s), the
+   overlap/temporal/summary analyses run as SQL queries with the
+   in-memory analyses timed alongside, and the export byte-identity
+   asserted, recorded under ``store``,
 
 plus a timed ``repro.lint`` pass over ``src/`` — the static determinism
 gate every ``make check`` pays — recorded under ``lint`` — and a
@@ -206,6 +211,66 @@ def _run_scale_build(n: float) -> dict:
     }
 
 
+def _run_store(experiment: HoneypotExperiment) -> dict:
+    """Store the plain run's dataset and time ingest + the SQL queries.
+
+    ``ingest_rows_per_second`` is the batched-transaction ingest rate for
+    the full typed-row stream; ``query_seconds`` times the three CLI-level
+    analyses (overlap, per-campaign temporal profiles, Table 1) against
+    the store, with ``in_memory_seconds`` the same analyses over the
+    materialised dataset for comparison.  Export byte-identity is asserted
+    here too — the benchmark refuses to record numbers for a store that
+    does not reproduce the legacy bytes.
+    """
+    from repro.analysis import overlap, summary, temporal
+    from repro.store import HoneypotStore
+    from repro.store import queries as store_queries
+
+    dataset = experiment.artifacts.dataset
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        path = Path(tmp) / "study.sqlite"
+        start = time.perf_counter()
+        with HoneypotStore.create(path) as store:
+            rows = store.ingest_dataset(dataset)
+            ingest_wall = time.perf_counter() - start
+
+            start = time.perf_counter()
+            store_queries.overlap_summary(store)
+            store_queries.shared_liker_counts(store)
+            for campaign_id in store.campaign_ids():
+                store_queries.temporal_profile(store, campaign_id)
+            store_queries.table1(store)
+            query_wall = time.perf_counter() - start
+            rows_read = sum(store.rows_read.values())
+
+            legacy = Path(tmp) / "legacy.jsonl"
+            exported = Path(tmp) / "store.jsonl"
+            dataset.to_jsonl(legacy)
+            store.to_jsonl(exported)
+            if exported.read_bytes() != legacy.read_bytes():
+                raise AssertionError(
+                    "store export diverged from the legacy JSONL bytes"
+                )
+
+    start = time.perf_counter()
+    overlap.overlap_summary(dataset)
+    overlap.shared_liker_counts(dataset)
+    for campaign_id in dataset.campaign_ids():
+        temporal.temporal_profile(dataset, campaign_id)
+    summary.table1(dataset)
+    in_memory_wall = time.perf_counter() - start
+
+    return {
+        "ingest_rows": rows,
+        "ingest_seconds": round(ingest_wall, 3),
+        "ingest_rows_per_second": int(rows / ingest_wall),
+        "query_seconds": round(query_wall, 4),
+        "query_rows_read": rows_read,
+        "in_memory_seconds": round(in_memory_wall, 4),
+        "export_byte_identical": True,
+    }
+
+
 def _run_sharded(baseline_wall: float) -> dict:
     """The paper-scale study sharded at --jobs 1, 2, and 4.
 
@@ -260,33 +325,41 @@ def _run_lint() -> dict:
 
 
 def main() -> int:
-    print("pass 1/6: plain timed run ...", flush=True)
+    print("pass 1/7: plain timed run ...", flush=True)
     wall, experiment = _run_once()
     like_events = len(experiment.artifacts.network.likes)
     print(f"  wall: {wall:.2f}s, {like_events} like events", flush=True)
 
-    print("pass 2/6: cProfile run ...", flush=True)
+    print("pass 2/7: cProfile run ...", flush=True)
     profiler = cProfile.Profile()
     profiler.enable()
     HoneypotExperiment.paper_scale().run()
     profiler.disable()
     stats = pstats.Stats(profiler)
 
-    print("pass 3/6: chaos run (default FaultProfile) ...", flush=True)
+    print("pass 3/7: chaos run (default FaultProfile) ...", flush=True)
     chaos = _run_chaos(wall)
     print(f"  wall: {chaos['wall_seconds']:.2f}s "
           f"({chaos['faults_injected']} faults, {chaos['retries']} retries)",
           flush=True)
 
-    print("pass 4/6: checkpointed run (journal + snapshots) ...", flush=True)
+    print("pass 4/7: checkpointed run (journal + snapshots) ...", flush=True)
     checkpoint = _run_checkpointed(wall)
     print(f"  wall: {checkpoint['wall_seconds']:.2f}s "
           f"(+{checkpoint['checkpoint_overhead_seconds']:.2f}s, "
           f"{checkpoint['journal_fsyncs']} fsyncs, "
           f"{checkpoint['snapshot_bytes']} snapshot bytes)", flush=True)
 
-    print("pass 5/6: sharded runs (--jobs 1/2/4) ...", flush=True)
+    print("pass 5/7: sharded runs (--jobs 1/2/4) ...", flush=True)
     sharded = _run_sharded(wall)
+
+    print("pass 6/7: store ingest + SQL queries ...", flush=True)
+    store = _run_store(experiment)
+    print(f"  ingest: {store['ingest_rows']} rows in "
+          f"{store['ingest_seconds']:.3f}s "
+          f"({store['ingest_rows_per_second']:,} rows/s), "
+          f"queries: {store['query_seconds']:.4f}s vs "
+          f"{store['in_memory_seconds']:.4f}s in-memory", flush=True)
 
     print("lint pass: repro.lint over src/ ...", flush=True)
     lint = _run_lint()
@@ -294,7 +367,7 @@ def main() -> int:
           f"{lint['checked_files']} files, {lint['findings']} findings",
           flush=True)
 
-    print(f"pass 6/6: --scale {SCALE_BUILD_N:g} build (world only) ...",
+    print(f"pass 7/7: --scale {SCALE_BUILD_N:g} build (world only) ...",
           flush=True)
     scale_build = _run_scale_build(SCALE_BUILD_N)
     print(f"  build: {scale_build['build_seconds']:.2f}s, "
@@ -313,6 +386,7 @@ def main() -> int:
         "chaos": chaos,
         "checkpoint": checkpoint,
         "sharded": sharded,
+        "store": store,
         "lint": lint,
         "scale_build": scale_build,
         "metrics_manifest": METRICS_PATH.name,
@@ -330,10 +404,11 @@ def main() -> int:
                 "python": platform.python_version(),
             },
             {"benchmark": "sharded_run", **sharded},
+            {"benchmark": "store", **store},
             {"benchmark": "scale_build", **scale_build},
         ]
     )
-    print(f"wrote {OUTPUT_PATH}, appended 3 lines to {HISTORY_PATH.name}")
+    print(f"wrote {OUTPUT_PATH}, appended 4 lines to {HISTORY_PATH.name}")
     print(json.dumps({k: v for k, v in snapshot.items() if k != "top_functions"}, indent=2))
     return 0
 

@@ -52,29 +52,34 @@ def overlap_summary(dataset: HoneypotDataset) -> OverlapSummary:
 
 
 def shared_liker_counts(dataset: HoneypotDataset) -> Dict[Tuple[str, str], int]:
-    """Raw shared-liker counts for every campaign pair (order-independent).
+    """Raw shared-liker counts for **every** campaign pair, in campaign order.
 
-    Only pairs with at least one shared liker are returned.
+    The matrix is complete: a pair whose campaigns share no likers —
+    including pairs where one or both campaigns collected zero likes —
+    maps to 0 instead of being dropped, so no campaign silently vanishes
+    from pairwise consumers (the bug this replaces skipped zero pairs,
+    which dropped empty campaigns from the matrix entirely).
     """
     liker_sets = {
         # repro-lint: allow-DET003 values consumed via len(a & b) only
         campaign_id: set(dataset.campaign(campaign_id).liker_ids)
         for campaign_id in dataset.campaign_ids()
     }
-    counts: Dict[Tuple[str, str], int] = {}
-    for a, b in combinations(dataset.campaign_ids(), 2):
-        shared = len(liker_sets[a] & liker_sets[b])
-        if shared:
-            counts[(a, b)] = shared
-    return counts
+    return {
+        (a, b): len(liker_sets[a] & liker_sets[b])
+        for a, b in combinations(dataset.campaign_ids(), 2)
+    }
 
 
 def top_overlaps(
     dataset: HoneypotDataset, limit: int = 10
 ) -> List[Tuple[str, str, int]]:
-    """The most-overlapping campaign pairs, largest first."""
+    """The most-overlapping campaign pairs (nonzero only), largest first."""
     counts = shared_liker_counts(dataset)
-    ranked = sorted(counts.items(), key=lambda item: -item[1])
+    ranked = sorted(
+        (item for item in counts.items() if item[1] > 0),
+        key=lambda item: -item[1],
+    )
     return [(a, b, n) for (a, b), n in ranked[:limit]]
 
 

@@ -32,10 +32,24 @@ def cumulative_series(
 
     The x axis is in days to match the paper's plots.
     """
-    check_positive(resolution, "resolution")
-    check_positive(horizon_days, "horizon_days")
     record = dataset.campaign(campaign_id)
     times = sorted(obs.observed_at for obs in record.observations)
+    return series_from_times(times, resolution=resolution, horizon_days=horizon_days)
+
+
+def series_from_times(
+    times: List[int],
+    resolution: int = 2 * HOUR,
+    horizon_days: float = 15.0,
+) -> Tuple[List[float], List[int]]:
+    """The :func:`cumulative_series` math over pre-sorted observation times.
+
+    The pure core shared by the in-memory path and the store query path
+    (:mod:`repro.store.queries`), so both produce identical curves by
+    construction.
+    """
+    check_positive(resolution, "resolution")
+    check_positive(horizon_days, "horizon_days")
     horizon = int(horizon_days * DAY)
     xs: List[float] = []
     ys: List[int] = []
@@ -68,6 +82,15 @@ def temporal_profile(dataset: HoneypotDataset, campaign_id: str) -> TemporalProf
     """Compute the burstiness profile of a campaign."""
     record = dataset.campaign(campaign_id)
     times = sorted(obs.observed_at for obs in record.observations)
+    return profile_from_times(campaign_id, times)
+
+
+def profile_from_times(campaign_id: str, times: List[int]) -> TemporalProfile:
+    """The :func:`temporal_profile` math over pre-sorted observation times.
+
+    The pure core shared by the in-memory path and the store query path,
+    so "store temporal equals in-memory temporal" is structural.
+    """
     if not times:
         return TemporalProfile(
             campaign_id=campaign_id,

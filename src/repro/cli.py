@@ -1,15 +1,19 @@
 """Command-line interface.
 
-Four subcommands covering the full workflow::
+Five subcommands covering the full workflow::
 
     repro-study run      --scale 0.1 --seed 20140312 --out study.jsonl
     repro-study report   study.jsonl            # render all tables/figures
     repro-study export   study.jsonl --dir csv/ # CSVs for re-plotting
     repro-study detect   study.jsonl            # rule-based screening
+    repro-study query    study.sqlite overlap   # SQL-backed analyses
 
 ``run`` executes the honeypot study and persists the crawled dataset;
-the other three work purely from a persisted dataset, so an expensive run
-can be analysed many times.  ``run --checkpoint-dir D`` makes the run
+the other subcommands work purely from persisted data, so an expensive
+run can be analysed many times.  ``run --store S`` additionally lands the
+dataset in a queryable SQLite store (:mod:`repro.store`) whose export is
+byte-identical to the JSONL; ``query`` runs the overlap/temporal/summary
+analyses against such a store without materialising the dataset.  ``run --checkpoint-dir D`` makes the run
 crash-safe (WAL journal + phase snapshots); after a kill,
 ``run --resume D`` continues it to a byte-identical result.
 ``run --jobs N`` runs the study as supervised per-campaign shards
@@ -47,6 +51,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.osn.faults import FaultProfile
 from repro.osn.population import PopulationConfig
 from repro.shard.errors import ShardError
+from repro.store import HoneypotStore, StoreError
+from repro.store import queries as store_queries
 from repro.util.tables import render_table
 
 
@@ -112,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restrict the study to the first K campaign "
                           "specs (page-id assignment keeps all specs' "
                           "pages, so results are comparable across K)")
+    run.add_argument("--store", type=Path, default=None, metavar="DB",
+                     help="also land the dataset in a queryable SQLite "
+                          "store at this path (export byte-identical to "
+                          "--out; analyse with 'repro-study query')")
 
     report = sub.add_parser("report", help="render tables/figures from a dataset")
     report.add_argument("dataset", type=Path)
@@ -124,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("dataset", type=Path)
     detect.add_argument("--like-threshold", type=float, default=300.0,
                         help="page-like count above which a liker is suspicious")
+
+    query = sub.add_parser(
+        "query", help="run an analysis as SQL queries against a store"
+    )
+    query.add_argument("store", type=Path,
+                       help="store file written by 'run --store'")
+    query.add_argument("analysis", choices=("overlap", "temporal", "summary"),
+                       help="which analysis to run")
     return parser
 
 
@@ -170,6 +188,18 @@ def _config_for(args: argparse.Namespace) -> StudyConfig:
     return config
 
 
+def _write_store(path: Path, dataset: HoneypotDataset) -> None:
+    """Land the run's dataset in a queryable store, reporting throughput."""
+    if path.exists():
+        path.unlink()  # --store names this run's output, like --out
+    started = time.perf_counter()
+    with HoneypotStore.create(path) as store:
+        rows = store.ingest_dataset(dataset)
+    elapsed = time.perf_counter() - started
+    rate = rows / elapsed if elapsed > 0 else float("inf")
+    print(f"store: {rows} rows -> {path} ({rate:,.0f} rows/s)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.resume is not None and args.checkpoint_dir is not None:
         print("error: --resume already names the checkpoint directory; "
@@ -188,6 +218,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     dataset.to_jsonl(args.out)
     print(f"study complete: {dataset.total_likes} likes, "
           f"{len(dataset.likers)} likers -> {args.out}")
+    if args.store is not None:
+        _write_store(args.store, dataset)
     if args.metrics is not None:
         registry = experiment.artifacts.metrics
         manifest = build_manifest(
@@ -239,6 +271,8 @@ def _run_sharded(args: argparse.Namespace) -> int:
     print(f"study complete (sharded, jobs={args.jobs}, "
           f"{len(result.plan)} shards): {dataset.total_likes} likes, "
           f"{len(dataset.likers)} likers -> {args.out}")
+    if args.store is not None:
+        _write_store(args.store, dataset)
     for shard_id in result.quarantined:
         outcome = result.outcomes[shard_id]
         print(f"shard QUARANTINED after {outcome.attempts} attempts: "
@@ -337,11 +371,75 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.analysis.temporal import classify_strategy
+
+    with HoneypotStore.open(args.store) as store:
+        if args.analysis == "overlap":
+            summary = store_queries.overlap_summary(store)
+            print(render_table(
+                ["#Campaigns liked", "#Likers"],
+                [[n, count] for n, count in summary.multiplicity.items()],
+                title=(
+                    f"Liker multiplicity: {summary.total_likes} likes from "
+                    f"{summary.unique_likers} likers "
+                    f"({summary.repeat_fraction * 100:.1f}% repeat)"
+                ),
+            ))
+            counts = store_queries.shared_liker_counts(store)
+            pairs = sorted(
+                (item for item in counts.items() if item[1] > 0),
+                key=lambda item: -item[1],
+            )[:10]
+            if pairs:
+                print()
+                print(render_table(
+                    ["Campaign A", "Campaign B", "Shared likers"],
+                    [[a, b, n] for (a, b), n in pairs],
+                    title="Largest cross-campaign overlaps",
+                ))
+        elif args.analysis == "temporal":
+            rows = []
+            for campaign_id in store.campaign_ids():
+                profile = store_queries.temporal_profile(store, campaign_id)
+                rows.append([
+                    campaign_id, profile.total_likes,
+                    f"{profile.span_days:.1f}", profile.max_2h_likes,
+                    f"{profile.max_2h_fraction * 100:.0f}%",
+                    f"{profile.days_to_half:.2f}",
+                    classify_strategy(profile),
+                ])
+            print(render_table(
+                ["Campaign", "Likes", "Span (d)", "Max 2h", "Max 2h %",
+                 "Days to half", "Strategy"],
+                rows,
+                title="Temporal delivery profiles (store query)",
+            ))
+        else:
+            rows = [
+                [row.campaign_id, row.provider, row.location, row.budget,
+                 row.duration_days, row.monitored_days, row.likes,
+                 row.terminated, "yes" if row.inactive else "no"]
+                for row in store_queries.table1(store)
+            ]
+            print(render_table(
+                ["Campaign", "Provider", "Location", "Budget", "Days",
+                 "Monitored", "Likes", "Terminated", "Inactive"],
+                rows,
+                title="Campaign summary (store query)",
+            ))
+        reads = sum(store.rows_read.values())
+        print(f"\n{reads} rows read across "
+              f"{len(store.rows_read)} tables")
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "report": cmd_report,
     "export": cmd_export,
     "detect": cmd_detect,
+    "query": cmd_query,
 }
 
 
@@ -352,8 +450,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if dataset_path is not None and not Path(dataset_path).exists():
         print(f"error: dataset file not found: {dataset_path}", file=sys.stderr)
         return 2
+    store_path = getattr(args, "store", None)
+    if args.command == "query" and not Path(store_path).exists():
+        print(f"error: store file not found: {store_path}", file=sys.stderr)
+        return 2
     try:
         return _COMMANDS[args.command](args)
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 2
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
         return 3

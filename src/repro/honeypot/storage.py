@@ -15,9 +15,37 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.util.durable import fsync_dir, fsync_handle
+
+
+def write_jsonl_rows(path: Path, rows: Iterable[Dict], tag: str = "dataset") -> None:
+    """Atomically and durably write an iterable of row dicts as JSON Lines.
+
+    The one serialisation path every dataset export shares — the in-memory
+    :meth:`HoneypotDataset.to_jsonl` and the SQLite-backed
+    :meth:`repro.store.HoneypotStore.to_jsonl` both stream their rows
+    through here, so "byte-identical exports" is a structural property,
+    not a convention.  Rows go to a sibling temp file which is fsync'd
+    before it replaces ``path``, and the directory entry is fsync'd after
+    the rename: a crash mid-write can never leave a truncated dataset
+    where a previous good one stood, and a crash immediately after the
+    rename cannot surface an empty file (rename alone orders nothing
+    against the page cache).
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+            fsync_handle(handle, tag=tag)
+        tmp_path.replace(path)
+        fsync_dir(path.parent, tag=tag)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
 
 
 @dataclass(frozen=True)
@@ -139,45 +167,40 @@ class HoneypotDataset:
 
     # -- persistence --------------------------------------------------------------
 
+    def iter_rows(self) -> Iterator[Dict]:
+        """The dataset as typed JSONL row dicts, in export order.
+
+        Exactly the rows :meth:`to_jsonl` writes: one ``meta`` row, then
+        campaigns in insertion (Table 1) order, likers in insertion
+        (first-crawled) order, and the baseline sample.  This is also the
+        ingest stream :class:`repro.store.HoneypotStore` consumes.
+        """
+        yield {
+            "type": "meta",
+            "global_gender": self.global_gender,
+            "global_age": self.global_age,
+            "global_country": self.global_country,
+        }
+        for campaign in self.campaigns.values():
+            row = asdict(campaign)
+            row["type"] = "campaign"
+            yield row
+        for liker in self.likers.values():
+            row = asdict(liker)
+            row["type"] = "liker"
+            yield row
+        for record in self.baseline:
+            row = asdict(record)
+            row["type"] = "baseline"
+            yield row
+
     def to_jsonl(self, path: Path) -> None:
         """Write the dataset as JSON Lines (one typed record per line).
 
-        The write is atomic *and durable*: rows go to a sibling temp file
-        which is fsync'd before it replaces ``path``, and the directory
-        entry is fsync'd after the rename.  A crash mid-write can never
-        leave a truncated dataset where a previous good one stood, and a
-        crash immediately after the rename cannot surface an empty file
-        (rename alone orders nothing against the page cache).
+        Delegates to :func:`write_jsonl_rows` for the atomic, durable
+        write (temp file + fsync + rename + directory fsync).
         """
-        path = Path(path)
-        tmp_path = path.with_name(path.name + ".tmp")
-        try:
-            with tmp_path.open("w", encoding="utf-8") as handle:
-                meta = {
-                    "type": "meta",
-                    "global_gender": self.global_gender,
-                    "global_age": self.global_age,
-                    "global_country": self.global_country,
-                }
-                handle.write(json.dumps(meta) + "\n")
-                for campaign in self.campaigns.values():
-                    row = asdict(campaign)
-                    row["type"] = "campaign"
-                    handle.write(json.dumps(row) + "\n")
-                for liker in self.likers.values():
-                    row = asdict(liker)
-                    row["type"] = "liker"
-                    handle.write(json.dumps(row) + "\n")
-                for record in self.baseline:
-                    row = asdict(record)
-                    row["type"] = "baseline"
-                    handle.write(json.dumps(row) + "\n")
-                fsync_handle(handle, tag="dataset")
-            tmp_path.replace(path)
-            fsync_dir(path.parent, tag="dataset")
-        except BaseException:
-            tmp_path.unlink(missing_ok=True)
-            raise
+        write_jsonl_rows(path, self.iter_rows())
 
     @classmethod
     def from_jsonl(
@@ -199,44 +222,86 @@ class HoneypotDataset:
         """
         dataset = cls()
         path = Path(path)
-        lines = path.read_text(encoding="utf-8").splitlines()
-        for line_number, line in enumerate(lines, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as error:
-                if salvage and line_number == len(lines):
-                    if metrics is not None:
-                        metrics.trace_event(
-                            "jsonl_salvage",
-                            path=str(path),
-                            line=line_number,
-                            reason=error.msg,
-                        )
-                    break
-                raise ValueError(
-                    f"{path}:{line_number}: unparseable JSON line ({error.msg})"
-                ) from error
-            kind = row.pop("type", None)
-            if kind == "meta":
-                dataset.global_gender = row["global_gender"]
-                dataset.global_age = row["global_age"]
-                dataset.global_country = row["global_country"]
-            elif kind == "campaign":
-                row["observations"] = [
-                    LikeObservation(**obs) for obs in row["observations"]
-                ]
-                record = CampaignRecord(**row)
-                dataset.campaigns[record.campaign_id] = record
-            elif kind == "liker":
-                liker = LikerRecord(**row)
-                dataset.likers[liker.user_id] = liker
-            elif kind == "baseline":
-                dataset.baseline.append(BaselineRecord(**row))
-            else:
-                raise ValueError(
-                    f"{path}:{line_number}: unknown record type {kind!r}"
-                )
+        for row, line_number in iter_jsonl_rows(path, salvage=salvage, metrics=metrics):
+            apply_row(dataset, row, source=f"{path}:{line_number}")
         return dataset
+
+
+def iter_jsonl_rows(
+    path: Path, salvage: bool = False, metrics=None
+) -> Iterator[tuple]:
+    """Stream ``(row, line_number)`` pairs from a dataset JSONL file.
+
+    The parsing half of :meth:`HoneypotDataset.from_jsonl`, shared with
+    the store's streaming ingest so both honour the same corruption
+    contract: any line that is not a JSON object raises :class:`ValueError`
+    naming the file and line.  With ``salvage=True``, *only* a torn final
+    line — the crash-mid-append signature — is dropped (with a
+    ``jsonl_salvage`` trace event); an unparseable line anywhere before
+    valid records is interior corruption and still raises, so salvage can
+    never silently swallow data from the middle of a file.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            if salvage and line_number == len(lines):
+                if metrics is not None:
+                    metrics.trace_event(
+                        "jsonl_salvage",
+                        path=str(path),
+                        line=line_number,
+                        reason=error.msg,
+                    )
+                return
+            raise ValueError(
+                f"{path}:{line_number}: unparseable JSON line ({error.msg})"
+            ) from error
+        if not isinstance(row, dict):
+            # A bare scalar/array parses as JSON but can never be a
+            # record; salvage does not apply (a torn record row is a
+            # *prefix* of a JSON object and never parses at all).
+            raise ValueError(
+                f"{path}:{line_number}: JSONL row is not an object "
+                f"({type(row).__name__})"
+            )
+        yield row, line_number
+
+
+def apply_row(dataset: HoneypotDataset, row: Dict, source: str = "<row>") -> None:
+    """Apply one typed JSONL row dict to ``dataset``, validating its shape.
+
+    Raises :class:`ValueError` naming ``source`` (``file:line`` when read
+    from disk) when the record type is unknown or its fields do not match
+    the record schema — a structurally corrupt row fails loudly instead of
+    surfacing as a bare ``TypeError`` deep in a dataclass constructor.
+    """
+    row = dict(row)
+    kind = row.pop("type", None)
+    try:
+        if kind == "meta":
+            dataset.global_gender = row["global_gender"]
+            dataset.global_age = row["global_age"]
+            dataset.global_country = row["global_country"]
+        elif kind == "campaign":
+            row["observations"] = [
+                LikeObservation(**obs) for obs in row["observations"]
+            ]
+            record = CampaignRecord(**row)
+            dataset.campaigns[record.campaign_id] = record
+        elif kind == "liker":
+            liker = LikerRecord(**row)
+            dataset.likers[liker.user_id] = liker
+        elif kind == "baseline":
+            dataset.baseline.append(BaselineRecord(**row))
+        else:
+            raise ValueError(f"{source}: unknown record type {kind!r}")
+    except (TypeError, KeyError) as error:
+        raise ValueError(
+            f"{source}: malformed {kind!r} record ({error})"
+        ) from error

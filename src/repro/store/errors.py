@@ -1,0 +1,13 @@
+"""Store-layer failures."""
+
+from __future__ import annotations
+
+
+class StoreError(RuntimeError):
+    """A dataset store refused an operation (schema, identity, corruption).
+
+    Raised instead of guessing: opening a file that is not a honeypot
+    store, a schema version this code does not understand, ingesting rows
+    that violate the dataset shape, or querying a campaign the store does
+    not hold.
+    """

@@ -1,0 +1,147 @@
+"""Analyses as SQL/incremental queries over a :class:`HoneypotStore`.
+
+Each function mirrors an in-memory analysis — same result dataclasses,
+same semantics — but reads only what the query needs through the store's
+indexes instead of walking a materialised dataset:
+
+* :func:`overlap_summary` / :func:`shared_liker_counts` mirror
+  :mod:`repro.analysis.overlap` (multiplicity via a ``GROUP BY`` over the
+  ``liker_campaigns`` join table; pair counts via a self-join on distinct
+  ``(campaign, user)`` observations).
+* :func:`temporal_profile` / :func:`cumulative_series` mirror
+  :mod:`repro.analysis.temporal`, fetching each campaign's observation
+  times pre-sorted through the ``(campaign_id, user_id, observed_at)``
+  index and reusing the analyses' pure math cores.
+* :func:`table1` mirrors :func:`repro.analysis.summary.table1` as one
+  aggregate query over ``campaigns`` + ``terminations``.
+
+The in-memory implementations stay as the reference; equality is pinned
+by ``tests/store/test_store_queries.py``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from repro.analysis.overlap import OverlapSummary
+from repro.analysis.summary import Table1Row
+from repro.analysis.temporal import (
+    TemporalProfile,
+    profile_from_times,
+    series_from_times,
+)
+from repro.store.errors import StoreError
+from repro.store.store import HoneypotStore
+from repro.util.timeutil import HOUR
+
+
+def overlap_summary(store: HoneypotStore) -> OverlapSummary:
+    """Multiplicity distribution of likers across campaigns (SQL)."""
+    db = store._db
+    total_likes = db.execute(
+        "SELECT COALESCE(SUM(total_likes), 0) FROM campaigns"
+    ).fetchone()[0]
+    unique_likers = db.execute("SELECT COUNT(*) FROM likers").fetchone()[0]
+    rows = db.execute(
+        "SELECT n, COUNT(*) FROM ("
+        "  SELECT COUNT(*) AS n FROM liker_campaigns GROUP BY user_id"
+        ") GROUP BY n ORDER BY n"
+    ).fetchall()
+    store._read("campaigns", 1)
+    store._read("likers", 1)
+    store._read("liker_campaigns", len(rows))
+    return OverlapSummary(
+        total_likes=total_likes,
+        unique_likers=unique_likers,
+        multiplicity={n: count for n, count in rows},
+    )
+
+
+def shared_liker_counts(store: HoneypotStore) -> Dict[Tuple[str, str], int]:
+    """The complete pairwise shared-liker matrix, in campaign order (SQL).
+
+    Matches the fixed in-memory semantics: every pair appears, zero-liker
+    campaigns included, with 0 when nothing is shared.
+    """
+    campaign_ids = store.campaign_ids()
+    rows = store._db.execute(
+        "SELECT ca.seq, cb.seq, COUNT(*) FROM "
+        "  (SELECT DISTINCT campaign_id, user_id FROM observations) a "
+        "JOIN "
+        "  (SELECT DISTINCT campaign_id, user_id FROM observations) b "
+        "  ON a.user_id = b.user_id "
+        "JOIN campaigns ca ON ca.campaign_id = a.campaign_id "
+        "JOIN campaigns cb ON cb.campaign_id = b.campaign_id "
+        "WHERE ca.seq < cb.seq "
+        "GROUP BY ca.seq, cb.seq"
+    ).fetchall()
+    store._read("observations", len(rows))
+    by_seq = {(a, b): n for a, b, n in rows}
+    seqs = {
+        campaign_id: seq
+        for seq, campaign_id in enumerate(campaign_ids, start=1)
+    }
+    return {
+        (a, b): by_seq.get((seqs[a], seqs[b]), 0)
+        for a, b in combinations(campaign_ids, 2)
+    }
+
+
+def observation_times(store: HoneypotStore, campaign_id: str) -> List[int]:
+    """One campaign's observation times, sorted, via the time index."""
+    if campaign_id not in set(store.campaign_ids()):
+        raise StoreError(f"store has no campaign {campaign_id!r}")
+    rows = store._db.execute(
+        "SELECT observed_at FROM observations WHERE campaign_id = ? "
+        "ORDER BY observed_at",
+        (campaign_id,),
+    ).fetchall()
+    store._read("observations", len(rows))
+    return [t for (t,) in rows]
+
+
+def temporal_profile(store: HoneypotStore, campaign_id: str) -> TemporalProfile:
+    """Burstiness profile of one campaign, from indexed observation times."""
+    return profile_from_times(campaign_id, observation_times(store, campaign_id))
+
+
+def cumulative_series(
+    store: HoneypotStore,
+    campaign_id: str,
+    resolution: int = 2 * HOUR,
+    horizon_days: float = 15.0,
+) -> Tuple[List[float], List[int]]:
+    """Figure 2 cumulative curve of one campaign, from indexed times."""
+    return series_from_times(
+        observation_times(store, campaign_id),
+        resolution=resolution,
+        horizon_days=horizon_days,
+    )
+
+
+def table1(store: HoneypotStore) -> List[Table1Row]:
+    """Table 1 rows in campaign order, as one aggregate query."""
+    rows = store._db.execute(
+        "SELECT c.campaign_id, c.provider, c.location_label, c.budget_label, "
+        "       c.duration_days, c.monitored_days, c.total_likes, c.inactive, "
+        "       (SELECT COUNT(*) FROM terminations t "
+        "        WHERE t.campaign_id = c.campaign_id) "
+        "FROM campaigns c ORDER BY c.seq"
+    ).fetchall()
+    store._read("campaigns", len(rows))
+    return [
+        Table1Row(
+            campaign_id=campaign_id,
+            provider=provider,
+            location=location,
+            budget=budget,
+            duration_days=duration_days,
+            monitored_days=monitored_days,
+            likes=likes,
+            terminated=terminated,
+            inactive=bool(inactive),
+        )
+        for (campaign_id, provider, location, budget, duration_days,
+             monitored_days, likes, inactive, terminated) in rows
+    ]

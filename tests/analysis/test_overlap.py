@@ -39,10 +39,26 @@ class TestOverlapSummary:
         assert top[0][2] >= al_ms
 
     def test_no_overlap_with_inactive(self, small_dataset):
+        # Inactive (zero-like) campaigns share nothing — but their pairs
+        # stay in the matrix as explicit zeros instead of vanishing.
         counts = shared_liker_counts(small_dataset)
-        for (a, b), _ in counts.items():
-            assert "BL-ALL" not in (a, b)
-            assert "MS-ALL" not in (a, b)
+        for (a, b), n in counts.items():
+            if "BL-ALL" in (a, b) or "MS-ALL" in (a, b):
+                assert n == 0
+
+    def test_matrix_is_complete_over_all_pairs(self, small_dataset):
+        # Regression: zero pairs used to be dropped, which silently removed
+        # zero-liker campaigns from every pairwise consumer.
+        counts = shared_liker_counts(small_dataset)
+        campaign_ids = small_dataset.campaign_ids()
+        n = len(campaign_ids)
+        assert len(counts) == n * (n - 1) // 2
+        named = {c for pair in counts for c in pair}
+        assert named == set(campaign_ids)
+        assert "BL-ALL" in named  # the zero-liker campaign is present
+
+    def test_top_overlaps_exclude_zero_pairs(self, small_dataset):
+        assert all(n > 0 for _, _, n in top_overlaps(small_dataset, limit=100))
 
     def test_render(self, small_dataset):
         text = render_overlap(small_dataset)

@@ -73,6 +73,12 @@ class TestJaccard:
     def test_both_empty(self):
         assert jaccard(set(), set()) == 0.0
 
+    def test_one_side_empty(self):
+        # Regression pin for zero-liker campaigns: an empty-side pair is a
+        # well-defined 0.0, never an error or a dropped matrix entry.
+        assert jaccard(set(), {1, 2}) == 0.0
+        assert jaccard({1, 2}, set()) == 0.0
+
     @given(st.sets(st.integers(0, 50)), st.sets(st.integers(0, 50)))
     def test_property_bounded_and_symmetric(self, a, b):
         value = jaccard(a, b)

@@ -184,6 +184,25 @@ class TestJsonlRobustness:
         with pytest.raises(ValueError, match="unknown record type None"):
             HoneypotDataset.from_jsonl(path)
 
+    def test_non_object_row_rejected(self, tmp_path):
+        # Valid JSON that is not an object is corruption, not a record.
+        path = tmp_path / "scalar.jsonl"
+        path.write_text('{"type": "meta", "global_gender": {}, '
+                        '"global_age": {}, "global_country": {}}\n'
+                        '[1, 2, 3]\n')
+        with pytest.raises(ValueError, match=r"scalar\.jsonl:2: .*not an object"):
+            HoneypotDataset.from_jsonl(path)
+
+    def test_malformed_record_names_file_and_line(self, tmp_path):
+        # A parseable row missing required record fields must surface as a
+        # ValueError naming the source line, not a raw TypeError/KeyError.
+        path = tmp_path / "partial.jsonl"
+        path.write_text('{"type": "meta", "global_gender": {}, '
+                        '"global_age": {}, "global_country": {}}\n'
+                        '{"type": "liker", "user_id": 7}\n')
+        with pytest.raises(ValueError, match=r"partial\.jsonl:2: malformed 'liker'"):
+            HoneypotDataset.from_jsonl(path)
+
 
 class TestDurability:
     def test_to_jsonl_fsyncs_file_and_directory(self, tmp_path):
@@ -227,4 +246,19 @@ class TestDurability:
         lines[0] = lines[0][:-5]
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ValueError):
+            HoneypotDataset.from_jsonl(path, salvage=True)
+
+    def test_salvage_refuses_a_torn_interior_line(self, tmp_path):
+        # Only a torn *final* line is the crash-mid-append signature; a
+        # torn line followed by intact records means real corruption and
+        # must refuse even under salvage, naming the damaged line.
+        path = tmp_path / "out.jsonl"
+        make_dataset().to_jsonl(path)
+        lines = path.read_text().splitlines()
+        torn_at = len(lines) - 1  # second-to-last record, 1-indexed
+        lines[torn_at - 1] = lines[torn_at - 1][:20]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            ValueError, match=rf"out\.jsonl:{torn_at}: unparseable"
+        ):
             HoneypotDataset.from_jsonl(path, salvage=True)

@@ -86,6 +86,58 @@ class TestCommands:
         assert flagged_total(strict) >= flagged_total(lenient)
 
 
+class TestStoreCommands:
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory, small_dataset):
+        from repro.store import HoneypotStore
+
+        path = tmp_path_factory.mktemp("store-cli") / "study.sqlite"
+        with HoneypotStore.create(path) as store:
+            store.ingest_dataset(small_dataset)
+        return path
+
+    def test_run_with_store_writes_both_outputs(self, tmp_path, capsys):
+        out = tmp_path / "mini.jsonl"
+        db = tmp_path / "mini.sqlite"
+        rc = main([
+            "run", "--scale", "0.05", "--seed", "7",
+            "--population", "250", "--out", str(out), "--store", str(db),
+        ])
+        captured = capsys.readouterr().out
+        assert rc in (0, 1)
+        assert db.exists()
+        assert "rows/s" in captured
+
+    def test_query_overlap(self, store_path, capsys):
+        rc = main(["query", str(store_path), "overlap"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Liker multiplicity" in out
+        assert "rows read" in out
+
+    def test_query_temporal(self, store_path, capsys):
+        rc = main(["query", str(store_path), "temporal"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Temporal delivery profiles" in out
+
+    def test_query_summary(self, store_path, capsys):
+        rc = main(["query", str(store_path), "summary"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Campaign summary" in out
+
+    def test_query_missing_store_exits_2(self, tmp_path, capsys):
+        rc = main(["query", str(tmp_path / "nope.sqlite"), "overlap"])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_query_non_store_file_exits_2(self, dataset_path, capsys):
+        rc = main(["query", str(dataset_path), "overlap"])
+        assert rc == 2
+        assert "store error" in capsys.readouterr().err
+
+
 class TestCheckpointFlags:
     SMALL = ["run", "--scale", "0.02", "--seed", "11"]
 
@@ -137,6 +189,25 @@ class TestCheckpointFlags:
                    "--out", str(tmp_path / "b.jsonl"), "--resume", str(ck)])
         assert rc == 3
         assert "seed" in capsys.readouterr().err
+
+    def test_resume_with_wrong_scale_exits_3_naming_fingerprints(
+        self, tmp_path, capsys
+    ):
+        # Same seed, different --scale: the config fingerprints differ, so
+        # resume must refuse (exit 3) and name both fingerprints rather
+        # than replay a checkpoint from another world.
+        ck = tmp_path / "ck"
+        main(self.SMALL + ["--out", str(tmp_path / "a.jsonl"),
+                           "--checkpoint-dir", str(ck)])
+        capsys.readouterr()
+        rc = main(["run", "--scale", "0.03", "--seed", "11",
+                   "--out", str(tmp_path / "b.jsonl"), "--resume", str(ck)])
+        err = capsys.readouterr().err
+        assert rc == 3
+        assert "config fingerprint" in err
+        # both fingerprints are quoted, 16 hex chars each
+        import re
+        assert len(re.findall(r"'[0-9a-f]{16}'", err)) == 2
 
     def test_keyboard_interrupt_exits_130(self, monkeypatch, tmp_path, capsys):
         from repro.core.experiment import HoneypotExperiment

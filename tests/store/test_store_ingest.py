@@ -1,0 +1,141 @@
+"""WAL replay and shard-merge ingest paths land exactly in the store."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.ckpt.manager import CheckpointConfig
+from repro.honeypot.study import HoneypotStudy, StudyConfig
+from repro.shard.errors import ShardMergeError
+from repro.shard.merge import merge_shards
+from repro.store import HoneypotStore, StoreError, merge_shards_into_store
+from repro.store.ingest import ingest_journal
+from tests.shard.test_merge import build_completed, make_plan, state_for
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(scope="module")
+def checkpointed_run(tmp_path_factory):
+    """A checkpointed small run: (config, dataset, journal path)."""
+    directory = tmp_path_factory.mktemp("wal")
+    config = dataclasses.replace(
+        StudyConfig.small(), checkpoint=CheckpointConfig(directory=directory)
+    )
+    artifacts = HoneypotStudy(config).run()
+    return config, artifacts.dataset, directory / "journal.jsonl"
+
+
+class TestJournalIngest:
+    def test_observations_and_terminations_are_exact(
+        self, tmp_path, checkpointed_run
+    ):
+        config, dataset, journal = checkpointed_run
+        with HoneypotStore.create(tmp_path / "wal.sqlite") as store:
+            stats = ingest_journal(store, journal, config=config)
+            assert stats["rows"] > 0 and not stats["torn"]
+            for campaign_id in dataset.campaign_ids():
+                want = dataset.campaign(campaign_id)
+                got = store.campaign(campaign_id)
+                assert got.observations == want.observations
+                assert got.terminated_liker_ids == want.terminated_liker_ids
+                assert got.total_likes == want.total_likes
+
+    def test_campaign_order_follows_config_specs(
+        self, tmp_path, checkpointed_run
+    ):
+        config, dataset, journal = checkpointed_run
+        with HoneypotStore.create(tmp_path / "wal.sqlite") as store:
+            ingest_journal(store, journal, config=config)
+            assert store.campaign_ids() == dataset.campaign_ids()
+
+    def test_likers_and_baseline_are_exact(self, tmp_path, checkpointed_run):
+        config, dataset, journal = checkpointed_run
+        with HoneypotStore.create(tmp_path / "wal.sqlite") as store:
+            ingest_journal(store, journal, config=config)
+            assert {
+                liker.user_id: liker for liker in store.iter_likers()
+            } == dataset.likers
+            assert list(store.iter_baseline()) == dataset.baseline
+
+    def test_missing_journal_is_empty_ingest(self, tmp_path):
+        with HoneypotStore.create(tmp_path / "empty.sqlite") as store:
+            stats = ingest_journal(store, tmp_path / "absent.jsonl")
+            assert stats == {"records": 0, "rows": 0, "torn": 0}
+
+    def test_unknown_record_type_refuses(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(
+            '{"type": "journal-header", "schema": "repro.ckpt/journal@1", '
+            '"seed": 1, "config_hash": "x"}\n'
+            '{"type": "mystery"}\n'
+        )
+        with HoneypotStore.create(tmp_path / "bad.sqlite") as store:
+            with pytest.raises(StoreError, match="unknown journal record"):
+                ingest_journal(store, journal)
+
+
+class TestShardMergeIngest:
+    @pytest.fixture()
+    def merged_pair(self, tmp_path):
+        """(plan, completed-with-paths, reference merge) from fabricated shards."""
+        rng = random.Random(20140312)
+        plan = make_plan(4)
+        pool = list(range(1_000_000, 1_000_300))
+        completed = build_completed(plan, pool, rng)
+        paths = {}
+        for shard_id, (dataset, state) in completed.items():
+            path = tmp_path / f"{shard_id}.jsonl"
+            dataset.to_jsonl(path)
+            paths[shard_id] = (path, state)
+        return plan, completed, paths
+
+    def test_store_merge_exports_the_in_memory_merge_bytes(
+        self, tmp_path, merged_pair
+    ):
+        plan, completed, paths = merged_pair
+        reference = tmp_path / "reference.jsonl"
+        merge_shards(plan, completed).dataset.to_jsonl(reference)
+        with HoneypotStore.create(tmp_path / "merged.sqlite") as store:
+            written = merge_shards_into_store(plan, paths, store)
+            assert written > 0
+            exported = tmp_path / "merged.jsonl"
+            store.to_jsonl(exported)
+        assert exported.read_bytes() == reference.read_bytes()
+
+    def test_missing_shards_merge_like_the_reference(
+        self, tmp_path, merged_pair
+    ):
+        plan, completed, paths = merged_pair
+        lost = plan[-1].shard_id
+        completed = {k: v for k, v in completed.items() if k != lost}
+        paths = {k: v for k, v in paths.items() if k != lost}
+        reference = tmp_path / "reference.jsonl"
+        merge_shards(plan, completed).dataset.to_jsonl(reference)
+        with HoneypotStore.create(tmp_path / "partial.sqlite") as store:
+            merge_shards_into_store(plan, paths, store)
+            exported = tmp_path / "partial.jsonl"
+            store.to_jsonl(exported)
+        assert exported.read_bytes() == reference.read_bytes()
+
+    def test_no_completed_shard_refuses(self, tmp_path):
+        with HoneypotStore.create(tmp_path / "none.sqlite") as store:
+            with pytest.raises(ShardMergeError, match="no shard completed"):
+                merge_shards_into_store(make_plan(2), {}, store)
+
+    def test_floor_disagreement_refuses(self, tmp_path, merged_pair):
+        plan, _, paths = merged_pair
+        shard_id = plan[1].shard_id
+        path, _ = paths[shard_id]
+        paths[shard_id] = (path, state_for(plan[1], None, floor=999))
+        with HoneypotStore.create(tmp_path / "floors.sqlite") as store:
+            with pytest.raises(ShardMergeError, match="dynamic-id floor"):
+                merge_shards_into_store(plan, paths, store)
+
+    def test_occupied_store_refuses(self, tmp_path, merged_pair, small_dataset):
+        plan, _, paths = merged_pair
+        with HoneypotStore.create(tmp_path / "occupied.sqlite") as store:
+            store.ingest_dataset(small_dataset)
+            with pytest.raises(StoreError, match="not empty"):
+                merge_shards_into_store(plan, paths, store)

@@ -1,0 +1,63 @@
+"""Store queries pinned equal to their in-memory reference analyses."""
+
+import pytest
+
+from repro.analysis import overlap, summary, temporal
+from repro.store import HoneypotStore, StoreError
+from repro.store import queries
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, small_dataset):
+    path = tmp_path_factory.mktemp("queries") / "study.sqlite"
+    with HoneypotStore.create(path) as s:
+        s.ingest_dataset(small_dataset)
+        yield s
+
+
+class TestOverlapQueries:
+    def test_overlap_summary_equals_reference(self, store, small_dataset):
+        assert queries.overlap_summary(store) == overlap.overlap_summary(
+            small_dataset
+        )
+
+    def test_shared_liker_counts_equal_reference(self, store, small_dataset):
+        got = queries.shared_liker_counts(store)
+        want = overlap.shared_liker_counts(small_dataset)
+        assert got == want
+        # Pair iteration order must also match (campaign insertion order).
+        assert list(got) == list(want)
+
+    def test_matrix_is_complete_over_all_campaign_pairs(
+        self, store, small_dataset
+    ):
+        n = len(small_dataset.campaigns)
+        assert len(queries.shared_liker_counts(store)) == n * (n - 1) // 2
+
+
+class TestTemporalQueries:
+    def test_profiles_equal_reference(self, store, small_dataset):
+        for campaign_id in small_dataset.campaign_ids():
+            assert queries.temporal_profile(store, campaign_id) == (
+                temporal.temporal_profile(small_dataset, campaign_id)
+            )
+
+    def test_series_equal_reference(self, store, small_dataset):
+        for campaign_id in small_dataset.campaign_ids():
+            assert queries.cumulative_series(store, campaign_id) == (
+                temporal.cumulative_series(small_dataset, campaign_id)
+            )
+
+    def test_unknown_campaign_refuses(self, store):
+        with pytest.raises(StoreError, match="no campaign"):
+            queries.temporal_profile(store, "NOPE-1")
+
+
+class TestSummaryQueries:
+    def test_table1_equals_reference(self, store, small_dataset):
+        assert queries.table1(store) == summary.table1(small_dataset)
+
+    def test_queries_account_rows_read(self, store):
+        before = dict(store.rows_read)
+        queries.table1(store)
+        assert store.rows_read.get("campaigns", 0) > before.get("campaigns", 0)
