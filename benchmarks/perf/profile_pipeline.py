@@ -27,7 +27,9 @@ Five passes over ``HoneypotExperiment.paper_scale().run()``:
    asserted, recorded under ``store``,
 
 plus a timed ``repro.lint`` pass over ``src/`` — the static determinism
-gate every ``make check`` pays — recorded under ``lint`` — and a
+gate every ``make check`` pays, timed per-module and whole-program
+(``--xmod``) cold *and* warm so the facts-cache payoff is on record —
+recorded under ``lint`` — and a
 ``--scale N`` *build-only* pass (``StudyConfig.at_scale``, default
 ``N=100``, override via ``REPRO_PROFILE_SCALE``) that proves the columnar
 stores hold a 100x world (hundreds of thousands of users, tens of
@@ -311,16 +313,42 @@ def _append_history(records: list) -> None:
 
 
 def _run_lint() -> dict:
-    """Time the full determinism lint over src/ (the make-check gate)."""
+    """Time the determinism lint over src/ (the make-check gate).
+
+    Three timed runs: the per-module pass, then the whole-program
+    (``--xmod``) pass cold — fact extraction from every file — and warm,
+    served from the content-hash facts cache a cold run just wrote.  The
+    cold/warm delta is what the cache buys every ``make xmodlint`` after
+    the first, and the hit rate proves the warm run really was cached.
+    """
     src = REPO_ROOT / "src"
     baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
     start = time.perf_counter()
     result = lint_paths([src], baseline=baseline)
     wall = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as tmp:
+        cache_path = Path(tmp) / "facts-cache.json"
+        start = time.perf_counter()
+        cold = lint_paths(
+            [src], baseline=baseline, xmod=True, xmod_cache=cache_path
+        )
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = lint_paths(
+            [src], baseline=baseline, xmod=True, xmod_cache=cache_path
+        )
+        warm_wall = time.perf_counter() - start
+
     return {
         "wall_seconds": round(wall, 3),
         "checked_files": result.checked_files,
         "findings": len(result.findings),
+        "xmod_cold_seconds": round(cold_wall, 3),
+        "xmod_warm_seconds": round(warm_wall, 3),
+        "xmod_modules": cold.xmod["modules"],
+        "xmod_warm_cache_hit_rate": warm.xmod["cache_hit_rate"],
+        "xmod_findings": len(cold.findings),
     }
 
 
@@ -361,10 +389,14 @@ def main() -> int:
           f"queries: {store['query_seconds']:.4f}s vs "
           f"{store['in_memory_seconds']:.4f}s in-memory", flush=True)
 
-    print("lint pass: repro.lint over src/ ...", flush=True)
+    print("lint pass: repro.lint over src/ (plain + xmod cold/warm) ...",
+          flush=True)
     lint = _run_lint()
     print(f"  wall: {lint['wall_seconds']:.3f}s, "
-          f"{lint['checked_files']} files, {lint['findings']} findings",
+          f"{lint['checked_files']} files, {lint['findings']} findings; "
+          f"xmod cold {lint['xmod_cold_seconds']:.3f}s, "
+          f"warm {lint['xmod_warm_seconds']:.3f}s "
+          f"({lint['xmod_warm_cache_hit_rate']:.0%} cache hits)",
           flush=True)
 
     print(f"pass 7/7: --scale {SCALE_BUILD_N:g} build (world only) ...",
@@ -405,10 +437,11 @@ def main() -> int:
             },
             {"benchmark": "sharded_run", **sharded},
             {"benchmark": "store", **store},
+            {"benchmark": "lint", **lint},
             {"benchmark": "scale_build", **scale_build},
         ]
     )
-    print(f"wrote {OUTPUT_PATH}, appended 4 lines to {HISTORY_PATH.name}")
+    print(f"wrote {OUTPUT_PATH}, appended 5 lines to {HISTORY_PATH.name}")
     print(json.dumps({k: v for k, v in snapshot.items() if k != "top_functions"}, indent=2))
     return 0
 

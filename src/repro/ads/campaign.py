@@ -17,6 +17,7 @@ from repro.util.validation import check_positive, require
 
 
 @dataclass
+# repro-lint: allow-CKPT001 clicks/likes_delivered/spend are re-derived by deterministic replay of delivery events between barriers; final values land in the journaled dataset at collection
 class AdCampaign:
     """A running page-like ad campaign.
 

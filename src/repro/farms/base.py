@@ -31,6 +31,7 @@ class OrderStatus(enum.Enum):
 
 
 @dataclass(slots=True)
+# repro-lint: allow-CKPT001 delivered_likes/status are re-derived by deterministic replay of farm delivery events between barriers; final values land in the journaled dataset at collection
 class FarmOrder:
     """A purchase of likes from a farm.
 

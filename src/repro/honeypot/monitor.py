@@ -84,6 +84,7 @@ class PageMonitor:
         self.poll_gaps: List[int] = []  # times of polls lost to crawl faults
         self._seen: Set[UserId] = set()
         self._last_new_like_time = start
+        # repro-lint: allow-CKPT002 scheduling machinery, not observation state: rebuilt by attach()+deterministic replay; the pending poll lives in the engine queue, covered by the engine's own state_dict
         self._process: Optional[RecurringProcess] = None
         #: Called with each freshly recorded snapshot (the checkpoint
         #: journal's write-ahead hook); None when checkpointing is off.
@@ -168,6 +169,18 @@ class PageMonitor:
         ]
         self.poll_gaps = list(state["poll_gaps"])
         self._last_new_like_time = int(state["last_new_like_time"])
+        # The process itself is replay-rebuilt, so the derived values the
+        # snapshot carries must already agree with the live monitor; a
+        # mismatch here means replay diverged at this monitor.
+        require(
+            bool(state["stopped"]) == self.stopped,
+            "monitor stop state diverged from the checkpoint",
+        )
+        require(
+            int(state["tick_count"])
+            == (self._process.tick_count if self._process else 0),
+            "monitor tick count diverged from the checkpoint",
+        )
         self._seen = set()
         for snapshot in self.snapshots:
             self._seen.update(snapshot.new_liker_ids)

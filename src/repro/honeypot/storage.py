@@ -137,6 +137,7 @@ class BaselineRecord:
 
 
 @dataclass
+# repro-lint: allow-CKPT001 built in one shot by _collect() after the crawl barrier, never mutated across a barrier; its inputs (monitor snapshots) are journaled write-ahead
 class HoneypotDataset:
     """The full study output: campaigns, likers, baseline, global stats."""
 

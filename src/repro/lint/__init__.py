@@ -15,6 +15,14 @@ plus three general simulation-hygiene rules: mutable default arguments
 (``HYG001``), bare/broad ``except`` (``HYG002``), and non-``slots``
 dataclasses in hot modules (``HYG003``).
 
+With ``--xmod`` the whole-program pass (:mod:`repro.lint.xmod`) also
+runs: module facts are assembled into a project graph — symbol table,
+import graph, interprocedural RNG summaries — and checked for
+cross-module stream misuse (``XDET001-003``), checkpoint coverage and
+symmetry (``CKPT001/002``), package-layering violations and import
+cycles (``ARCH001``), and SQL literals that contradict the declared
+schema (``SQL001``).
+
 Run it as ``python -m repro.lint src/`` or via the ``repro-lint`` console
 script.  Findings can be silenced inline::
 
@@ -26,16 +34,27 @@ the allowlist can never silently rot.
 """
 
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import Rule, all_rules, get_rule, register
+from repro.lint.rules import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_rule,
+    register,
+    register_project,
+)
 from repro.lint.runner import LintResult, lint_paths, lint_source
 
 __all__ = [
     "Finding",
     "Severity",
     "Rule",
+    "ProjectRule",
     "register",
+    "register_project",
     "get_rule",
     "all_rules",
+    "all_project_rules",
     "LintResult",
     "lint_paths",
     "lint_source",

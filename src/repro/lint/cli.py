@@ -12,7 +12,7 @@ from typing import List, Optional
 
 from repro.lint.baseline import Baseline
 from repro.lint.report import render_json, render_text
-from repro.lint.rules import all_rules, known_codes
+from repro.lint.rules import all_project_rules, all_rules, known_codes
 from repro.lint.runner import lint_paths
 from repro.lint.suppress import META_CODES
 
@@ -30,8 +30,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--xmod", action="store_true",
+        help=(
+            "also run the whole-program rules (XDET/CKPT/ARCH/SQL) over "
+            "the project graph"
+        ),
+    )
+    parser.add_argument(
+        "--xmod-cache", type=Path, default=None, metavar="PATH",
+        help=(
+            "content-hash facts cache for --xmod (read + updated; "
+            "omit for a cold in-memory run)"
+        ),
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -56,6 +70,11 @@ def _list_rules() -> str:
     lines = []
     for rule in all_rules():
         lines.append(f"{rule.code}  {rule.severity.value:7s}  {rule.description}")
+    for rule in all_project_rules():
+        lines.append(
+            f"{rule.code}  {rule.severity.value:7s}  {rule.description} "
+            "(whole-program, --xmod)"
+        )
     for code, description in sorted(META_CODES.items()):
         lines.append(f"{code}  error    {description} (framework meta rule)")
     return "\n".join(lines)
@@ -98,15 +117,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.baseline is None:
             print("error: --write-baseline requires --baseline", file=sys.stderr)
             return 2
-        result = lint_paths(args.paths, baseline=None, select=select)
+        result = lint_paths(
+            args.paths,
+            baseline=None,
+            select=select,
+            xmod=args.xmod,
+            xmod_cache=args.xmod_cache,
+        )
         Baseline.from_findings(result.findings).save(args.baseline)
         print(
             f"wrote {len(result.findings)} finding(s) to {args.baseline}"
         )
         return 0
 
-    result = lint_paths(args.paths, baseline=baseline, select=select)
-    renderer = render_json if args.format == "json" else render_text
+    result = lint_paths(
+        args.paths,
+        baseline=baseline,
+        select=select,
+        xmod=args.xmod,
+        xmod_cache=args.xmod_cache,
+    )
+    if args.format == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        renderer = render_sarif
+    elif args.format == "json":
+        renderer = render_json
+    else:
+        renderer = render_text
     print(renderer(result))
     return result.exit_code
 

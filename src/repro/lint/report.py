@@ -22,6 +22,13 @@ def render_text(result: LintResult) -> str:
         )
     else:
         lines.append(f"clean: {result.checked_files} file(s), 0 findings")
+    if result.xmod is not None:
+        lines.append(
+            f"xmod: {result.xmod['modules']} module(s), cache "
+            f"{result.xmod['cache_hits']} hit(s) / "
+            f"{result.xmod['cache_misses']} miss(es) "
+            f"({result.xmod['cache_hit_rate']:.0%} hit rate)"
+        )
     if result.baseline_matched:
         lines.append(f"baseline: {result.baseline_matched} finding(s) accepted")
     for path, code, source_line in result.stale_baseline_entries:
@@ -46,4 +53,6 @@ def render_json(result: LintResult) -> str:
         ],
         "exit_code": result.exit_code,
     }
+    if result.xmod is not None:
+        payload["xmod"] = result.xmod
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -72,7 +72,43 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base class for whole-program (cross-module) rules.
+
+    Where a :class:`Rule` sees one module at a time, a project rule sees
+    the assembled :class:`repro.lint.xmod.graph.Project` — every
+    module's facts, the import graph, and the RNG call-graph summaries —
+    and may anchor findings in any file.  Project rules only run when
+    the whole-program pass is enabled (``repro-lint --xmod``); their
+    suppressions are exempt from LNT001 in per-module-only runs.
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings over the whole project graph."""
+        raise NotImplementedError
+
+    def finding(
+        self, project, path: str, line: int, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``path:line`` for this rule."""
+        return Finding(
+            path=path,
+            line=line,
+            column=0,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+            source_line=project.line_text(path, line),
+        )
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
 
 
 def register(rule_class: Type[Rule]) -> Type[Rule]:
@@ -86,20 +122,50 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
     return rule_class
 
 
+def register_project(rule_class: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a project rule to the project registry."""
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"project rule {rule_class.__name__} has no code")
+    if code in _REGISTRY:
+        raise ValueError(f"rule code {code} already used by a module rule")
+    if code in _PROJECT_REGISTRY and _PROJECT_REGISTRY[code] is not rule_class:
+        raise ValueError(f"duplicate project rule code {code}")
+    _PROJECT_REGISTRY[code] = rule_class
+    return rule_class
+
+
 def get_rule(code: str) -> Type[Rule]:
     """The rule class registered under ``code`` (KeyError if unknown)."""
     return _REGISTRY[code]
 
 
-def known_codes() -> List[str]:
-    """All registered rule codes, sorted."""
-    return sorted(_REGISTRY)
-
-
-def all_rules() -> List[Rule]:
-    """One instance of every registered rule, in stable code order."""
+def _load_rule_modules() -> None:
     # Import the rule modules lazily so the registry is populated even when
     # a caller imports repro.lint.rules directly.
     from repro.lint import det, hyg  # noqa: F401  (registration side effect)
+    from repro.lint.xmod import arch, ckptcov, rngflow, sqlschema  # noqa: F401
 
+
+def known_codes() -> List[str]:
+    """All registered rule codes — module and project — sorted."""
+    _load_rule_modules()
+    return sorted(set(_REGISTRY) | set(_PROJECT_REGISTRY))
+
+
+def project_codes() -> List[str]:
+    """Codes of the whole-program rules (run only under ``--xmod``)."""
+    _load_rule_modules()
+    return sorted(_PROJECT_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered module rule, in stable code order."""
+    _load_rule_modules()
     return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def all_project_rules() -> List[ProjectRule]:
+    """One instance of every registered project rule, in code order."""
+    _load_rule_modules()
+    return [_PROJECT_REGISTRY[code]() for code in sorted(_PROJECT_REGISTRY)]

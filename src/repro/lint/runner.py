@@ -1,8 +1,14 @@
 """The lint runner: file discovery, per-module pipeline, result assembly.
 
-Per module: parse -> run every registered rule -> apply inline
-suppressions (adding LNT001/LNT002 meta findings) -> subtract the
-baseline.  Findings come out sorted by ``(path, line, code)`` so reports
+Two phases.  Phase one runs per module: parse -> module rules -> (with
+``--xmod``) fact extraction, served from the content-hash cache when the
+file is unchanged.  Phase two, only under ``--xmod``, assembles every
+module's facts into the project graph and runs the whole-program rules
+(XDET, CKPT, ARCH, SQL) over it.  Suppressions are then applied once
+per file across both phases' findings — a suppression whose codes did
+not run this invocation is simply inert, not "unused" (so per-module
+runs do not flag xmod suppressions), and the baseline is subtracted
+last.  Findings come out sorted by ``(path, line, code)`` so reports
 and baselines are stable across runs.
 """
 
@@ -11,11 +17,16 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.baseline import Baseline
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import ModuleContext, all_rules, known_codes
+from repro.lint.rules import (
+    ModuleContext,
+    all_project_rules,
+    all_rules,
+    known_codes,
+)
 from repro.lint.suppress import (
     META_CODES,
     PARSE_ERROR,
@@ -23,7 +34,19 @@ from repro.lint.suppress import (
     scan_suppressions,
 )
 
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "build", "dist"})
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".pytest_cache",
+        "build",
+        "dist",
+        # lint-rule fixture corpora contain deliberate violations and are
+        # linted explicitly by their own tests, never by directory walks
+        "fixtures",
+        "xmod_fixtures",
+    }
+)
 
 
 @dataclass(slots=True)
@@ -34,6 +57,9 @@ class LintResult:
     checked_files: int = 0
     baseline_matched: int = 0
     stale_baseline_entries: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: whole-program pass stats: modules, cache hits/misses/hit_rate
+    #: (None when the run was per-module only)
+    xmod: Optional[dict] = None
 
     @property
     def exit_code(self) -> int:
@@ -48,14 +74,19 @@ class LintResult:
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
-    """Every ``.py`` file under ``paths``, in sorted walk order."""
+    """Every ``.py`` file under ``paths``, in sorted walk order.
+
+    Skip directories are matched on path segments *below* each given
+    root, so a fixture tree can still be linted by naming it directly.
+    """
     for path in paths:
         path = Path(path)
         if path.is_file() and path.suffix == ".py":
             yield path
         elif path.is_dir():
             for child in sorted(path.rglob("*.py")):
-                if not any(part in _SKIP_DIRS for part in child.parts):
+                relative = child.relative_to(path)
+                if not any(part in _SKIP_DIRS for part in relative.parts):
                     yield child
 
 
@@ -78,40 +109,50 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts)
 
 
+def _parse_error(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=error.lineno or 1,
+        column=(error.offset or 1) - 1,
+        code=PARSE_ERROR,
+        message=f"file could not be parsed: {error.msg}",
+        severity=Severity.ERROR,
+    )
+
+
 def lint_source(
     source: str,
     path: str,
     module_name: Optional[str] = None,
     select: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint one module's source text; suppressions applied, no baseline."""
+    """Lint one module's source text; suppressions applied, no baseline.
+
+    Per-module rules only — the whole-program pass needs every module
+    and runs through :func:`lint_paths` with ``xmod=True``.
+    """
     if module_name is None:
         module_name = module_name_for(Path(path))
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                column=(error.offset or 1) - 1,
-                code=PARSE_ERROR,
-                message=f"file could not be parsed: {error.msg}",
-                severity=Severity.ERROR,
-            )
-        ]
+        return [_parse_error(path, error)]
     module = ModuleContext(
         path=path, module_name=module_name, source=source, tree=tree
     )
     findings: List[Finding] = []
+    active: Set[str] = set()
     for rule in all_rules():
         if select and rule.code not in select:
             continue
+        active.add(rule.code)
         findings.extend(rule.check(module))
 
     codes = known_codes() + list(META_CODES)
     suppressions, malformed = scan_suppressions(source, path, codes)
-    findings = apply_suppressions(findings, suppressions, path, module.lines)
+    findings = apply_suppressions(
+        findings, suppressions, path, module.lines, active_codes=active
+    )
     findings.extend(malformed)
     findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
     return findings
@@ -121,16 +162,95 @@ def lint_paths(
     paths: Sequence[Path],
     baseline: Optional[Baseline] = None,
     select: Optional[Sequence[str]] = None,
+    xmod: bool = False,
+    xmod_cache: Optional[Path] = None,
 ) -> LintResult:
-    """Lint every python file under ``paths`` and apply the baseline."""
+    """Lint every python file under ``paths`` and apply the baseline.
+
+    With ``xmod=True`` the whole-program pass runs too: module facts are
+    extracted (or loaded from the content-hash cache at ``xmod_cache``),
+    the project graph is built once, and the project rules' findings are
+    merged in before suppressions and the baseline apply.
+    """
     result = LintResult()
-    all_findings: List[Finding] = []
+    module_rules = [
+        rule for rule in all_rules() if not select or rule.code in select
+    ]
+    active: Set[str] = {rule.code for rule in module_rules}
+
+    sources: Dict[str, str] = {}
+    per_file: Dict[str, List[Finding]] = {}
+    facts_list = []
+    cache = None
+    if xmod:
+        from repro.lint.xmod import FactsCache, extract_module_facts
+
+        cache = FactsCache(xmod_cache)
+
     for file_path in iter_python_files(paths):
         result.checked_files += 1
+        path = str(file_path)
         source = file_path.read_text(encoding="utf-8")
-        all_findings.extend(
-            lint_source(source, str(file_path), select=select)
+        sources[path] = source
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            per_file[path] = [_parse_error(path, error)]
+            continue
+        module_name = module_name_for(file_path)
+        module = ModuleContext(
+            path=path, module_name=module_name, source=source, tree=tree
         )
+        findings: List[Finding] = []
+        for rule in module_rules:
+            findings.extend(rule.check(module))
+        per_file[path] = findings
+        if xmod:
+            facts = cache.get(path, source)
+            if facts is None:
+                facts = extract_module_facts(tree, path, module_name)
+                cache.put(path, source, facts)
+            facts_list.append(facts)
+
+    if xmod:
+        from repro.lint.xmod import build_project
+
+        project = build_project(
+            facts_list,
+            {path: source.splitlines() for path, source in sources.items()},
+        )
+        project_rules = [
+            rule
+            for rule in all_project_rules()
+            if not select or rule.code in select
+        ]
+        active |= {rule.code for rule in project_rules}
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                per_file.setdefault(finding.path, []).append(finding)
+        cache.save()
+        result.xmod = {
+            "modules": len(facts_list),
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_hit_rate": round(cache.hit_rate, 4),
+        }
+
+    codes = known_codes() + list(META_CODES)
+    all_findings: List[Finding] = []
+    for path in sorted(per_file):
+        source = sources.get(path, "")
+        suppressions, malformed = scan_suppressions(source, path, codes)
+        kept = apply_suppressions(
+            per_file[path],
+            suppressions,
+            path,
+            source.splitlines(),
+            active_codes=active,
+        )
+        kept.extend(malformed)
+        all_findings.extend(kept)
+
     if baseline is None:
         baseline = Baseline.empty()
     new, matched, stale = baseline.filter(all_findings)

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 reporter: findings as GitHub code-scanning annotations.
+
+One run, one tool (``repro-lint``), one result per finding.  Rule
+metadata (id + description) is emitted for every rule that produced a
+finding plus the framework meta rules, so code-scanning UIs can group
+and describe them.  Paths are emitted as given to the runner (relative
+URIs resolve against the repository root in CI).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.runner import LintResult
+from repro.lint.suppress import META_CODES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_metadata() -> Dict[str, dict]:
+    """id -> SARIF reportingDescriptor for every known rule."""
+    from repro.lint.rules import all_project_rules, all_rules
+
+    descriptors: Dict[str, dict] = {}
+    for rule in list(all_rules()) + list(all_project_rules()):
+        descriptors[rule.code] = {
+            "id": rule.code,
+            "name": rule.name or rule.code,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+    for code, description in META_CODES.items():
+        descriptors[code] = {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": "error"},
+        }
+    return descriptors
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.code,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """The full SARIF log for one lint run (stable key order)."""
+    descriptors = _rule_metadata()
+    used_codes = sorted({finding.code for finding in result.findings})
+    rules: List[dict] = [
+        descriptors[code] for code in used_codes if code in descriptors
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/facebook-like-fraud-"
+                            "reproduction"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": [
+                    _result(finding) for finding in result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

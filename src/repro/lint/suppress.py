@@ -18,7 +18,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lint.findings import Finding, Severity
 
@@ -35,7 +35,7 @@ META_CODES: Dict[str, str] = {
 
 _COMMENT_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
 _ALLOW_RE = re.compile(
-    r"^allow-(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"^allow-(?P<codes>[A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*)"
     r"(?:\s+(?P<justification>\S.*))?$"
 )
 
@@ -156,8 +156,16 @@ def apply_suppressions(
     suppressions: List[Suppression],
     path: str,
     lines: List[str],
+    active_codes: Optional[Set[str]] = None,
 ) -> List[Finding]:
-    """Drop suppressed findings; append LNT001 for unused suppressions."""
+    """Drop suppressed findings; append LNT001 for unused suppressions.
+
+    ``active_codes`` names the rule codes that actually ran this
+    invocation (None = all).  A suppression none of whose codes ran is
+    inert rather than unused: a per-module run must not flag the
+    suppressions that exist for the ``--xmod`` whole-program rules, and
+    a ``--select`` run must not flag everything outside the selection.
+    """
     by_line: Dict[int, List[Suppression]] = {}
     for suppression in suppressions:
         by_line.setdefault(suppression.target_line, []).append(suppression)
@@ -174,6 +182,10 @@ def apply_suppressions(
 
     for suppression in suppressions:
         if not suppression.used:
+            if active_codes is not None and not any(
+                code in active_codes for code in suppression.codes
+            ):
+                continue  # none of its codes ran; cannot judge it unused
             kept.append(
                 Finding(
                     path=path,

@@ -1,0 +1,89 @@
+"""Content-hash keyed cache of per-module facts.
+
+The whole-program pass parses every module once to extract
+:class:`~repro.lint.xmod.facts.ModuleFacts`.  Facts are pure functions
+of the source text, so they are cached keyed by ``sha256(source)``: a
+warm run loads the JSON cache, verifies each file's hash, and skips the
+parse + extraction for every unchanged module.  Editing a file changes
+its hash and transparently invalidates just that entry; bumping
+``FACTS_VERSION`` (a fact-schema change) invalidates the whole file.
+
+The cache is an optimisation only — a missing, stale, or corrupt cache
+file degrades to a cold run, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.lint.xmod.facts import FACTS_VERSION, ModuleFacts
+
+CACHE_VERSION = 1
+
+
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FactsCache:
+    """Facts keyed by path, validated by content hash."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if self.path is not None and self.path.exists():
+            try:
+                data = json.loads(self.path.read_text(encoding="utf-8"))
+            except (ValueError, OSError):
+                data = {}
+            if (
+                data.get("cache_version") == CACHE_VERSION
+                and data.get("facts_version") == FACTS_VERSION
+            ):
+                self.entries = data.get("entries", {})
+
+    def get(self, path: str, source: str) -> Optional[ModuleFacts]:
+        """Cached facts for ``path`` if ``source`` is unchanged."""
+        entry = self.entries.get(path)
+        if entry is not None and entry.get("sha256") == _digest(source):
+            self.hits += 1
+            try:
+                return ModuleFacts.from_dict(entry["facts"])
+            except (KeyError, IndexError, TypeError, ValueError):
+                pass  # treat a mangled entry as a miss
+        self.misses += 1
+        return None
+
+    def put(self, path: str, source: str, facts: ModuleFacts) -> None:
+        self.entries[path] = {
+            "sha256": _digest(source),
+            "facts": facts.as_dict(),
+        }
+        self._dirty = True
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op without a backing path)."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "facts_version": FACTS_VERSION,
+            "entries": self.entries,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, self.path)

@@ -1,0 +1,235 @@
+"""CKPT001/CKPT002 — checkpoint coverage of resumable state.
+
+The crash-resume contract (PR 5/7) is that a study SIGKILLed at any
+point resumes byte-identical from its last phase snapshot.  That only
+holds if every object whose state survives a phase barrier round-trips
+through ``state_dict``/``load_state_dict`` — a single mutable attribute
+missing from the pair silently diverges the resumed run.
+
+* **CKPT001** — a class holding mutable instance state that is
+  reachable from the ``HoneypotStudy`` phase barriers (a field of the
+  ``_StudyComponents`` wiring dataclass) defines no
+  ``state_dict``/``load_state_dict`` pair at all — or defines only one
+  half of it.  Classes whose state is deliberately reconstructed by
+  deterministic replay (the world, the dataset journal) carry a
+  justified inline suppression at the class definition.
+* **CKPT002** — the pair is asymmetric: a key written by ``state_dict``
+  is never read back by ``load_state_dict`` (reading includes
+  ``require(state["k"] == ...)`` verification), or a mutable attribute
+  is neither covered by a state key (matching the attribute name modulo
+  a leading underscore), nor rebuilt inside ``load_state_dict``, nor
+  exempted with a justified suppression at its first assignment.
+
+The analyzer reads ``state_dict`` keys from the returned dict literal
+(plus subscript stores on the returned name) — building the state dict
+any other way hides keys from static checking and is itself worth
+avoiding.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ProjectRule, register_project
+from repro.lint.xmod.facts import ClassFact, ModuleFacts
+
+#: The wiring dataclass whose fields define barrier reachability.
+ANCHOR_MODULE_SUFFIX = "honeypot.study"
+ANCHOR_CLASS = "_StudyComponents"
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Annotation identifiers that are typing machinery, not project classes.
+_NON_CLASS_NAMES = frozenset(
+    {
+        "Dict",
+        "List",
+        "Optional",
+        "Tuple",
+        "Set",
+        "FrozenSet",
+        "Union",
+        "Any",
+        "Callable",
+        "Iterator",
+        "Iterable",
+        "Sequence",
+        "Mapping",
+        "MutableMapping",
+        "Deque",
+        "Type",
+        "str",
+        "int",
+        "float",
+        "bool",
+        "bytes",
+        "object",
+        "None",
+        "dict",
+        "list",
+        "set",
+        "tuple",
+    }
+)
+
+
+def _has_mutable_state(cls: ClassFact) -> bool:
+    if any(attr.kind in ("container", "evolving") for attr in cls.attrs):
+        return True
+    return any(kind == "container" for _, _, kind in cls.fields)
+
+
+def _mutable_attrs(cls: ClassFact) -> List[Tuple[str, int]]:
+    return [
+        (attr.name, attr.line)
+        for attr in cls.attrs
+        if attr.kind in ("container", "evolving")
+    ]
+
+
+@register_project
+class CheckpointPairRule(ProjectRule):
+    """CKPT001: barrier-reachable mutable state without a full pair."""
+
+    code = "CKPT001"
+    name = "checkpoint-pair"
+    severity = Severity.ERROR
+    description = (
+        "mutable class reachable from the HoneypotStudy phase barriers "
+        "has no (or only half a) state_dict/load_state_dict pair"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        reachable = _barrier_reachable(project)
+        seen: Set[Tuple[str, str]] = set()
+
+        for module_name in sorted(project.modules):
+            facts = project.modules[module_name]
+            for cls in facts.classes:
+                key = (module_name, cls.name)
+                if cls.has_state_dict != cls.has_load_state_dict:
+                    present = (
+                        "state_dict"
+                        if cls.has_state_dict
+                        else "load_state_dict"
+                    )
+                    missing = (
+                        "load_state_dict"
+                        if cls.has_state_dict
+                        else "state_dict"
+                    )
+                    seen.add(key)
+                    yield self.finding(
+                        project,
+                        facts.path,
+                        cls.line,
+                        f"class {cls.name} defines {present} but not "
+                        f"{missing}; a checkpoint pair must be symmetric",
+                    )
+
+        for module_name, cls in reachable:
+            facts = project.modules[module_name]
+            key = (module_name, cls.name)
+            if key in seen:
+                continue
+            if cls.has_state_dict and cls.has_load_state_dict:
+                continue
+            if not _has_mutable_state(cls):
+                continue
+            mutable = ", ".join(name for name, _ in _mutable_attrs(cls)) or (
+                "dataclass container fields"
+            )
+            yield self.finding(
+                project,
+                facts.path,
+                cls.line,
+                f"class {cls.name} holds mutable state ({mutable}) "
+                "reachable from the HoneypotStudy phase barriers but "
+                "defines no state_dict/load_state_dict pair; add one, or "
+                "suppress here with the replay/journal justification",
+            )
+
+
+@register_project
+class CheckpointSymmetryRule(ProjectRule):
+    """CKPT002: state_dict/load_state_dict pairs must be symmetric."""
+
+    code = "CKPT002"
+    name = "checkpoint-symmetry"
+    severity = Severity.ERROR
+    description = (
+        "state_dict writes a key load_state_dict never reads, or a "
+        "mutable attribute is neither keyed, rebuilt on load, nor "
+        "exempted"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for module_name in sorted(project.modules):
+            facts = project.modules[module_name]
+            for cls in facts.classes:
+                if not (cls.has_state_dict and cls.has_load_state_dict):
+                    continue
+                yield from self._check_pair(project, facts, cls)
+
+    def _check_pair(
+        self, project, facts: ModuleFacts, cls: ClassFact
+    ) -> Iterator[Finding]:
+        written = {key for key, _ in cls.state_keys}
+        read = set(cls.load_keys)
+        for key, line in sorted(set(cls.state_keys)):
+            if key not in read:
+                yield self.finding(
+                    project,
+                    facts.path,
+                    line,
+                    f"{cls.name}.state_dict writes key '{key}' that "
+                    "load_state_dict never reads; restore it, verify it "
+                    "(require(state[...] == ...)), or drop it from the "
+                    "snapshot",
+                )
+        load_assigned = set(cls.load_assigned)
+        for attr, line in _mutable_attrs(cls):
+            normalized = attr.lstrip("_")
+            if attr in written or normalized in written:
+                continue
+            if attr in load_assigned:
+                continue  # rebuilt inside load_state_dict
+            yield self.finding(
+                project,
+                facts.path,
+                line,
+                f"mutable attribute {cls.name}.{attr} is not covered by "
+                "any state_dict key and is not rebuilt in "
+                "load_state_dict; cover it or suppress here with why it "
+                "is safe to lose",
+            )
+
+
+def _barrier_reachable(project) -> List[Tuple[str, ClassFact]]:
+    """Project classes referenced by the anchor dataclass's fields."""
+    out: List[Tuple[str, ClassFact]] = []
+    seen: Set[Tuple[str, str]] = set()
+    for module_name in sorted(project.modules):
+        if not module_name.endswith(ANCHOR_MODULE_SUFFIX):
+            continue
+        anchor_module = project.modules[module_name]
+        anchor = anchor_module.class_named(ANCHOR_CLASS)
+        if anchor is None:
+            continue
+        for _, annotation, _ in anchor.fields:
+            for ident in _IDENT_RE.findall(annotation):
+                if ident in _NON_CLASS_NAMES:
+                    continue
+                resolved = project.resolve_class(anchor_module, ident)
+                if resolved is None:
+                    continue
+                target_module, target_cls = resolved
+                if target_cls.name == ANCHOR_CLASS:
+                    continue  # the wiring record itself is replayed
+                key = (target_module.module, target_cls.name)
+                if key not in seen:
+                    seen.add(key)
+                    out.append((target_module.module, target_cls))
+    return sorted(out, key=lambda item: (item[0], item[1].name))

@@ -1,0 +1,283 @@
+"""The project graph: symbol table, call resolution, and RNG summaries.
+
+Built once per run from every module's :class:`ModuleFacts`, the
+:class:`Project` gives the cross-module rules three things:
+
+* a **symbol table** — classes and functions addressable as
+  ``module:qualname``, plus per-module import alias maps for resolving
+  annotation and call references across files,
+* **call resolution** — a best-effort mapping from a call site's dotted
+  reference to the project function it lands on (module functions,
+  methods via ``self``, constructors via the class name, and nested
+  closures),
+* **RNG effect summaries** — for every function, whether it draws from,
+  forks, or stores each stream-valued parameter (or captured free
+  variable), propagated transitively through the call graph to a
+  fixpoint.  This is what makes XDET interprocedural: a helper three
+  calls deep that draws from the stream you handed it shows up as a
+  draw at your call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.xmod.facts import (
+    ClassFact,
+    FunctionFact,
+    ModuleFacts,
+    RngEvent,
+)
+
+_MAX_FIXPOINT_ITERATIONS = 16
+
+
+@dataclass(slots=True)
+class Effect:
+    """What a callee does to one stream-valued parameter."""
+
+    draws: bool = False
+    forks: bool = False
+    stores: bool = False
+
+    def merge(self, other: "Effect") -> bool:
+        """Fold ``other`` in; True when anything changed."""
+        before = (self.draws, self.forks, self.stores)
+        self.draws = self.draws or other.draws
+        self.forks = self.forks or other.forks
+        self.stores = self.stores or other.stores
+        return (self.draws, self.forks, self.stores) != before
+
+    def add(self, kind: str) -> None:
+        if kind == "draw":
+            self.draws = True
+        elif kind == "fork":
+            self.forks = True
+        elif kind == "store":
+            self.stores = True
+
+
+@dataclass(slots=True)
+class Project:
+    """Whole-program view over every linted module's facts."""
+
+    modules: Dict[str, ModuleFacts] = field(default_factory=dict)
+    sources: Dict[str, List[str]] = field(default_factory=dict)
+    #: "module:qualname" -> function fact
+    functions: Dict[str, FunctionFact] = field(default_factory=dict)
+    #: function key -> stream key -> transitive effect
+    summaries: Dict[str, Dict[str, Effect]] = field(default_factory=dict)
+
+    def line_text(self, path: str, lineno: int) -> str:
+        lines = self.sources.get(path, [])
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+    # -- symbol resolution ------------------------------------------------ #
+
+    def resolve_class(
+        self, module: ModuleFacts, name: str
+    ) -> Optional[Tuple[ModuleFacts, ClassFact]]:
+        """The project class a bare identifier in ``module`` refers to."""
+        local = module.class_named(name)
+        if local is not None:
+            return module, local
+        dotted = module.aliases.get(name)
+        if not dotted:
+            return None
+        mod_name, _, cls_name = dotted.rpartition(".")
+        facts = self.modules.get(mod_name)
+        if facts is None:
+            return None
+        cls = facts.class_named(cls_name)
+        if cls is None:
+            return None
+        return facts, cls
+
+    def resolve_callee(
+        self, ref: str
+    ) -> Optional[Tuple[str, FunctionFact]]:
+        """``(function_key, fact)`` for a call-site reference, if known.
+
+        ``ref`` is either ``module:qualname`` (module-local calls,
+        ``self`` methods, nested closures) or a plain dotted path from
+        import resolution.  A class reference lands on its ``__init__``.
+        """
+        if ":" in ref:
+            candidates = [ref, f"{ref}.__init__"]
+            for key in candidates:
+                fn = self.functions.get(key)
+                if fn is not None:
+                    return key, fn
+            return None
+        parts = ref.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:split])
+            if mod_name not in self.modules:
+                continue
+            qual = ".".join(parts[split:])
+            for key in (f"{mod_name}:{qual}", f"{mod_name}:{qual}.__init__"):
+                fn = self.functions.get(key)
+                if fn is not None:
+                    return key, fn
+            return None
+        return None
+
+    def callee_param(
+        self, callee: FunctionFact, hint: str
+    ) -> Optional[str]:
+        """Callee parameter name for an arg-position hint (``"0"``/``"kw:x"``)."""
+        if hint.startswith("kw:"):
+            name = hint[3:]
+            return name if name in callee.params else None
+        try:
+            index = int(hint)
+        except ValueError:
+            return None
+        if 0 <= index < len(callee.params):
+            return callee.params[index]
+        return None
+
+    # -- interprocedural expansion ---------------------------------------- #
+
+    def expanded_events(self, key: str) -> List[RngEvent]:
+        """The function's events with call handoffs spliced in.
+
+        Every ``arg`` event whose callee has a known summary is replaced
+        by the callee's transitive draw/fork/store effects on that
+        parameter, stamped at the call line — so ordering rules see
+        through the call.  Effects of nested closures on captured
+        streams (``free:x``) are mapped back onto the enclosing
+        function's binding of ``x``.
+        """
+        fn = self.functions.get(key)
+        if fn is None:
+            return []
+        out: List[RngEvent] = []
+        for ev in fn.events:
+            if ev.kind not in ("arg", "call"):
+                out.append(ev)
+                continue
+            resolved = self.resolve_callee(ev.callee)
+            if resolved is None:
+                if ev.kind == "arg":
+                    out.append(ev)
+                continue
+            callee_key, callee = resolved
+            summary = self.summaries.get(callee_key, {})
+            if ev.kind == "arg":
+                pname = self.callee_param(callee, ev.label)
+                if pname is not None:
+                    effect = summary.get(pname)
+                    if effect is not None:
+                        out.extend(_synthesized(ev, effect, callee.qualname))
+                out.append(ev)
+                continue
+            # "call": a local closure touching captured streams
+            if callee.qualname.startswith(f"{fn.qualname}.<locals>."):
+                for skey, effect in sorted(summary.items()):
+                    if skey.startswith("free:"):
+                        captured = skey[len("free:") :]
+                        out.extend(
+                            _synthesized(
+                                RngEvent(
+                                    "call",
+                                    captured,
+                                    ev.line,
+                                    in_loop=ev.in_loop,
+                                ),
+                                effect,
+                                callee.qualname,
+                            )
+                        )
+        return out
+
+
+def _synthesized(
+    site: RngEvent, effect: Effect, callee_name: str
+) -> List[RngEvent]:
+    events: List[RngEvent] = []
+    for kind, present in (
+        ("draw", effect.draws),
+        ("fork", effect.forks),
+        ("store", effect.stores),
+    ):
+        if present:
+            events.append(
+                RngEvent(
+                    kind,
+                    site.stream,
+                    site.line,
+                    label=f"via {callee_name}",
+                    callee=callee_name,
+                    in_loop=site.in_loop,
+                )
+            )
+    return events
+
+
+def build_project(
+    facts: Iterable[ModuleFacts], sources: Dict[str, List[str]]
+) -> Project:
+    """Assemble the project graph and compute RNG summaries to fixpoint."""
+    project = Project(sources=dict(sources))
+    for module in facts:
+        project.modules[module.module] = module
+        for fn in module.functions:
+            project.functions[f"{module.module}:{fn.qualname}"] = fn
+    _compute_summaries(project)
+    return project
+
+
+def _compute_summaries(project: Project) -> None:
+    summaries: Dict[str, Dict[str, Effect]] = {}
+    for key, fn in project.functions.items():
+        per_stream: Dict[str, Effect] = {}
+        for ev in fn.events:
+            if ev.kind in ("draw", "fork", "store"):
+                per_stream.setdefault(ev.stream, Effect()).add(ev.kind)
+        summaries[key] = per_stream
+    project.summaries = summaries
+
+    for _ in range(_MAX_FIXPOINT_ITERATIONS):
+        changed = False
+        for key, fn in project.functions.items():
+            own = summaries[key]
+            for ev in fn.events:
+                if ev.kind not in ("arg", "call"):
+                    continue
+                resolved = project.resolve_callee(ev.callee)
+                if resolved is None:
+                    continue
+                callee_key, callee = resolved
+                if callee_key == key:
+                    continue  # direct recursion adds nothing new
+                if ev.kind == "call":
+                    if not callee.qualname.startswith(
+                        f"{fn.qualname}.<locals>."
+                    ):
+                        continue
+                    for skey, effect in summaries[callee_key].items():
+                        if not skey.startswith("free:"):
+                            continue
+                        name = skey[len("free:") :]
+                        target_key = (
+                            name if name in fn.params else f"free:{name}"
+                        )
+                        target = own.setdefault(target_key, Effect())
+                        if target.merge(effect):
+                            changed = True
+                    continue
+                pname = project.callee_param(callee, ev.label)
+                if pname is None:
+                    continue
+                effect = summaries[callee_key].get(pname)
+                if effect is None:
+                    continue
+                target = own.setdefault(ev.stream, Effect())
+                if target.merge(effect):
+                    changed = True
+        if not changed:
+            break

@@ -1,0 +1,367 @@
+"""SQL001 — SQL string literals checked against the declared schema.
+
+``repro.store`` declares its schema once (the ``DDL`` constant in
+``schema.py``) and then talks to SQLite through dozens of SQL string
+literals spread across the package.  SQLite itself only validates them
+at *runtime*, on the query paths the tests happen to exercise — a
+column renamed in the DDL but not in an ``INSERT`` three files away is
+a latent crash.  This rule parses every ``CREATE TABLE`` in the schema
+module into a table/column catalog, then statically checks each
+SELECT/INSERT/UPDATE/DELETE literal in the package against it:
+
+* every referenced table exists in the catalog,
+* alias-qualified column references (``ca.seq``, ``t.campaign_id``,
+  ``excluded.value``) resolve through the statement's FROM/JOIN alias
+  map to a declared column,
+* ``INSERT`` column lists and ``CREATE INDEX`` key columns are declared,
+* unqualified column references are checked when the statement reads a
+  single real table (skipped for joins and derived tables, where SQLite
+  scoping is ambiguous to a linear scan).
+
+f-string interpolations become opaque placeholders: anything dynamic is
+skipped rather than guessed at.  The checker is deliberately lenient —
+it only reports references it can positively resolve against the
+catalog, so it produces no findings on SQL it cannot parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ProjectRule, register_project
+from repro.lint.xmod.facts import ModuleFacts
+
+_DYNAMIC = "\x00"
+
+_TOKEN_RE = re.compile(
+    r"'(?:[^']|'')*'"  # string literal
+    r"|[A-Za-z_\x00][A-Za-z0-9_\x00]*"  # identifier (maybe dynamic)
+    r"|\?|\d+|[(),.;*=<>!+-/]|\|\|"
+)
+
+_KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC",
+        "JOIN", "LEFT", "RIGHT", "INNER", "OUTER", "CROSS", "ON", "AS",
+        "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
+        "DISTINCT", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "LIMIT", "OFFSET", "CASE", "WHEN", "THEN", "ELSE", "END", "UNION",
+        "ALL", "EXISTS", "HAVING", "CREATE", "TABLE", "INDEX", "IF",
+        "PRIMARY", "KEY", "UNIQUE", "CHECK", "FOREIGN", "CONSTRAINT",
+        "REFERENCES", "DEFAULT", "INTEGER", "TEXT", "REAL", "BLOB",
+        "WITHOUT", "ROWID", "CONFLICT", "DO", "NOTHING", "WITH",
+        "RECURSIVE", "CAST", "COLLATE", "GLOB", "ESCAPE",
+    }
+)
+
+_CONSTRAINT_STARTERS = frozenset(
+    {"PRIMARY", "UNIQUE", "CHECK", "FOREIGN", "CONSTRAINT"}
+)
+
+_BUILTIN_TABLES = frozenset({"sqlite_master", "sqlite_sequence"})
+
+_CREATE_TABLE_RE = re.compile(
+    r"\s*CREATE\s+TABLE\s+(?:IF\s+NOT\s+EXISTS\s+)?(\w+)\s*\((.*)\)"
+    r"\s*(?:WITHOUT\s+ROWID)?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def parse_ddl(text: str) -> Dict[str, Tuple[str, ...]]:
+    """``table -> columns`` (in DDL order) from every CREATE TABLE."""
+    catalog: Dict[str, Tuple[str, ...]] = {}
+    for statement in text.split(";"):
+        match = _CREATE_TABLE_RE.match(statement)
+        if match is None:
+            continue
+        table = match.group(1).lower()
+        columns: List[str] = []
+        for part in _split_top_level(match.group(2)):
+            words = part.split()
+            if not words:
+                continue
+            if words[0].upper() in _CONSTRAINT_STARTERS:
+                continue
+            name = words[0].lower()
+            if name not in columns:
+                columns.append(name)
+        catalog[table] = tuple(columns)
+    return catalog
+
+
+def _split_top_level(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+@register_project
+class SqlSchemaRule(ProjectRule):
+    """SQL001: SQL literals must match the declared schema."""
+
+    code = "SQL001"
+    name = "sql-schema"
+    severity = Severity.ERROR
+    description = (
+        "SQL literal references a table or column not declared in the "
+        "store schema module's DDL"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        # every "<pkg>.schema" module with CREATE TABLE statements
+        # defines the catalog for its package
+        for module_name in sorted(project.modules):
+            if not module_name.endswith(".schema"):
+                continue
+            schema = project.modules[module_name]
+            ddl_text = "\n;\n".join(
+                [schema.constants.get("DDL", "")]
+                + [fact.text for fact in schema.sql]
+            )
+            catalog = parse_ddl(ddl_text)
+            if not catalog:
+                continue
+            package = module_name.rpartition(".")[0]
+            for target_name in sorted(project.modules):
+                if target_name != package and not target_name.startswith(
+                    package + "."
+                ):
+                    continue
+                facts = project.modules[target_name]
+                yield from self._check_module(project, facts, catalog)
+
+    def _check_module(
+        self, project, facts: ModuleFacts, catalog: Dict[str, Tuple[str, ...]]
+    ) -> Iterator[Finding]:
+        for fact in facts.sql:
+            for statement in fact.text.split(";"):
+                if not statement.strip():
+                    continue
+                for message in _check_statement(statement, catalog):
+                    yield self.finding(
+                        project, facts.path, fact.line, message
+                    )
+
+
+def _check_statement(
+    statement: str, catalog: Dict[str, Tuple[str, ...]]
+) -> List[str]:
+    tokens = _TOKEN_RE.findall(statement)
+    if not tokens:
+        return []
+    head = tokens[0].upper()
+    if head == "CREATE":
+        if len(tokens) > 1 and tokens[1].upper() == "INDEX":
+            return _check_create_index(tokens, catalog)
+        return []
+    if head not in ("SELECT", "INSERT", "UPDATE", "DELETE"):
+        return []
+
+    messages: List[str] = []
+    tables: Set[str] = set()
+    aliases: Dict[str, str] = {}
+    result_aliases: Set[str] = set()
+    has_derived = False
+    has_dynamic_table = False
+    insert_table: Optional[str] = None
+
+    def is_ident(token: str) -> bool:
+        return bool(re.match(r"[A-Za-z_\x00]", token)) and not token.startswith("'")
+
+    def is_dynamic(token: str) -> bool:
+        return _DYNAMIC in token
+
+    # -- table references and aliases ------------------------------------- #
+    i = 0
+    while i < len(tokens):
+        upper = tokens[i].upper()
+        if upper in ("FROM", "JOIN"):
+            j = i + 1
+            if j < len(tokens) and tokens[j] == "(":
+                has_derived = True
+                depth = 1
+                j += 1
+                while j < len(tokens) and depth:
+                    if tokens[j] == "(":
+                        depth += 1
+                    elif tokens[j] == ")":
+                        depth -= 1
+                    j += 1
+                if (
+                    j < len(tokens)
+                    and is_ident(tokens[j])
+                    and tokens[j].upper() not in _KEYWORDS
+                ):
+                    aliases.setdefault(tokens[j], "")  # derived: unknown
+            elif j < len(tokens) and is_ident(tokens[j]):
+                table = tokens[j]
+                if is_dynamic(table):
+                    has_dynamic_table = True
+                else:
+                    tables.add(table.lower())
+                    k = j + 1
+                    if k < len(tokens) and tokens[k].upper() == "AS":
+                        k += 1
+                    if (
+                        k < len(tokens)
+                        and is_ident(tokens[k])
+                        and tokens[k].upper() not in _KEYWORDS
+                        and (k + 1 >= len(tokens) or tokens[k + 1] != "(")
+                    ):
+                        aliases[tokens[k]] = table.lower()
+        elif upper == "INTO" and i + 1 < len(tokens):
+            if is_dynamic(tokens[i + 1]):
+                has_dynamic_table = True
+            else:
+                insert_table = tokens[i + 1].lower()
+                tables.add(insert_table)
+        elif upper == "UPDATE" and i + 1 < len(tokens) and head == "UPDATE":
+            if is_dynamic(tokens[i + 1]):
+                has_dynamic_table = True
+            else:
+                tables.add(tokens[i + 1].lower())
+        elif upper == "AS" and i + 1 < len(tokens) and is_ident(tokens[i + 1]):
+            result_aliases.add(tokens[i + 1])
+        i += 1
+
+    # -- table existence --------------------------------------------------- #
+    for table in sorted(tables):
+        if table not in catalog and table not in _BUILTIN_TABLES:
+            messages.append(
+                f"SQL references table '{table}' not declared in the "
+                "schema DDL"
+            )
+    real_tables = [t for t in sorted(tables) if t in catalog]
+
+    # -- INSERT column list and ON CONFLICT target ------------------------- #
+    if head == "INSERT" and insert_table in catalog:
+        columns = catalog[insert_table]
+        for idx, token in enumerate(tokens):
+            if token.upper() == "INTO" and idx + 2 < len(tokens):
+                if tokens[idx + 2] == "(":
+                    for col in _paren_idents(tokens, idx + 2):
+                        if not is_dynamic(col) and col.lower() not in columns:
+                            messages.append(
+                                f"INSERT column '{col}' is not declared "
+                                f"on table '{insert_table}'"
+                            )
+                break
+        for idx, token in enumerate(tokens):
+            if (
+                token.upper() == "CONFLICT"
+                and idx + 1 < len(tokens)
+                and tokens[idx + 1] == "("
+            ):
+                for col in _paren_idents(tokens, idx + 1):
+                    if not is_dynamic(col) and col.lower() not in columns:
+                        messages.append(
+                            f"ON CONFLICT column '{col}' is not declared "
+                            f"on table '{insert_table}'"
+                        )
+
+    # -- alias-qualified column references ---------------------------------#
+    for idx in range(len(tokens) - 2):
+        qualifier, dot, column = tokens[idx], tokens[idx + 1], tokens[idx + 2]
+        if dot != "." or not is_ident(qualifier) or not is_ident(column):
+            continue
+        if is_dynamic(qualifier) or is_dynamic(column) or column == "*":
+            continue
+        table: Optional[str] = None
+        if qualifier in aliases:
+            table = aliases[qualifier] or None  # '' = derived, unknown
+        elif qualifier.lower() == "excluded":
+            table = insert_table
+        elif qualifier.lower() in tables:
+            table = qualifier.lower()
+        if table is None or table not in catalog:
+            continue
+        if column.lower() not in catalog[table]:
+            messages.append(
+                f"column '{qualifier}.{column}' does not exist: table "
+                f"'{table}' has no column '{column}'"
+            )
+
+    # -- unqualified column references (single-table statements only) ----- #
+    if (
+        len(real_tables) == 1
+        and not has_derived
+        and not has_dynamic_table
+        and not any(alias_table == "" for alias_table in aliases.values())
+    ):
+        table = real_tables[0]
+        columns = catalog[table]
+        for idx, token in enumerate(tokens):
+            if not is_ident(token) or is_dynamic(token):
+                continue
+            if token.upper() in _KEYWORDS:
+                continue
+            if token.lower() == table or token in aliases or token in result_aliases:
+                continue
+            if idx + 1 < len(tokens) and tokens[idx + 1] in (".", "("):
+                continue  # qualifier or function call
+            if idx > 0 and tokens[idx - 1] == ".":
+                continue  # already checked as a qualified reference
+            if token.lower() not in columns:
+                messages.append(
+                    f"column '{token}' is not declared on table '{table}'"
+                )
+    return messages
+
+
+def _check_create_index(
+    tokens: List[str], catalog: Dict[str, Tuple[str, ...]]
+) -> List[str]:
+    messages: List[str] = []
+    table: Optional[str] = None
+    for idx, token in enumerate(tokens):
+        if token.upper() == "ON" and idx + 1 < len(tokens):
+            candidate = tokens[idx + 1]
+            if _DYNAMIC in candidate:
+                return []
+            table = candidate.lower()
+            if table not in catalog:
+                return [
+                    f"CREATE INDEX references table '{table}' not "
+                    "declared in the schema DDL"
+                ]
+            if idx + 2 < len(tokens) and tokens[idx + 2] == "(":
+                for col in _paren_idents(tokens, idx + 2):
+                    if _DYNAMIC not in col and col.lower() not in catalog[table]:
+                        messages.append(
+                            f"CREATE INDEX key column '{col}' is not "
+                            f"declared on table '{table}'"
+                        )
+            break
+    return messages
+
+
+def _paren_idents(tokens: List[str], open_index: int) -> List[str]:
+    """Identifier tokens inside one balanced paren group."""
+    out: List[str] = []
+    depth = 0
+    for token in tokens[open_index:]:
+        if token == "(":
+            depth += 1
+            continue
+        if token == ")":
+            depth -= 1
+            if depth == 0:
+                break
+            continue
+        if depth >= 1 and re.match(r"[A-Za-z_\x00]", token):
+            out.append(token)
+    return out

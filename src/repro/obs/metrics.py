@@ -106,6 +106,7 @@ class MetricsRegistry:
     def __init__(self, trace: Optional["EventTrace"] = None) -> None:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
+        # repro-lint: allow-CKPT002 wall-time span durations are host-side diagnostics, deliberately excluded from deterministic study state (same boundary DET001 draws)
         self._timings: Dict[str, Dict[str, float]] = {}
         self.trace = trace
 
@@ -238,6 +239,7 @@ class NullMetricsRegistry(MetricsRegistry):
         return None
 
     def state_dict(self) -> Dict[str, Dict]:
+        # repro-lint: allow-CKPT002 the null registry has no state; the keys exist only so it snapshots shape-compatibly with MetricsRegistry, and load discards by design
         return {"counters": {}, "gauges": {}}
 
     def load_state_dict(self, state: Dict[str, Dict]) -> None:

@@ -162,6 +162,7 @@ class ReadEndpoints(Protocol):
 
 
 @dataclass(slots=True)
+# repro-lint: allow-CKPT001 its only mutable field, stats, is a view over the study's MetricsRegistry — checkpointed via the request_stats/metrics keys of the study state_dict
 class PlatformAPI:
     """Privacy-enforcing read endpoints over a :class:`SocialNetwork`.
 

@@ -36,6 +36,7 @@ _USER_ID_BASE = 1_000_000
 _PAGE_ID_BASE = 9_000_000
 
 
+# repro-lint: allow-CKPT001 the world is rebuilt from the seed at _build(); page/like mutations are re-derived by deterministic replay, and barrier equality of the engine+monitor state proves the rebuild
 class SocialNetwork:
     """In-memory simulated social network.
 

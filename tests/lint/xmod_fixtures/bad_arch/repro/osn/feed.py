@@ -1,0 +1,7 @@
+"""Seeded regression: an upward import from osn into honeypot."""
+
+from repro.honeypot.study import HoneypotStudy
+
+
+def peek(study: HoneypotStudy) -> str:
+    return study.__class__.__name__

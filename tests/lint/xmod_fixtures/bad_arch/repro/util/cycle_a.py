@@ -1,0 +1,7 @@
+"""Half of a deliberate module-level import cycle."""
+
+from repro.util.cycle_b import beta
+
+
+def alpha() -> int:
+    return beta() + 1

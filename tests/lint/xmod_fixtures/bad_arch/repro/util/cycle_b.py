@@ -1,0 +1,7 @@
+"""The other half of the deliberate module-level import cycle."""
+
+from repro.util.cycle_a import alpha
+
+
+def beta() -> int:
+    return alpha() + 1

@@ -1,0 +1,33 @@
+"""Seeded regression: a state_dict that misses one mutable attribute."""
+
+from typing import List
+
+
+class Tracker:
+    """Mutable study-phase state with an incomplete snapshot."""
+
+    def __init__(self) -> None:
+        self.items: List[int] = []
+        self.count = 0
+
+    def bump(self, value: int) -> None:
+        self.items.append(value)
+        self.count += 1
+
+    def state_dict(self) -> dict:
+        # BUG under test: ``count`` is mutated across barriers but never
+        # snapshotted, so a resume silently resets it.
+        return {"items": list(self.items)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.items = list(state["items"])
+
+
+class HalfPair:
+    """Defines only half the checkpoint contract."""
+
+    def __init__(self) -> None:
+        self.values: List[int] = []
+
+    def state_dict(self) -> dict:
+        return {"values": list(self.values)}

@@ -1,0 +1,24 @@
+"""XDET002: aliased streams — duplicate labels, loop forks, double retention."""
+
+from repro.util.rng import RngStream
+
+from repro.sim.helper import ConsumerA, ConsumerB
+
+
+def duplicate_labels(rng: RngStream) -> float:
+    first = rng.child("shared")
+    second = rng.child("shared")  # identical stream: same seed derivation
+    return first.uniform(0.0, 1.0) + second.uniform(0.0, 1.0)
+
+
+def fork_in_loop(rng: RngStream, pages: list) -> list:
+    streams = []
+    for page in pages:
+        streams.append(rng.child("page"))  # every iteration aliases "page"
+    return streams
+
+
+def double_retention(rng: RngStream) -> tuple:
+    a = ConsumerA(rng)
+    b = ConsumerB(rng)  # two consumers now hold the same stream
+    return a, b

@@ -1,0 +1,17 @@
+"""XDET001: the parent stream is consumed after spawning children."""
+
+from repro.util.rng import RngStream
+
+from repro.sim.helper import draw_noise
+
+
+def direct(rng: RngStream) -> float:
+    child = rng.child("weights")
+    jitter = rng.uniform(0.0, 1.0)  # draw AFTER the fork above
+    return jitter + child.uniform(0.0, 1.0)
+
+
+def through_callee(rng: RngStream) -> float:
+    child = rng.child("weights")
+    noise = draw_noise(rng)  # the callee draws from the forked parent
+    return noise + child.uniform(0.0, 1.0)

@@ -1,0 +1,17 @@
+"""Callees for the cross-module RNG violations."""
+
+from repro.util.rng import RngStream
+
+
+def draw_noise(rng: RngStream) -> float:
+    return rng.uniform(0.0, 1.0)
+
+
+class ConsumerA:
+    def __init__(self, rng: RngStream) -> None:
+        self.rng = rng
+
+
+class ConsumerB:
+    def __init__(self, rng: RngStream) -> None:
+        self.rng = rng

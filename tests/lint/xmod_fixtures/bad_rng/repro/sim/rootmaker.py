@@ -1,0 +1,7 @@
+"""XDET003: a root stream constructed outside the rng discipline."""
+
+from repro.util.rng import RngStream
+
+
+def make_stream() -> RngStream:
+    return RngStream(7, "rogue")

@@ -1,0 +1,11 @@
+"""SQL001 positives: every statement contradicts schema.py somewhere."""
+
+UNKNOWN_COLUMN = "SELECT likes, cost FROM campaigns"
+
+UNKNOWN_TABLE = "SELECT user_id FROM likerz"
+
+BAD_ALIAS_REF = "SELECT c.follower_count FROM campaigns c WHERE c.likes > 0"
+
+BAD_INSERT = "INSERT INTO likers (user_id, region) VALUES (?, ?)"
+
+BAD_INDEX = "CREATE INDEX idx_spendy ON campaigns (budget)"

@@ -1,0 +1,14 @@
+"""Fixture schema: two tables the queries module must agree with."""
+
+DDL = """
+CREATE TABLE campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    likes INTEGER NOT NULL,
+    spend REAL
+);
+
+CREATE TABLE likers (
+    user_id INTEGER PRIMARY KEY,
+    country TEXT
+);
+"""

@@ -1,0 +1,8 @@
+"""Downward imports that follow the layering DAG; proven clean."""
+
+from repro.osn.feed import peek
+from repro.util.cycle_free import helper
+
+
+def run() -> str:
+    return peek(None) + helper()

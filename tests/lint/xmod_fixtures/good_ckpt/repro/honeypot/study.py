@@ -1,0 +1,12 @@
+"""Anchor module for the clean checkpoint fixture."""
+
+from dataclasses import dataclass
+
+from repro.honeypot.tracker import Tracker
+
+
+@dataclass
+class _StudyComponents:
+    """What the fixture study carries across its phase barriers."""
+
+    tracker: Tracker

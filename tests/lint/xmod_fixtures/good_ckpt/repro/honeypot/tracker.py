@@ -1,0 +1,22 @@
+"""Proven-safe counterpart: every mutable attribute round-trips."""
+
+from typing import List
+
+
+class Tracker:
+    """Mutable study-phase state with a complete, symmetric snapshot."""
+
+    def __init__(self) -> None:
+        self.items: List[int] = []
+        self.count = 0
+
+    def bump(self, value: int) -> None:
+        self.items.append(value)
+        self.count += 1
+
+    def state_dict(self) -> dict:
+        return {"items": list(self.items), "count": self.count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.items = list(state["items"])
+        self.count = int(state["count"])

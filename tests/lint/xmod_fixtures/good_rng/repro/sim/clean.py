@@ -1,0 +1,26 @@
+"""Proven-safe stream usage: draw-then-fork, distinct labels, one retainer."""
+
+from repro.util.rng import RngStream
+
+from repro.sim.helper import ConsumerA, draw_noise
+
+
+def draws_then_forks(rng: RngStream) -> float:
+    jitter = rng.uniform(0.0, 1.0)  # all parent draws happen first
+    child = rng.child("weights")
+    return jitter + child.uniform(0.0, 1.0)
+
+
+def distinct_labels(rng: RngStream) -> tuple:
+    return rng.child("ads"), rng.child("farms")
+
+
+def per_page_labels(rng: RngStream, pages: list) -> list:
+    # dynamic labels derive a distinct stream per page, so the loop is fine
+    return [rng.child(f"page:{page}") for page in pages]
+
+
+def single_retainer(rng: RngStream) -> object:
+    handle = ConsumerA(rng.child("consumer"))
+    noise = draw_noise(rng.child("noise"))
+    return handle, noise

@@ -1,0 +1,12 @@
+"""Callees for the clean stream-usage fixture."""
+
+from repro.util.rng import RngStream
+
+
+def draw_noise(rng: RngStream) -> float:
+    return rng.uniform(0.0, 1.0)
+
+
+class ConsumerA:
+    def __init__(self, rng: RngStream) -> None:
+        self.rng = rng

@@ -1,0 +1,20 @@
+"""SQL001 negatives: joins, aliases, upserts, and dynamic fragments."""
+
+SIMPLE = "SELECT campaign_id, likes FROM campaigns ORDER BY likes DESC"
+
+ALIASED_JOIN = (
+    "SELECT c.campaign_id, l.country FROM campaigns c "
+    "JOIN likers l ON l.user_id = c.likes"
+)
+
+UPSERT = (
+    "INSERT INTO campaigns (campaign_id, likes, spend) VALUES (?, ?, ?) "
+    "ON CONFLICT (campaign_id) DO UPDATE SET likes = excluded.likes"
+)
+
+INDEX = "CREATE INDEX idx_likes ON campaigns (likes)"
+
+
+def count_rows(table: str) -> str:
+    # dynamic table name: the checker must skip, not guess
+    return f"SELECT COUNT(*) AS n FROM {table}"

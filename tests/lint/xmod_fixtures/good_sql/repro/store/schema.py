@@ -1,0 +1,14 @@
+"""Fixture schema for the proven-clean SQL module."""
+
+DDL = """
+CREATE TABLE campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    likes INTEGER NOT NULL,
+    spend REAL
+);
+
+CREATE TABLE likers (
+    user_id INTEGER PRIMARY KEY,
+    country TEXT
+);
+"""
