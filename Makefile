@@ -6,7 +6,7 @@ PYTHON ?= python
 # editable install by putting src/ on PYTHONPATH.
 RUN_ENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test lint xmodlint check bench profile chaos crashtest shardtest storetest metrics report examples clean
+.PHONY: install test lint xmodlint check bench profile chaos crashtest shardtest storetest faultsweep metrics report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -66,6 +66,15 @@ shardtest:
 # the in-memory analyses, and the WAL-replay/shard-merge ingest paths.
 storetest:
 	$(RUN_ENV) $(PYTHON) -m pytest tests/store/ -v
+
+# Storage-fault sweep: every failpoint in the repro.failpoints catalog is
+# injected mid-run (SIGKILL, torn write, ENOSPC/EIO, hang, poison) and the
+# recovery path driven to one of exactly two outcomes — a byte-identical
+# resumed dataset, or a named refusal with a documented exit code.  A
+# completeness test pins the scenario table to the registry, so a new
+# failpoint without a sweep scenario fails here.
+faultsweep:
+	$(RUN_ENV) $(PYTHON) -m pytest tests/test_fault_sweep.py tests/util/test_failpoints.py -v
 
 # Observability smoke: the chaos study with metrics enabled, emitting the
 # run manifest (config hash, seed, every counter/gauge) to metrics.json.

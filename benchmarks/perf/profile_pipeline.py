@@ -46,6 +46,8 @@ committed so every PR leaves a perf trajectory:
   fsync count, and snapshot bytes,
 * ``sharded`` — per-``--jobs`` wall times, shard count, merge seconds,
   sharding overhead vs the plain run, and the jobs-4 speedup,
+* ``failpoints`` — the per-chokepoint cost of the *disabled* failpoint
+  framework (nanoseconds per ``hit`` with nothing armed),
 * ``scale_build`` — scaled-world build wall time, entity counts, and peak
   RSS.
 
@@ -305,6 +307,30 @@ def _run_sharded(baseline_wall: float) -> dict:
     }
 
 
+def _run_failpoints() -> dict:
+    """Microbench the disabled failpoint framework (the always-on cost).
+
+    Every durable-path chokepoint calls ``failpoints.hit(name)`` on every
+    run; with nothing armed that must be a dict-miss and nothing more.
+    The number recorded here is what crash-safety instrumentation costs
+    a production run per chokepoint crossing — a function call plus a
+    dict-miss, on the order of 100ns.
+    """
+    from repro import failpoints
+
+    failpoints.reset()
+    iterations = 1_000_000
+    start = time.perf_counter()  # repro-lint: allow-DET001 benchmark timer
+    for _ in range(iterations):
+        failpoints.hit("ckpt.journal.record")
+    disabled_wall = time.perf_counter() - start  # repro-lint: allow-DET001 benchmark timer
+    return {
+        "disabled_hit_ns": round(disabled_wall / iterations * 1e9, 1),
+        "iterations": iterations,
+        "registered": len(failpoints.all_failpoints()),
+    }
+
+
 def _append_history(records: list) -> None:
     """Append headline records to the cross-PR ``BENCH_history.jsonl``."""
     with HISTORY_PATH.open("a") as history:
@@ -399,6 +425,11 @@ def main() -> int:
           f"({lint['xmod_warm_cache_hit_rate']:.0%} cache hits)",
           flush=True)
 
+    print("failpoint pass: disabled-hit overhead ...", flush=True)
+    failpoint_bench = _run_failpoints()
+    print(f"  {failpoint_bench['disabled_hit_ns']:.1f}ns per disabled hit "
+          f"({failpoint_bench['registered']} registered)", flush=True)
+
     print(f"pass 7/7: --scale {SCALE_BUILD_N:g} build (world only) ...",
           flush=True)
     scale_build = _run_scale_build(SCALE_BUILD_N)
@@ -420,6 +451,7 @@ def main() -> int:
         "sharded": sharded,
         "store": store,
         "lint": lint,
+        "failpoints": failpoint_bench,
         "scale_build": scale_build,
         "metrics_manifest": METRICS_PATH.name,
         "top_functions": _top_functions(stats),

@@ -23,32 +23,24 @@ than silently forking history.
 from __future__ import annotations
 
 import json
-import os
-import signal
-import time  # repro-lint: allow-DET001 harness stall injection only; never feeds simulated state
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Dict, List, Optional
 
+from repro import failpoints
 from repro.ckpt.errors import CheckpointError
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.util.durable import atomic_write_text, fsync_handle
 
-#: Crash-injection point for the kill-and-resume harness: when this
-#: environment variable holds an integer N, the process SIGKILLs *itself*
-#: immediately after its N-th durably written journal record — a real
-#: uncatchable kill (no atexit, no flush, no cleanup), but at a seeded,
-#: reproducible point instead of a racy wall-clock timer.
-CRASH_AFTER_ENV = "REPRO_CKPT_CRASH_AFTER"
-
-#: Stall-injection point for the interrupt-flush harness: when this
-#: environment variable holds an integer N, the process sleeps (once) for
-#: ``REPRO_CKPT_STALL_SECONDS`` (default 60) immediately after its N-th
-#: durably written journal record.  The sleep is interruptible, so a test
-#: can SIGINT the run at a reproducible mid-phase point and assert the
-#: final-snapshot flush happened.
-STALL_AFTER_ENV = "REPRO_CKPT_STALL_AFTER"
-STALL_SECONDS_ENV = "REPRO_CKPT_STALL_SECONDS"
+# Crash/stall injection migrated onto the failpoint registry: the env
+# spellings below survive as aliases that repro.failpoints.install_from_env
+# translates onto the ``ckpt.journal.record`` failpoint (the hit() call in
+# :meth:`DatasetJournal._write_row`, fired after the record is durably on
+# disk).  Re-exported here because the harnesses import them from this
+# module.
+CRASH_AFTER_ENV = failpoints.CRASH_AFTER_ENV
+STALL_AFTER_ENV = failpoints.STALL_AFTER_ENV
+STALL_SECONDS_ENV = failpoints.STALL_SECONDS_ENV
 
 #: Journal format identifier (bump on breaking layout changes).
 JOURNAL_SCHEMA = "repro.ckpt/journal@1"
@@ -137,11 +129,6 @@ class DatasetJournal:
         self._replay_index = 0
         self.records_written = 0
         self.fsyncs = 0
-        crash_after = os.environ.get(CRASH_AFTER_ENV)
-        self._crash_after = int(crash_after) if crash_after else None
-        stall_after = os.environ.get(STALL_AFTER_ENV)
-        self._stall_after = int(stall_after) if stall_after else None
-        self._stall_seconds = float(os.environ.get(STALL_SECONDS_ENV, "60"))
 
     # -- constructors -------------------------------------------------------------
 
@@ -255,15 +242,21 @@ class DatasetJournal:
     def _write_row(self, row: Dict) -> None:
         if self._handle is None:
             raise CheckpointError(f"journal {self.path} is not open for appends")
-        self._handle.write(json.dumps(row) + "\n")
-        fsync_handle(self._handle, tag="journal")
+        try:
+            self._handle.write(json.dumps(row) + "\n")
+            fsync_handle(self._handle, tag="journal")
+            # The record is durably on disk; a kill/stall fired here
+            # lands at a reproducible journal position (the legacy
+            # CRASH_AFTER/STALL envs alias onto this name), and an errno
+            # fired here refuses through the same channel a real disk
+            # fault would.
+            failpoints.hit("ckpt.journal.record")
+        except OSError as error:
+            raise CheckpointError(
+                f"journal append to {self.path} failed: {error}"
+            ) from error
         self.fsyncs += 1
         self.records_written += 1
-        if self._crash_after is not None and self.records_written >= self._crash_after:
-            os.kill(os.getpid(), signal.SIGKILL)  # repro-lint: allow-DET004 harness self-kill at a seeded journal position
-        if self._stall_after is not None and self.records_written >= self._stall_after:
-            self._stall_after = None  # stall once, not on every later record
-            time.sleep(self._stall_seconds)  # repro-lint: allow-DET001 harness-injected stall; never feeds simulated state
 
     def close(self) -> None:
         """Close the underlying handle (appends after this raise)."""

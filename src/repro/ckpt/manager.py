@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import failpoints
 from repro.ckpt.errors import CheckpointError
 from repro.ckpt.journal import DatasetJournal, JournalRecovery, read_journal
 from repro.ckpt.snapshot import (
@@ -41,6 +42,7 @@ from repro.ckpt.snapshot import (
     write_snapshot,
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.util.durable import sweep_stale_tmp
 from repro.util.timeutil import DAY
 from repro.util.validation import check_positive
 
@@ -125,6 +127,16 @@ class CheckpointManager:
         metrics = metrics if metrics is not None else NULL_METRICS
         directory = Path(config.directory)
         directory.mkdir(parents=True, exist_ok=True)
+        # A kill between temp-write and rename strands a *.tmp sibling;
+        # the committed files are still the last complete versions, so the
+        # orphans are garbage — sweep them before trusting the directory.
+        swept = sweep_stale_tmp(directory)
+        if swept:
+            metrics.trace_event(
+                "checkpoint_tmp_swept",
+                directory=str(directory),
+                removed=[path.name for path in swept],
+            )
         manifest = load_checkpoint_manifest(
             directory, seed, config_hash, shard_id=config.shard_id
         )
@@ -146,6 +158,7 @@ class CheckpointManager:
                 f"{directory} already holds a checkpointed run; pass --resume "
                 "to continue it, or point --checkpoint-dir at a fresh directory"
             )
+        failpoints.hit("ckpt.manager.resume")
         recovery: JournalRecovery = read_journal(
             directory / JOURNAL_NAME, metrics=metrics
         )
@@ -155,9 +168,36 @@ class CheckpointManager:
         )
         stored: Dict[str, Dict] = {}
         entries: Dict[str, Dict] = {}
-        for entry in manifest.get("snapshots", []):
+        listed = manifest.get("snapshots", [])
+        # The newest snapshot is the one a crash can have torn (it was
+        # being written when the run died); anything older was complete
+        # and fsync'd before the manifest referencing it landed.  A bad
+        # *latest* snapshot therefore falls back to the previous one +
+        # WAL replay; a bad *older* snapshot is real corruption and
+        # refuses.  "Latest" = most journal progress, not list order
+        # (the manifest sorts entries by barrier-key string).
+        latest_key = None
+        if listed:
+            newest = max(
+                listed, key=lambda e: (e["journal_records"], e["sim_time"])
+            )
+            latest_key = barrier_key(newest["phase"], newest["sim_time"])
+        for entry in listed:
             key = barrier_key(entry["phase"], entry["sim_time"])
-            stored[key] = load_snapshot(directory, entry)
+            try:
+                stored[key] = load_snapshot(directory, entry)
+            except CheckpointError as error:
+                if key != latest_key:
+                    raise
+                stored.pop(key, None)
+                (directory / entry["file"]).unlink(missing_ok=True)
+                metrics.trace_event(
+                    "checkpoint_snapshot_dropped",
+                    barrier=key,
+                    file=entry["file"],
+                    reason=str(error),
+                )
+                continue
             entries[key] = entry
         metrics.trace_event(
             "checkpoint_resume",
@@ -242,6 +282,18 @@ class CheckpointManager:
         key = barrier_key(phase, sim_time)
         self._entries[key] = entry
         self._write_manifest()
+        # Torn-corruption point: fired *after* the manifest references the
+        # fresh snapshot, the torn callback truncates that snapshot file —
+        # exactly the on-disk shape a crash mid-snapshot leaves, which the
+        # latest-snapshot fallback in open() must recover from.
+        snapshot_path = self.directory / entry["file"]
+        failpoints.hit(
+            "ckpt.snapshot.corrupt",
+            torn=lambda: snapshot_path.write_text(
+                snapshot_path.read_text(encoding="utf-8")[: entry["bytes"] // 2],
+                encoding="utf-8",
+            ),
+        )
         self.snapshots_written += 1
         self.snapshot_bytes += entry["bytes"]
         self.metrics.trace_event(

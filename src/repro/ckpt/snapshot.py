@@ -28,6 +28,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import failpoints
 from repro.ckpt.errors import CheckpointError
 from repro.util.durable import atomic_write_json, atomic_write_text
 
@@ -62,7 +63,13 @@ def write_snapshot(directory: Path, payload: Dict) -> Dict:
     payload["schema"] = SNAPSHOT_SCHEMA
     name = snapshot_filename(payload["phase"], payload["sim_time"])
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    atomic_write_text(Path(directory) / name, text, tag="snapshot")
+    try:
+        failpoints.hit("ckpt.snapshot.write")
+        atomic_write_text(Path(directory) / name, text, tag="snapshot")
+    except OSError as error:
+        raise CheckpointError(
+            f"snapshot write {name} failed: {error}"
+        ) from error
     return {
         "file": name,
         "sha256": _digest(text),
@@ -80,7 +87,13 @@ def load_snapshot(directory: Path, entry: Dict) -> Dict:
         raise CheckpointError(
             f"manifest lists snapshot {entry['file']} but the file is missing"
         )
-    text = path.read_text(encoding="utf-8")
+    try:
+        failpoints.hit("ckpt.snapshot.load")
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointError(
+            f"snapshot {entry['file']} is unreadable: {error}"
+        ) from error
     if _digest(text) != entry["sha256"]:
         raise CheckpointError(
             f"snapshot {entry['file']} failed its sha256 integrity check; "
@@ -113,11 +126,17 @@ def write_checkpoint_manifest(
     }
     if shard_id is not None:
         manifest["shard"] = shard_id
-    atomic_write_json(
-        Path(directory) / MANIFEST_NAME,
-        manifest,
-        tag="snapshot",
-    )
+    failpoints.hit("ckpt.manifest.write")
+    try:
+        atomic_write_json(
+            Path(directory) / MANIFEST_NAME,
+            manifest,
+            tag="snapshot",
+        )
+    except OSError as error:
+        raise CheckpointError(
+            f"checkpoint manifest write failed: {error}"
+        ) from error
 
 
 def load_checkpoint_manifest(

@@ -22,21 +22,32 @@ hung shards are detected by heartbeat and SIGKILLed, and shards that
 exhaust the ``--shard-retry`` budget are quarantined — the run then
 completes *degraded* with an explicit manifest section instead of dying.
 
-Exit codes: 0 success, 1 shape-check failure, 2 usage error,
-3 checkpoint refusal, 4 completed degraded (one or more shards
-quarantined), 5 unrecoverable shard failure (primary or every shard
-lost), 130 operator interrupt (after every live shard flushed a final
-checkpoint snapshot).
+``query <store> verify`` integrity-checks a store (SQLite
+``integrity_check`` + schema tag + row counts vs the recorded ingest
+counts) and ``query <store> repair --journal J`` rebuilds a damaged
+store from a checkpoint WAL.  ``run --failpoint name=action@N``
+(repeatable; also the ``REPRO_FAILPOINTS`` env) arms deterministic
+fault injection on the durable path — see :mod:`repro.failpoints`.
+
+Exit codes: 0 success, 1 shape-check failure (or an injected
+``raise`` fault), 2 usage error or store corruption, 3 checkpoint
+refusal, 4 completed degraded (one or more shards quarantined),
+5 unrecoverable shard failure (primary or every shard lost),
+6 i/o error on the durable path (e.g. ENOSPC), 130 operator
+interrupt (after every live shard flushed a final checkpoint
+snapshot).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import failpoints
 from repro.analysis.export import export_all
 from repro.analysis.report import full_report
 from repro.core.experiment import HoneypotExperiment
@@ -51,7 +62,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.osn.faults import FaultProfile
 from repro.osn.population import PopulationConfig
 from repro.shard.errors import ShardError
-from repro.store import HoneypotStore, StoreError
+from repro.store import HoneypotStore, StoreError, repair_from_journal
 from repro.store import queries as store_queries
 from repro.util.tables import render_table
 
@@ -72,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
             "3 checkpoint refusal; 4 completed degraded (one or more shards "
             "quarantined after --shard-retry restarts); 5 unrecoverable "
             "shard failure (primary shard or every shard lost); "
+            "6 i/o error on the durable path (e.g. ENOSPC); "
             "130 operator interrupt (every live shard flushes a final "
             "checkpoint snapshot first)"
         ),
@@ -122,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also land the dataset in a queryable SQLite "
                           "store at this path (export byte-identical to "
                           "--out; analyse with 'repro-study query')")
+    run.add_argument("--failpoint", action="append", default=None,
+                     metavar="SPEC",
+                     help="arm a deterministic failpoint, e.g. "
+                          "'ckpt.journal.record=kill@25' (repeatable; "
+                          "name=action[:arg][@N], actions: errno:<NAME>, "
+                          "kill, torn, exit:<code>, raise, stall:<secs>, "
+                          "hang, count; inherited by shard workers, scope "
+                          "with REPRO_SHARD_TARGET)")
 
     report = sub.add_parser("report", help="render tables/figures from a dataset")
     report.add_argument("dataset", type=Path)
@@ -140,8 +160,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("store", type=Path,
                        help="store file written by 'run --store'")
-    query.add_argument("analysis", choices=("overlap", "temporal", "summary"),
-                       help="which analysis to run")
+    query.add_argument("analysis",
+                       choices=("overlap", "temporal", "summary",
+                                "verify", "repair"),
+                       help="which analysis to run; 'verify' integrity-"
+                            "checks the store (exit 2 on corruption), "
+                            "'repair' rebuilds it from a checkpoint WAL "
+                            "(needs --journal)")
+    query.add_argument("--journal", type=Path, default=None,
+                       help="checkpoint journal (journal.jsonl) to rebuild "
+                            "from (repair only)")
     return parser
 
 
@@ -208,6 +236,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.failpoint:
+        text = ",".join(args.failpoint)
+        try:
+            failpoints.configure(text)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        # Spawned shard workers inherit the spec through the environment
+        # (scope with REPRO_SHARD_TARGET); this process is already armed.
+        existing = os.environ.get(failpoints.ENV_VAR, "")
+        os.environ[failpoints.ENV_VAR] = (
+            f"{existing},{text}" if existing else text
+        )
     if args.jobs is not None:
         return _run_sharded(args)
     experiment = HoneypotExperiment(_config_for(args))
@@ -374,6 +415,27 @@ def cmd_detect(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.analysis.temporal import classify_strategy
 
+    if args.analysis == "verify":
+        with HoneypotStore.open(args.store) as store:
+            problems = store.verify()
+        if problems:
+            for problem in problems:
+                print(f"verify: {problem}", file=sys.stderr)
+            print(f"{args.store}: CORRUPT ({len(problems)} problem(s))",
+                  file=sys.stderr)
+            return 2
+        print(f"{args.store}: ok")
+        return 0
+    if args.analysis == "repair":
+        if args.journal is None:
+            print("error: repair needs --journal pointing at the run's "
+                  "checkpoint journal.jsonl", file=sys.stderr)
+            return 2
+        summary = repair_from_journal(args.store, args.journal)
+        print(f"repaired {args.store} from {args.journal}: "
+              f"{summary['records']} journal records -> {summary['rows']} "
+              f"rows (torn tail: {'yes' if summary['torn'] else 'no'})")
+        return 0
     with HoneypotStore.open(args.store) as store:
         if args.analysis == "overlap":
             summary = store_queries.overlap_summary(store)
@@ -446,6 +508,11 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    try:
+        failpoints.install_from_env()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     dataset_path = getattr(args, "dataset", None)
     if dataset_path is not None and not Path(dataset_path).exists():
         print(f"error: dataset file not found: {dataset_path}", file=sys.stderr)
@@ -465,6 +532,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ShardError as error:
         print(f"unrecoverable shard failure: {error}", file=sys.stderr)
         return 5
+    except failpoints.FailpointError as error:
+        print(f"injected failure: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        # The durable path surfaces disk faults (ENOSPC, EIO) here when no
+        # subsystem owns them; a named exit, never a raw traceback.
+        print(f"i/o error: {error}", file=sys.stderr)
+        return 6
     except KeyboardInterrupt:
         # The study already flushed its final snapshot (when checkpointing
         # was on) before the interrupt propagated here.

@@ -17,6 +17,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro import failpoints
 from repro.util.durable import fsync_dir, fsync_handle
 
 
@@ -38,9 +39,21 @@ def write_jsonl_rows(path: Path, rows: Iterable[Dict], tag: str = "dataset") -> 
     tmp_path = path.with_name(path.name + ".tmp")
     try:
         with tmp_path.open("w", encoding="utf-8") as handle:
+            first = True
             for row in rows:
-                handle.write(json.dumps(row) + "\n")
+                line = json.dumps(row) + "\n"
+                if first:
+                    first = False
+                    failpoints.hit(
+                        "durable.write.data",
+                        torn=lambda: (
+                            handle.write(line[: len(line) // 2]),
+                            handle.flush(),
+                        ),
+                    )
+                handle.write(line)
             fsync_handle(handle, tag=tag)
+        failpoints.hit("durable.rename", torn=lambda: None)
         tmp_path.replace(path)
         fsync_dir(path.parent, tag=tag)
     except BaseException:

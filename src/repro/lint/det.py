@@ -72,10 +72,13 @@ class ImportTable:
 #: alias, and the shard supervisor/worker pair uses the wall clock for
 #: operational liveness only (heartbeats, hang timeouts, interrupt
 #: grace) — never for anything a simulation reads.
+#: ``repro.failpoints`` sleeps only to *inject* stalls and hangs; its
+#: clock reads never feed simulated state (disarmed, it touches no clock).
 WALL_CLOCK_ALLOWLIST = frozenset(
     {
         "repro.obs.metrics",
         "repro.cli",
+        "repro.failpoints",
         "repro.sim.engine",
         "repro.shard.supervisor",
         "repro.shard.worker",
@@ -245,6 +248,12 @@ class UnseededRandomRule(Rule):
 #: The package that owns worker lifecycles, pids, and signals.
 SHARD_HOME = "repro.shard"
 
+#: Modules outside the shard package that may touch process state.
+#: ``repro.failpoints`` SIGKILLs / hard-exits its *own* process — that is
+#: the whole point of the ``kill``/``torn``/``exit`` actions, which model
+#: power loss at a durable-path chokepoint.  It never manages children.
+PROCESS_ALLOWLIST = frozenset({"repro.failpoints"})
+
 #: Modules whose import means a new process (or pool) is being managed.
 _PROCESS_MODULES = ("multiprocessing", "concurrent.futures")
 
@@ -296,6 +305,8 @@ class ProcessStateRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         name = module.module_name
         if name == SHARD_HOME or name.startswith(SHARD_HOME + "."):
+            return
+        if name in PROCESS_ALLOWLIST:
             return
         table = ImportTable(module.tree)
         for node in ast.walk(module.tree):

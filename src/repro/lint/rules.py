@@ -144,7 +144,7 @@ def _load_rule_modules() -> None:
     # Import the rule modules lazily so the registry is populated even when
     # a caller imports repro.lint.rules directly.
     from repro.lint import det, hyg  # noqa: F401  (registration side effect)
-    from repro.lint.xmod import arch, ckptcov, rngflow, sqlschema  # noqa: F401
+    from repro.lint.xmod import arch, ckptcov, fp, rngflow, sqlschema  # noqa: F401
 
 
 def known_codes() -> List[str]:

@@ -26,19 +26,26 @@ from repro.lint.rules import ProjectRule, register_project
 #: package and the standard library are always allowed).  ``"*"`` marks
 #: the top-tier shells that may import anything.
 ALLOWED_DEPS: Dict[str, Tuple[str, ...]] = {
-    "util": (),
+    # the failpoint registry sits below everything durable: any layer's
+    # chokepoints may call hit(), and it imports nothing of the project
+    "failpoints": (),
+    "util": ("failpoints",),
     "obs": ("util",),
     "sim": ("obs", "util"),
     "osn": ("obs", "util"),
     "ads": ("obs", "osn", "sim", "util"),
     "farms": ("obs", "osn", "sim", "util"),
-    "ckpt": ("obs", "util"),
-    "honeypot": ("ads", "ckpt", "farms", "obs", "osn", "sim", "util"),
+    "ckpt": ("failpoints", "obs", "util"),
+    "honeypot": (
+        "ads", "ckpt", "failpoints", "farms", "obs", "osn", "sim", "util",
+    ),
     "analysis": ("farms", "honeypot", "obs", "osn", "util"),
     "detection": ("analysis", "honeypot", "obs", "osn", "util"),
     "core": ("analysis", "honeypot", "obs", "util"),
-    "shard": ("ckpt", "honeypot", "obs", "util"),
-    "store": ("analysis", "ckpt", "honeypot", "obs", "shard", "util"),
+    "shard": ("ckpt", "failpoints", "honeypot", "obs", "util"),
+    "store": (
+        "analysis", "ckpt", "failpoints", "honeypot", "obs", "shard", "util",
+    ),
     # the linter is a standalone tool: nothing runtime may import it,
     # and it imports nothing runtime
     "lint": (),

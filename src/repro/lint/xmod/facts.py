@@ -31,7 +31,7 @@ from repro.lint.det import ImportTable
 
 #: Bump when the fact schema changes: cached entries with a different
 #: version are discarded (a schema change must invalidate every cache).
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 
 #: RngStream methods that consume generator entropy (plus the raw
 #: ``generator`` escape hatch).  ``child`` is deliberately absent: forks
@@ -173,6 +173,23 @@ class SqlFact:
     line: int
 
 
+@dataclass(frozen=True, slots=True)
+class FailpointFact:
+    """One failpoint registry interaction (the FP001 inputs).
+
+    ``kind`` is ``"register"`` (``failpoints.register(...)`` — or a bare
+    ``register(...)`` inside a module itself named ``failpoints``) or
+    ``"hit"`` (``failpoints.hit(...)``).  ``name`` is the literal string
+    argument; ``dynamic`` marks calls whose name is not a plain literal,
+    which FP001 refuses — a computed name defeats the static catalog.
+    """
+
+    kind: str
+    name: str
+    line: int
+    dynamic: bool
+
+
 @dataclass(slots=True)
 class ModuleFacts:
     """Everything the project-wide rules need from one module."""
@@ -183,6 +200,7 @@ class ModuleFacts:
     classes: Tuple[ClassFact, ...] = ()
     functions: Tuple[FunctionFact, ...] = ()
     sql: Tuple[SqlFact, ...] = ()
+    failpoints: Tuple[FailpointFact, ...] = ()
     aliases: Dict[str, str] = field(default_factory=dict)
     constants: Dict[str, str] = field(default_factory=dict)
 
@@ -205,6 +223,9 @@ class ModuleFacts:
             "classes": [_class_to_list(c) for c in self.classes],
             "functions": [_function_to_list(f) for f in self.functions],
             "sql": [[s.text, s.line] for s in self.sql],
+            "failpoints": [
+                [f.kind, f.name, f.line, f.dynamic] for f in self.failpoints
+            ],
             "aliases": dict(self.aliases),
             "constants": dict(self.constants),
         }
@@ -223,6 +244,10 @@ class ModuleFacts:
                 _function_from_list(row) for row in data["functions"]
             ),
             sql=tuple(SqlFact(text, line) for text, line in data["sql"]),
+            failpoints=tuple(
+                FailpointFact(kind, name, line, dynamic)
+                for kind, name, line, dynamic in data["failpoints"]
+            ),
             aliases=dict(data["aliases"]),
             constants=dict(data["constants"]),
         )
@@ -301,6 +326,7 @@ def extract_module_facts(
         classes=tuple(extractor.classes),
         functions=tuple(extractor.functions),
         sql=tuple(extractor.sql),
+        failpoints=tuple(extractor.failpoints),
         aliases=dict(extractor.table.aliases),
         constants=extractor.constants,
     )
@@ -340,6 +366,7 @@ class _Extractor:
         self.classes: List[ClassFact] = []
         self.functions: List[FunctionFact] = []
         self.sql: List[SqlFact] = []
+        self.failpoints: List[FailpointFact] = []
         self.constants: Dict[str, str] = {}
         self.module_defs: Set[str] = set()
         self._fstring_parts: Set[int] = set()
@@ -350,6 +377,7 @@ class _Extractor:
                 self.module_defs.add(node.name)
         self._collect_imports()
         self._collect_sql_and_constants()
+        self._collect_failpoints()
         for node in self.tree.body:
             if isinstance(node, ast.ClassDef):
                 self._extract_class(node)
@@ -424,6 +452,42 @@ class _Extractor:
                 and isinstance(node.value.value, str)
             ):
                 self.constants[node.targets[0].id] = node.value.value
+
+    # -- failpoint registrations and hit sites ---------------------------- #
+
+    def _collect_failpoints(self) -> None:
+        """Record every ``failpoints.register``/``failpoints.hit`` call.
+
+        Bare ``register(...)`` / ``hit(...)`` names also count inside a
+        module itself named ``failpoints`` — that is how the registry
+        module's own catalog (and FP001 fixtures mimicking it) shows up.
+        """
+        in_registry = self.module_name.rpartition(".")[2] == "failpoints"
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self.table.resolve(node.func)
+            if dotted is None:
+                continue
+            kind = ""
+            for candidate in ("register", "hit"):
+                if dotted.endswith(f"failpoints.{candidate}") or (
+                    in_registry and dotted == candidate
+                ):
+                    kind = candidate
+            if not kind:
+                continue
+            name, dynamic = "", True
+            if node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    name, dynamic = first.value, False
+            self.failpoints.append(
+                FailpointFact(kind, name, node.lineno, dynamic)
+            )
+        self.failpoints.sort(key=lambda f: f.line)
 
     # -- classes ---------------------------------------------------------- #
 

@@ -1,0 +1,131 @@
+"""FP001 — the failpoint catalog is closed, literal, and fully wired.
+
+The storage-fault sweep (``tests/test_fault_sweep.py``) promises that
+*every* registered failpoint is exercised — a promise that only holds if
+the catalog itself is statically knowable.  This rule pins the three
+invariants the sweep's completeness rests on, project-wide:
+
+* registrations live in exactly one place — the ``repro.failpoints``
+  module (its catalog block) — with unique string-literal names; a
+  duplicate, a computed name, or a ``register()`` call anywhere else
+  silently forks the catalog,
+* every ``failpoints.hit(...)`` site names a registered failpoint with a
+  string literal — a typo'd or dynamic name is a chokepoint the sweep
+  can never arm,
+* every registered name has at least one ``hit()`` site outside the
+  registry module — a registered-but-never-hit name is dead weight that
+  makes the sweep report coverage it does not have.
+
+Fixture modules named ``failpoints`` (e.g. ``bad_fp.failpoints``) are
+treated as their own registries, so the rule is testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ProjectRule, register_project
+from repro.lint.xmod.facts import FailpointFact
+
+
+def _is_registry_module(module_name: str) -> bool:
+    """True for the failpoint registry module (or a fixture mimicking it)."""
+    return module_name.rpartition(".")[2] == "failpoints"
+
+
+@register_project
+class FailpointCatalogRule(ProjectRule):
+    """FP001: failpoint names are unique literals, registered once, all hit."""
+
+    code = "FP001"
+    name = "failpoint-catalog"
+    severity = Severity.ERROR
+    description = (
+        "failpoint registrations must be unique string literals in the "
+        "failpoints module, and every hit() must name a registered "
+        "failpoint (every registered name must be hit somewhere)"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        registered: Dict[str, Tuple[str, int]] = {}  # name -> (path, line)
+        hits: List[Tuple[str, FailpointFact, bool]] = []  # (path, fact, in_reg)
+
+        # Pass 1: the catalog.  Registrations outside the registry module
+        # and dynamic/duplicate names are refused here.
+        for module_name in sorted(project.modules):
+            facts = project.modules[module_name]
+            in_registry = _is_registry_module(module_name)
+            for fact in facts.failpoints:
+                if fact.kind == "hit":
+                    hits.append((facts.path, fact, in_registry))
+                    continue
+                if not in_registry:
+                    yield self.finding(
+                        project,
+                        facts.path,
+                        fact.line,
+                        "failpoint registered outside the registry module; "
+                        "the catalog lives in repro/failpoints.py only",
+                    )
+                    continue
+                if fact.dynamic:
+                    yield self.finding(
+                        project,
+                        facts.path,
+                        fact.line,
+                        "failpoint registered with a non-literal name; the "
+                        "catalog must be statically knowable",
+                    )
+                    continue
+                if fact.name in registered:
+                    first_path, first_line = registered[fact.name]
+                    yield self.finding(
+                        project,
+                        facts.path,
+                        fact.line,
+                        f"failpoint {fact.name!r} registered twice (first "
+                        f"at {first_path}:{first_line})",
+                    )
+                    continue
+                registered[fact.name] = (facts.path, fact.line)
+
+        # Pass 2: hit sites against the catalog.
+        hit_names = set()
+        for path, fact, in_registry in hits:
+            if fact.dynamic:
+                yield self.finding(
+                    project,
+                    path,
+                    fact.line,
+                    "failpoints.hit() called with a non-literal name; the "
+                    "sweep cannot arm a chokepoint it cannot name",
+                )
+                continue
+            if registered and fact.name not in registered:
+                yield self.finding(
+                    project,
+                    path,
+                    fact.line,
+                    f"failpoints.hit({fact.name!r}) names an unregistered "
+                    "failpoint; add it to the catalog in "
+                    "repro/failpoints.py",
+                )
+                continue
+            if not in_registry:
+                hit_names.add(fact.name)
+
+        # Pass 3: dead catalog entries (registered, never hit).  Only
+        # meaningful when the project has hit sites at all — a fixture
+        # holding just a registry is not "all dead".
+        if hit_names:
+            for name in sorted(set(registered) - hit_names):
+                path, line = registered[name]
+                yield self.finding(
+                    project,
+                    path,
+                    line,
+                    f"failpoint {name!r} is registered but never hit; a "
+                    "chokepoint the sweep cannot exercise is dead weight — "
+                    "wire a hit() site or drop the registration",
+                )

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro import failpoints
 from repro.honeypot.storage import HoneypotDataset
 from repro.honeypot.study import StudyConfig
 from repro.shard.errors import ShardError
@@ -286,6 +287,10 @@ class ShardSupervisor:
     ) -> None:
         shard_id = live.shard.shard_id
         if attempts[shard_id] <= self.shard_retry:
+            # The supervisor itself can die here (between noticing a crash
+            # and relaunching); a supervisor-level --resume must pick the
+            # whole run back up from the per-shard WALs.
+            failpoints.hit("shard.supervisor.restart")
             pending.append(live.shard)  # relaunch, resuming from its WAL
             return
         outcomes[shard_id] = ShardOutcome(

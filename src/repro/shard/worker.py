@@ -23,13 +23,18 @@ a final checkpoint snapshot for *this shard* before the worker exits 130
 — every live shard leaves a durable record of how far it got, not just
 the supervisor.
 
-Fault-injection scoping: the kill-and-resume harness environment knobs
-(``REPRO_CKPT_CRASH_AFTER``, ``REPRO_CKPT_STALL_AFTER``) would hit every
-worker of a sharded run at once; ``REPRO_SHARD_TARGET`` narrows them to
-one shard id, and a restarted worker (attempt > 0) always scrubs them so
-injected crashes do not recur forever.  ``REPRO_SHARD_HANG`` simulates a
-hung worker (alive, heartbeat silent) on attempt 0; ``REPRO_SHARD_POISON``
-raises on every attempt, driving the quarantine path.
+Fault-injection scoping: all injection now runs through the failpoint
+registry (:mod:`repro.failpoints`); workers arm it from the inherited
+environment (``REPRO_FAILPOINTS`` plus the legacy ``REPRO_CKPT_*`` alias
+envs) on entry.  Because spawned workers inherit the supervisor's
+environment verbatim, an armed spec would hit every worker of a sharded
+run at once — ``REPRO_SHARD_TARGET`` narrows the injection to one shard
+id, and a restarted worker (attempt > 0) always scrubs it so injected
+crashes do not recur forever.  The legacy ``REPRO_SHARD_HANG`` /
+``REPRO_SHARD_POISON`` envs alias onto the ``shard.worker.hang`` /
+``shard.worker.poison`` failpoints: hang simulates a hung worker (alive,
+heartbeat silent) on attempt 0; poison raises on every attempt, driving
+the quarantine path.
 """
 
 from __future__ import annotations
@@ -40,13 +45,12 @@ import threading
 import time
 import traceback
 from pathlib import Path
-from typing import Tuple
 
-from repro.ckpt.journal import CRASH_AFTER_ENV, STALL_AFTER_ENV
+from repro import failpoints
 from repro.honeypot.study import HoneypotStudy, StudyConfig
 from repro.util.durable import atomic_write_json
 
-#: Scope the ckpt crash/stall injection envs to one shard id.
+#: Scope the injection envs (failpoints included) to one shard id.
 TARGET_ENV = "REPRO_SHARD_TARGET"
 #: Targeted shard hangs (alive, no heartbeat) on its first attempt.
 HANG_ENV = "REPRO_SHARD_HANG"
@@ -87,23 +91,36 @@ class _Heartbeat:
 
     def _beat(self) -> None:
         self._counter += 1
+        failpoints.hit("shard.worker.heartbeat")
         # Plain write, no fsync: the heartbeat is liveness, not durability,
         # and the supervisor tolerates a torn read as "no change yet".
         self.path.write_text(f"{self._counter}\n", encoding="utf-8")
 
 
-def _scrub_injection_env(shard_id: str, attempt: int) -> Tuple[bool, bool]:
-    """Apply shard scoping to the harness env knobs; returns (hang, poison)."""
+def _arm_failpoints(shard_id: str, attempt: int) -> None:
+    """Shard-scope the inherited injection envs, then arm the registry.
+
+    Workers are spawned, so the registry starts clean in every attempt;
+    whatever the supervisor's environment carries is the only injection
+    source.  ``REPRO_SHARD_TARGET`` narrows it to one shard, and injected
+    faults hit their target's first attempt only — a restarted worker (or
+    an untargeted sibling) must run clean or no retry ever heals.  Poison
+    is the exception: it recurs on every attempt (the quarantine driver),
+    matching the legacy ``REPRO_SHARD_POISON`` contract.
+    """
     target = os.environ.get(TARGET_ENV)
     targeted = target is None or target == shard_id
     if not targeted or attempt > 0:
-        # Injected crashes/stalls hit their target once; a restarted worker
-        # (or an untargeted sibling) must run clean or no retry ever heals.
-        os.environ.pop(CRASH_AFTER_ENV, None)
-        os.environ.pop(STALL_AFTER_ENV, None)
-    hang = bool(os.environ.get(HANG_ENV)) and targeted and attempt == 0
-    poison = bool(os.environ.get(POISON_ENV)) and targeted
-    return hang, poison
+        os.environ.pop(failpoints.ENV_VAR, None)
+        os.environ.pop(failpoints.CRASH_AFTER_ENV, None)
+        os.environ.pop(failpoints.STALL_AFTER_ENV, None)
+    failpoints.install_from_env()
+    if os.environ.get(HANG_ENV) and targeted and attempt == 0:
+        failpoints.configure("shard.worker.hang=hang")
+    if os.environ.get(POISON_ENV) and targeted:
+        failpoints.configure(
+            f"shard.worker.poison=raise:injected poison in shard {shard_id}"
+        )
 
 
 def worker_entry(
@@ -113,20 +130,18 @@ def worker_entry(
     os.setpgrp()  # terminal SIGINT reaches only the supervisor
     directory = Path(shard_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    hang, poison = _scrub_injection_env(shard_id, attempt)
-    if hang:
-        # A hung worker: alive forever, heartbeat never written.  The
-        # supervisor's staleness detector must SIGKILL and restart us.
-        while True:
-            time.sleep(3600)
+    _arm_failpoints(shard_id, attempt)
+    # A hung worker: alive forever, heartbeat never written.  The
+    # supervisor's staleness detector must SIGKILL and restart us.
+    failpoints.hit("shard.worker.hang")
     heartbeat = _Heartbeat(directory / HEARTBEAT_NAME)
     heartbeat.start()
     started = time.perf_counter()
     try:
-        if poison:
-            raise RuntimeError(f"injected poison in shard {shard_id}")
+        failpoints.hit("shard.worker.poison")
         artifacts = HoneypotStudy(config).run()
         artifacts.dataset.to_jsonl(directory / DATASET_NAME)
+        failpoints.hit("shard.worker.state")
         atomic_write_json(
             directory / STATE_NAME,
             {
@@ -144,6 +159,7 @@ def worker_entry(
             tag="shard",
         )
         # done.json last: everything above is durable before success shows.
+        failpoints.hit("shard.worker.done")
         atomic_write_json(
             directory / DONE_NAME,
             {"schema": STATE_SCHEMA, "shard": shard_id, "status": "ok",

@@ -11,7 +11,11 @@ The package splits along the three layers the store serves:
 """
 
 from repro.store.errors import StoreError
-from repro.store.ingest import ingest_journal, merge_shards_into_store
+from repro.store.ingest import (
+    ingest_journal,
+    merge_shards_into_store,
+    repair_from_journal,
+)
 from repro.store.schema import STORE_SCHEMA
 from repro.store.store import HoneypotStore
 
@@ -21,4 +25,5 @@ __all__ = [
     "STORE_SCHEMA",
     "ingest_journal",
     "merge_shards_into_store",
+    "repair_from_journal",
 ]

@@ -28,9 +28,12 @@ Two producers besides a finished dataset/JSONL file can populate a
 from __future__ import annotations
 
 import json
+import os
+import sqlite3
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import failpoints
 from repro.ckpt.journal import read_journal
 from repro.honeypot.storage import HoneypotDataset
 from repro.honeypot.study import StudyConfig
@@ -141,11 +144,46 @@ def ingest_journal(
             [(user_id,) for user_id in terminated_ids],
         )
         store._db.commit()
+        store.update_rowcounts()
     return {
         "records": recovery.salvaged,
         "rows": ingested,
         "torn": int(recovery.torn),
     }
+
+
+def repair_from_journal(
+    path: Path,
+    journal_path: Path,
+    config: Optional[StudyConfig] = None,
+) -> Dict[str, int]:
+    """Rebuild a damaged store from a checkpoint WAL, atomically.
+
+    The replacement is built as a ``<name>.repair`` sibling and renamed
+    over ``path`` only once its own :meth:`HoneypotStore.verify` comes
+    back clean — a crash mid-repair leaves the original (damaged) file
+    untouched plus a ``.repair`` orphan that the next ``open()`` sweeps.
+    Returns the :func:`ingest_journal` summary.
+    """
+    path = Path(path)
+    rebuild_path = path.with_name(path.name + ".repair")
+    rebuild_path.unlink(missing_ok=True)
+    rebuild = HoneypotStore.create(rebuild_path)
+    try:
+        summary = ingest_journal(rebuild, Path(journal_path), config=config)
+        problems = rebuild.verify()
+        if problems:
+            raise StoreError(
+                f"repair of {path} produced an unhealthy store: "
+                + "; ".join(problems)
+            )
+    except BaseException:
+        rebuild.close()
+        rebuild_path.unlink(missing_ok=True)
+        raise
+    rebuild.close()
+    os.replace(rebuild_path, path)
+    return summary
 
 
 def merge_shards_into_store(
@@ -201,6 +239,7 @@ def merge_shards_into_store(
         remap = _remapper(floor, shard.index)
         db.execute("BEGIN")
         try:
+            failpoints.hit("store.merge.shard")
             for campaign_id in shard.campaign_ids:
                 if campaign_id not in dataset.campaigns:
                     raise ShardMergeError(
@@ -222,6 +261,12 @@ def merge_shards_into_store(
                     baseline_rows,
                 )
                 store._wrote("baseline", len(baseline_rows))
+        except (sqlite3.Error, OSError) as error:
+            db.execute("ROLLBACK")
+            raise StoreError(
+                f"merging shard {shard.shard_id} into {store.path} failed: "
+                f"{error}"
+            ) from error
         except BaseException:
             db.execute("ROLLBACK")
             raise
@@ -232,6 +277,7 @@ def merge_shards_into_store(
                 dict(dataset.global_age),
                 dict(dataset.global_country),
             )
+    store.update_rowcounts()
     return sum(store.rows_written.values()) - written_before
 
 

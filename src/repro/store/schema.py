@@ -36,6 +36,10 @@ STORE_SCHEMA = "repro.store/schema@1"
 META_SCHEMA_KEY = "schema"
 META_GLOBALS_KEYS = ("global_gender", "global_age", "global_country")
 
+#: Expected per-table row counts (JSON), maintained after every ingest so
+#: :meth:`HoneypotStore.verify` can catch rows lost to torn batches.
+META_ROWCOUNTS_KEY = "rowcounts"
+
 #: Every data table, in ingest/export order (the obs counter namespace).
 TABLES = (
     "campaigns",

@@ -34,6 +34,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import failpoints
 from repro.honeypot.storage import (
     BaselineRecord,
     CampaignRecord,
@@ -45,7 +46,15 @@ from repro.honeypot.storage import (
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.store.errors import StoreError
-from repro.store.schema import DDL, META_GLOBALS_KEYS, META_SCHEMA_KEY, STORE_SCHEMA
+from repro.store.schema import (
+    DDL,
+    META_GLOBALS_KEYS,
+    META_ROWCOUNTS_KEY,
+    META_SCHEMA_KEY,
+    STORE_SCHEMA,
+    TABLES,
+)
+from repro.util.durable import sweep_stale_tmp
 
 #: Rows buffered per table before a batched ``executemany`` flush.
 BATCH_SIZE = 2000
@@ -100,6 +109,10 @@ class HoneypotStore:
             db.execute(
                 "INSERT INTO meta (key, value) VALUES (?, ?)", (key, "{}")
             )
+        db.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?)",
+            (META_ROWCOUNTS_KEY, json.dumps({table: 0 for table in TABLES})),
+        )
         db.commit()
         return cls(db, path, metrics=metrics)
 
@@ -109,11 +122,17 @@ class HoneypotStore:
     ) -> "HoneypotStore":
         """Open an existing store, verifying its schema version."""
         path = Path(path)
+        # A crash mid-rebuild (repair, export) strands sibling temp files;
+        # the store file itself is the committed version, so they are
+        # garbage — sweep, never read.
+        sweep_stale_tmp(path.parent, pattern=path.name + ".tmp")
+        sweep_stale_tmp(path.parent, pattern=path.name + ".repair")
         if not path.exists():
             raise StoreError(f"store file not found: {path}")
         try:
+            failpoints.hit("store.open")
             db = cls._connect(path)
-        except sqlite3.DatabaseError as error:
+        except (sqlite3.DatabaseError, OSError) as error:
             raise StoreError(f"{path} is not a honeypot store ({error})") from error
         try:
             row = db.execute(
@@ -174,6 +193,63 @@ class HoneypotStore:
             ).fetchone()[0]
         return out
 
+    def update_rowcounts(self) -> Dict[str, int]:
+        """Record the current per-table row counts in ``meta``.
+
+        Every ingest path ends with this, so :meth:`verify` can compare
+        what the store *should* hold against what a later open finds.
+        """
+        counts = self.counts()
+        self._db.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+            (META_ROWCOUNTS_KEY, json.dumps(counts, sort_keys=True)),
+        )
+        self._db.commit()
+        return counts
+
+    def verify(self) -> List[str]:
+        """Integrity-check the store; returns problems (empty = healthy).
+
+        Three layers: SQLite's own ``PRAGMA integrity_check`` (page-level
+        corruption), the schema tag (format identity), and the per-table
+        row counts against the ``rowcounts`` meta record (rows lost to a
+        torn batch).  Never raises for corruption — it *reports*, so the
+        CLI ``verify`` subcommand can name the damage and exit 2.
+        """
+        problems: List[str] = []
+        try:
+            rows = self._db.execute("PRAGMA integrity_check").fetchall()
+            if [value for (value,) in rows] != ["ok"]:
+                problems.extend(
+                    f"integrity_check: {value}" for (value,) in rows
+                )
+            row = self._db.execute(
+                "SELECT value FROM meta WHERE key = ?", (META_SCHEMA_KEY,)
+            ).fetchone()
+            if row is None or row[0] != STORE_SCHEMA:
+                found = None if row is None else row[0]
+                problems.append(
+                    f"schema tag {found!r} is not {STORE_SCHEMA!r}"
+                )
+            recorded_row = self._db.execute(
+                "SELECT value FROM meta WHERE key = ?", (META_ROWCOUNTS_KEY,)
+            ).fetchone()
+            if recorded_row is None:
+                problems.append("no rowcounts record in meta (torn ingest?)")
+            else:
+                recorded = json.loads(recorded_row[0])
+                actual = self.counts()
+                for table in TABLES:
+                    if recorded.get(table, 0) != actual.get(table, 0):
+                        problems.append(
+                            f"table {table} holds {actual.get(table, 0)} rows, "
+                            f"meta records {recorded.get(table, 0)}"
+                        )
+        except (sqlite3.Error, json.JSONDecodeError) as error:
+            problems.append(f"verification query failed: {error}")
+        return problems
+
     # -- ingest -------------------------------------------------------------------
 
     def ingest_dataset(self, dataset: HoneypotDataset) -> int:
@@ -196,6 +272,64 @@ class HoneypotStore:
             )
         )
 
+    def _flush_buffers(
+        self,
+        campaigns: List[Tuple],
+        observations: List[Tuple],
+        likers: List[Tuple],
+        memberships: List[Tuple],
+        baseline: List[Tuple],
+        terminations: List[Tuple],
+    ) -> None:
+        """One batched ingest transaction (the ``store.ingest.batch`` unit)."""
+        self._db.execute("BEGIN")
+        if campaigns:
+            self._db.executemany(
+                "INSERT INTO campaigns "
+                f"({', '.join(_CAMPAIGN_COLUMNS)}) VALUES "
+                f"({', '.join('?' * len(_CAMPAIGN_COLUMNS))})",
+                campaigns,
+            )
+            self._wrote("campaigns", len(campaigns))
+        if observations:
+            self._db.executemany(
+                "INSERT INTO observations "
+                "(campaign_id, position, observed_at, user_id) "
+                "VALUES (?, ?, ?, ?)",
+                observations,
+            )
+            self._wrote("observations", len(observations))
+        if likers:
+            self._db.executemany(
+                "INSERT INTO likers "
+                f"({', '.join(_LIKER_COLUMNS)}) VALUES "
+                f"({', '.join('?' * len(_LIKER_COLUMNS))})",
+                likers,
+            )
+            self._wrote("likers", len(likers))
+        if memberships:
+            self._db.executemany(
+                "INSERT INTO liker_campaigns "
+                "(user_id, position, campaign_id) VALUES (?, ?, ?)",
+                memberships,
+            )
+            self._wrote("liker_campaigns", len(memberships))
+        if baseline:
+            self._db.executemany(
+                "INSERT INTO baseline (user_id, declared_like_count) "
+                "VALUES (?, ?)",
+                baseline,
+            )
+            self._wrote("baseline", len(baseline))
+        if terminations:
+            self._db.executemany(
+                "INSERT INTO terminations (campaign_id, position, user_id) "
+                "VALUES (?, ?, ?)",
+                terminations,
+            )
+            self._wrote("terminations", len(terminations))
+        self._db.execute("COMMIT")
+
     def ingest_rows(self, rows: Iterable[Dict]) -> int:
         """Ingest typed JSONL row dicts (the ``iter_rows`` stream).
 
@@ -216,53 +350,20 @@ class HoneypotStore:
             nonlocal buffered
             if not buffered:
                 return
-            self._db.execute("BEGIN")
-            if campaigns:
-                self._db.executemany(
-                    "INSERT INTO campaigns "
-                    f"({', '.join(_CAMPAIGN_COLUMNS)}) VALUES "
-                    f"({', '.join('?' * len(_CAMPAIGN_COLUMNS))})",
-                    campaigns,
+            try:
+                failpoints.hit("store.ingest.batch")
+                self._flush_buffers(
+                    campaigns, observations, likers,
+                    memberships, baseline, terminations,
                 )
-                self._wrote("campaigns", len(campaigns))
-            if observations:
-                self._db.executemany(
-                    "INSERT INTO observations "
-                    "(campaign_id, position, observed_at, user_id) "
-                    "VALUES (?, ?, ?, ?)",
-                    observations,
-                )
-                self._wrote("observations", len(observations))
-            if likers:
-                self._db.executemany(
-                    "INSERT INTO likers "
-                    f"({', '.join(_LIKER_COLUMNS)}) VALUES "
-                    f"({', '.join('?' * len(_LIKER_COLUMNS))})",
-                    likers,
-                )
-                self._wrote("likers", len(likers))
-            if memberships:
-                self._db.executemany(
-                    "INSERT INTO liker_campaigns "
-                    "(user_id, position, campaign_id) VALUES (?, ?, ?)",
-                    memberships,
-                )
-                self._wrote("liker_campaigns", len(memberships))
-            if baseline:
-                self._db.executemany(
-                    "INSERT INTO baseline (user_id, declared_like_count) "
-                    "VALUES (?, ?)",
-                    baseline,
-                )
-                self._wrote("baseline", len(baseline))
-            if terminations:
-                self._db.executemany(
-                    "INSERT INTO terminations (campaign_id, position, user_id) "
-                    "VALUES (?, ?, ?)",
-                    terminations,
-                )
-                self._wrote("terminations", len(terminations))
-            self._db.execute("COMMIT")
+            except (sqlite3.Error, OSError) as error:
+                try:
+                    self._db.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise StoreError(
+                    f"store ingest batch into {self.path} failed: {error}"
+                ) from error
             for buffer in (
                 campaigns, observations, likers,
                 memberships, baseline, terminations,
@@ -314,6 +415,7 @@ class HoneypotStore:
             if buffered >= BATCH_SIZE:
                 flush()
         flush()
+        self.update_rowcounts()
         return total
 
     def set_globals(
@@ -445,6 +547,7 @@ class HoneypotStore:
 
     def iter_rows(self) -> Iterator[Dict]:
         """Typed JSONL row dicts in export order (see ``HoneypotDataset``)."""
+        failpoints.hit("store.export.rows")
         gender, age, country = self.globals_report()
         yield {
             "type": "meta",
@@ -472,7 +575,12 @@ class HoneypotStore:
     def to_jsonl(self, path: Path) -> None:
         """Export the store as dataset JSONL — byte-identical to the
         :meth:`HoneypotDataset.to_jsonl` export of the same run."""
-        write_jsonl_rows(path, self.iter_rows())
+        try:
+            write_jsonl_rows(path, self.iter_rows())
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"store export from {self.path} failed: {error}"
+            ) from error
 
     def to_dataset(self) -> HoneypotDataset:
         """Materialise the full in-memory dataset (reference/debug path)."""

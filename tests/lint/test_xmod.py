@@ -144,6 +144,53 @@ class TestSqlSchema:
         assert result.findings == [], rendered(result)
 
 
+# -- FP001: the failpoint catalog ---------------------------------------------- #
+
+
+class TestFailpoints:
+    def test_every_catalog_violation_kind_is_caught(self):
+        result = xmod("bad_fp")
+        messages = "\n".join(
+            f.message for f in result.findings if f.code == "FP001"
+        )
+        assert "'durable.rename' registered twice" in messages
+        assert "registered with a non-literal name" in messages
+        assert "registered outside the registry module" in messages
+        assert "hit() called with a non-literal name" in messages
+        assert "hit('durable.typo') names an unregistered" in messages
+        assert "'ckpt.dead.entry' is registered but never hit" in messages
+        assert len([f for f in result.findings if f.code == "FP001"]) == 6
+
+    def test_rogue_registration_is_anchored_at_its_call_site(self):
+        result = xmod("bad_fp")
+        rogue = [
+            f for f in result.findings
+            if f.code == "FP001" and "outside the registry" in f.message
+        ]
+        assert len(rogue) == 1
+        assert rogue[0].path.endswith("repro/store/rogue.py")
+
+    def test_closed_literal_fully_hit_catalog_is_clean(self):
+        result = xmod("good_fp")
+        assert result.findings == [], rendered(result)
+
+    def test_real_registry_matches_the_extracted_catalog(self):
+        # The runtime registry and FP001's static view of src/ must agree
+        # exactly — a drift either way breaks the sweep's completeness.
+        import ast
+
+        from repro import failpoints
+
+        source = (SRC / "repro/failpoints.py").read_text()
+        facts = extract_module_facts(
+            ast.parse(source), "failpoints.py", "repro.failpoints"
+        )
+        static = sorted(
+            f.name for f in facts.failpoints if f.kind == "register"
+        )
+        assert static == failpoints.all_failpoints()
+
+
 # -- facts cache --------------------------------------------------------------- #
 
 

@@ -1,0 +1,17 @@
+"""FP001 positives (registry side): duplicate, dynamic, and dead entries."""
+
+SUFFIX = "write"
+
+
+def register(name):
+    return name
+
+
+def hit(name):
+    return name
+
+
+register("durable.rename")
+register("durable.rename")  # duplicate: the catalog must be unique
+register("durable." + SUFFIX)  # dynamic: not statically knowable
+register("ckpt.dead.entry")  # registered but never hit anywhere

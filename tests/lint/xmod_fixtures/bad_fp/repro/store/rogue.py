@@ -1,0 +1,5 @@
+"""FP001 positive: a registration outside the registry module."""
+
+from repro.failpoints import register
+
+ROGUE = register("store.rogue.site")

@@ -1,0 +1,9 @@
+"""FP001 positives (hit side): dynamic and unregistered names."""
+
+from repro import failpoints
+
+
+def write(table: str) -> None:
+    failpoints.hit("durable.rename")  # fine: registered literal
+    failpoints.hit("store." + table)  # dynamic: the sweep cannot arm it
+    failpoints.hit("durable.typo")  # names nothing in the catalog

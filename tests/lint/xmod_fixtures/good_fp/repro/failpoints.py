@@ -1,0 +1,13 @@
+"""FP001 negative: a closed catalog of unique literal names."""
+
+
+def register(name):
+    return name
+
+
+def hit(name):
+    return name
+
+
+register("durable.rename")
+register("ckpt.journal.record")

@@ -1,0 +1,8 @@
+"""FP001 negative: every hit names a registered literal, all are hit."""
+
+from repro import failpoints
+
+
+def write() -> None:
+    failpoints.hit("durable.rename")
+    failpoints.hit("ckpt.journal.record")

@@ -11,6 +11,7 @@ import json
 
 import pytest
 
+from repro import failpoints
 from repro.ckpt.journal import CRASH_AFTER_ENV
 from repro.ckpt.manager import CheckpointConfig
 from repro.honeypot.study import StudyConfig
@@ -50,7 +51,9 @@ def run_supervised(config, jobs=2, **kwargs):
 @pytest.fixture
 def scoped_env(monkeypatch):
     """Guarantee no injection env leaks between tests."""
-    for name in (TARGET_ENV, CRASH_AFTER_ENV, HANG_ENV, POISON_ENV):
+    for name in (
+        failpoints.ENV_VAR, TARGET_ENV, CRASH_AFTER_ENV, HANG_ENV, POISON_ENV
+    ):
         monkeypatch.delenv(name, raising=False)
     return monkeypatch
 

@@ -46,6 +46,7 @@ def cli_env(crash_after=None, extra_env=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
     for name in (
+        "REPRO_FAILPOINTS",
         "REPRO_CKPT_CRASH_AFTER",
         "REPRO_CKPT_STALL_AFTER",
         "REPRO_CKPT_STALL_SECONDS",
